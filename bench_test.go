@@ -1,0 +1,345 @@
+// Package locusroute's top-level benchmarks regenerate every table of the
+// paper's evaluation section at full scale (one benchmark per table, plus
+// the Section 5.1.3 and 5.3.3 comparisons) and report the headline
+// numbers as benchmark metrics. Micro-benchmarks of the core primitives
+// (route evaluation, mesh transport, packet codec, coherence replay)
+// follow.
+//
+// Regenerate everything:
+//
+//	go test -bench . -benchtime 1x
+package locusroute
+
+import (
+	"testing"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/cache"
+	"locusroute/internal/circuit"
+	"locusroute/internal/experiments"
+	"locusroute/internal/geom"
+	"locusroute/internal/mesh"
+	"locusroute/internal/mp"
+	"locusroute/internal/msg"
+	"locusroute/internal/route"
+	"locusroute/internal/sim"
+	"locusroute/internal/sm"
+)
+
+// BenchmarkTable1 regenerates Table 1: network traffic using sender
+// initiated updates (bnrE, 16 processors).
+func BenchmarkTable1(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(c, s)
+		reportBest(b, rows)
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: traffic using non-blocking
+// receiver initiated updates.
+func BenchmarkTable2(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(c, s)
+		reportBest(b, rows)
+	}
+}
+
+// BenchmarkBlockingVsNonBlocking regenerates the Section 5.1.3 blocking
+// comparison.
+func BenchmarkBlockingVsNonBlocking(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Blocking(c, s)
+		// Report the blocking time penalty of the first schedule pair.
+		b.ReportMetric(rows[1].Seconds/rows[0].Seconds, "blocking-slowdown")
+	}
+}
+
+// BenchmarkMixed regenerates the Section 5.1.3 mixed schedule comparison.
+func BenchmarkMixed(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Mixed(c, s)
+		b.ReportMetric(float64(rows[2].Occupancy), "mixed-occupancy")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: shared memory traffic as a
+// function of cache line size.
+func BenchmarkTable3(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(c, s)
+		b.ReportMetric(rows[0].MBytes, "MB-line4")
+		b.ReportMetric(rows[len(rows)-1].MBytes, "MB-line32")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: effect of locality in the message
+// passing version (both circuits).
+func BenchmarkTable4(b *testing.B) {
+	circuits := []*circuit.Circuit{experiments.BnrE(), experiments.MDC()}
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4(circuits, s)
+		b.ReportMetric(rows[0].MBytes, "MB-roundrobin")
+		b.ReportMetric(rows[3].MBytes, "MB-local")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: effect of locality in the shared
+// memory version (both circuits, 8-byte lines).
+func BenchmarkTable5(b *testing.B) {
+	circuits := []*circuit.Circuit{experiments.BnrE(), experiments.MDC()}
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5(circuits, s)
+		b.ReportMetric(rows[0].MBytes, "MB-roundrobin")
+		b.ReportMetric(rows[3].MBytes, "MB-local")
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: effect of the number of processors.
+func BenchmarkTable6(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table6(c, s)
+		b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-16p")
+	}
+}
+
+// BenchmarkLocalityMeasure regenerates the Section 5.3.3 locality
+// computation for both circuits.
+func BenchmarkLocalityMeasure(b *testing.B) {
+	circuits := []*circuit.Circuit{experiments.BnrE(), experiments.MDC()}
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Locality(circuits, s)
+		for _, r := range rows {
+			if r.Method == "ThresholdCost = inf." {
+				b.ReportMetric(r.Measure, "hops-"+r.Circuit)
+			}
+		}
+	}
+}
+
+// BenchmarkComparison regenerates the Section 5.2 cross-paradigm traffic
+// and quality comparison.
+func BenchmarkComparison(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Comparison(c, s)
+		b.ReportMetric(rows[0].MBytes/rows[1].MBytes, "SM-over-sender")
+		b.ReportMetric(rows[1].MBytes/rows[2].MBytes, "sender-over-receiver")
+	}
+}
+
+func reportBest(b *testing.B, rows []experiments.MPRow) {
+	b.Helper()
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.CktHt < best.CktHt {
+			best = r
+		}
+	}
+	b.ReportMetric(float64(best.CktHt), "best-ckt-ht")
+	b.ReportMetric(best.MBytes, "best-row-MB")
+}
+
+// --- micro-benchmarks of the primitives ----------------------------------
+
+// BenchmarkRouteWire measures single-wire route evaluation on a loaded
+// cost array.
+func BenchmarkRouteWire(b *testing.B) {
+	c := experiments.BnrE()
+	res, arr := route.Sequential(c, route.Params{Iterations: 1})
+	_ = res
+	view := route.ArrayView{A: arr}
+	w := &c.Wires[17]
+	params := route.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route.RouteWire(view, w, params)
+	}
+}
+
+// BenchmarkSequentialIteration measures one full sequential routing pass.
+func BenchmarkSequentialIteration(b *testing.B) {
+	c := experiments.BnrE()
+	params := route.Params{Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route.Sequential(c, params)
+	}
+}
+
+// BenchmarkMeshSend measures DES packet transport across the mesh.
+func BenchmarkMeshSend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		n, err := mesh.New(k, 4, 4, mesh.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Spawn("recv", func(p *sim.Process) {
+			for j := 0; j < 100; j++ {
+				n.Inbox(15).Recv(p)
+			}
+		})
+		k.Spawn("send", func(p *sim.Process) {
+			for j := 0; j < 100; j++ {
+				n.Send(p, 0, 15, nil, 64)
+			}
+		})
+		k.Run()
+	}
+}
+
+// BenchmarkMsgCodec measures update packet encode+decode round trips.
+func BenchmarkMsgCodec(b *testing.B) {
+	vals := make([]int32, 200)
+	for i := range vals {
+		vals[i] = int32(i % 7)
+	}
+	m := &msg.Message{Kind: msg.KindSendLocData, Region: geom.R(0, 0, 49, 3), Vals: vals}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := msg.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheReplay measures coherence simulation throughput on a real
+// trace.
+func BenchmarkCacheReplay(b *testing.B) {
+	c := circuit.MustGenerate(circuit.GenParams{
+		Name: "bench", Channels: 8, Grids: 96, Wires: 90, MeanSpan: 12, Seed: 3,
+	})
+	cfg := sm.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Router.Iterations = 1
+	_, tr, err := sm.RunTraced(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Replay(tr, 4, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "refs")
+}
+
+// BenchmarkAssignment measures the static wire assignment phase.
+func BenchmarkAssignment(b *testing.B) {
+	c := experiments.BnrE()
+	part, err := geom.NewPartition(c.Grid, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.AssignThreshold(c, part, 1000)
+	}
+}
+
+// BenchmarkMPRunSmall measures a complete small message passing
+// simulation end to end.
+func BenchmarkMPRunSmall(b *testing.B) {
+	c := circuit.MustGenerate(circuit.GenParams{
+		Name: "bench", Channels: 8, Grids: 96, Wires: 90, MeanSpan: 12, Seed: 3,
+	})
+	part, err := geom.NewPartition(c.Grid, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asn := assign.AssignThreshold(c, part, 1000)
+	cfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+	cfg.Procs = 4
+	cfg.Router.Iterations = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mp.Run(c, asn, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketStructures regenerates the Section 4.3.1 packet
+// structure ablation.
+func BenchmarkPacketStructures(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PacketStructures(c, s)
+		b.ReportMetric(rows[2].MBytes/rows[0].MBytes, "whole-region-over-bbox")
+	}
+}
+
+// BenchmarkWireDistribution regenerates the Section 4.2 wire distribution
+// ablation.
+func BenchmarkWireDistribution(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.WireDistribution(c, s)
+		b.ReportMetric(float64(rows[1].CktHt)/float64(rows[0].CktHt), "dynamic-quality-ratio")
+	}
+}
+
+// BenchmarkCostArrayDistribution regenerates the Section 4.1 strict
+// ownership ablation.
+func BenchmarkCostArrayDistribution(b *testing.B) {
+	c := experiments.BnrE()
+	s := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.CostArrayDistribution(c, s)
+		b.ReportMetric(float64(rows[1].Packets)/float64(rows[0].Packets), "strict-packet-ratio")
+	}
+}
+
+// BenchmarkMPRunLive measures the goroutine-and-channel runtime end to
+// end on the full bnrE-like circuit.
+func BenchmarkMPRunLive(b *testing.B) {
+	c := experiments.BnrE()
+	part, err := geom.NewPartition(c.Grid, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asn := assign.AssignThreshold(c, part, 1000)
+	cfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mp.RunLive(c, asn, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMLive measures the atomic shared memory runtime end to end.
+func BenchmarkSMLive(b *testing.B) {
+	c := experiments.BnrE()
+	cfg := sm.DefaultConfig()
+	cfg.Procs = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.RunLive(c, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

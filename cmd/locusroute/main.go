@@ -1,0 +1,89 @@
+// Command locusroute routes a standard cell circuit with the sequential
+// reference router or the shared memory parallel router and reports the
+// quality measures.
+//
+// Usage:
+//
+//	locusroute [-circuit file | -bench bnrE|MDC] [-procs N] [-iters N] [-mode seq|live]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/report"
+	"locusroute/internal/route"
+	"locusroute/internal/sm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("locusroute: ")
+	var (
+		circuitFile = flag.String("circuit", "", "circuit file to route (text format)")
+		bench       = flag.String("bench", "bnrE", "builtin benchmark when -circuit is empty: bnrE or MDC")
+		seed        = flag.Int64("seed", 1, "seed for the builtin benchmark generator")
+		procs       = flag.Int("procs", 1, "processes for -mode live")
+		iters       = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
+		mode        = flag.String("mode", "seq", "seq (sequential reference) or live (goroutine shared memory)")
+		heatmap     = flag.Bool("heatmap", false, "render the final cost array as ASCII art (seq mode)")
+		showReport  = flag.Bool("report", false, "print the per-channel congestion analysis (seq mode)")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitFile, *bench, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := route.DefaultParams()
+	params.Iterations = *iters
+
+	fmt.Printf("circuit %s: %d wires, %d channels x %d grids\n",
+		c.Name, len(c.Wires), c.Grid.Channels, c.Grid.Grids)
+
+	switch *mode {
+	case "seq":
+		res, arr := route.Sequential(c, params)
+		fmt.Printf("sequential: circuit height %d, occupancy %d (%d wire routings, %d cells examined)\n",
+			res.CircuitHeight, res.Occupancy, res.WiresRouted, res.CellsExamined)
+		if *heatmap {
+			fmt.Printf("\ncost array congestion (rows = channels):\n%s", arr.Heatmap(100))
+		}
+		if *showReport {
+			fmt.Printf("\n%s", report.Analyze(arr, 10))
+		}
+	case "live":
+		cfg := sm.DefaultConfig()
+		cfg.Procs = *procs
+		cfg.Router = params
+		res, err := sm.RunLive(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shared memory (%d goroutines): circuit height %d, occupancy %d\n",
+			*procs, res.CircuitHeight, res.Occupancy)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func loadCircuit(file, bench string, seed int64) (*circuit.Circuit, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.Read(f)
+	}
+	switch bench {
+	case "bnrE":
+		return circuit.Generate(circuit.BnrELike(seed))
+	case "MDC":
+		return circuit.Generate(circuit.MDCLike(seed))
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (want bnrE or MDC)", bench)
+}

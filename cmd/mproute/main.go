@@ -1,0 +1,139 @@
+// Command mproute runs the message passing LocusRoute on the simulated
+// mesh with a configurable update strategy and reports quality, simulated
+// execution time, and network traffic (total and per packet kind).
+//
+// Usage:
+//
+//	mproute [-bench bnrE|MDC] [-procs 16] [-iters N]
+//	        [-sld N] [-srd N] [-rld N] [-rrd N] [-blocking]
+//	        [-assign rr|threshold] [-threshold 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/mp"
+	"locusroute/internal/msg"
+	"locusroute/internal/route"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mproute: ")
+	var (
+		bench     = flag.String("bench", "bnrE", "builtin benchmark: bnrE or MDC")
+		seed      = flag.Int64("seed", 1, "benchmark generator seed")
+		procs     = flag.Int("procs", 16, "number of simulated processors")
+		iters     = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
+		sld       = flag.Int("sld", 0, "wires between SendLocData broadcasts (0 = off)")
+		srd       = flag.Int("srd", 0, "wires between SendRmtData pushes (0 = off)")
+		rld       = flag.Int("rld", 0, "ReqRmtData packets before a ReqLocData pull (0 = off)")
+		rrd       = flag.Int("rrd", 0, "region touches before a ReqRmtData request (0 = off)")
+		blocking  = flag.Bool("blocking", false, "block for outstanding ReqRmtData responses")
+		asnMethod = flag.String("assign", "threshold", "wire assignment: rr or threshold")
+		threshold = flag.Int("threshold", 1000, "ThresholdCost for -assign threshold (-1 = infinity)")
+		packets   = flag.String("packets", "bbox", "update packet structure: bbox, wire or region")
+		dynamic   = flag.Bool("dynamic", false, "dynamic wire assignment over the network (ablation)")
+		strict    = flag.Bool("strict", false, "strict region ownership, no replicated views (ablation)")
+		live      = flag.Bool("live", false, "run on real goroutines and channels instead of the DES")
+	)
+	flag.Parse()
+
+	var c *circuit.Circuit
+	var err error
+	switch *bench {
+	case "bnrE":
+		c, err = circuit.Generate(circuit.BnrELike(*seed))
+	case "MDC":
+		c, err = circuit.Generate(circuit.MDCLike(*seed))
+	default:
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	px, py := geom.SquarestFactors(*procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var asn *assign.Assignment
+	switch *asnMethod {
+	case "rr":
+		asn = assign.AssignRoundRobin(c, part)
+	case "threshold":
+		th := *threshold
+		if th < 0 {
+			th = assign.ThresholdInfinity
+		}
+		asn = assign.AssignThreshold(c, part, th)
+	default:
+		log.Fatalf("unknown assignment %q", *asnMethod)
+	}
+
+	st := mp.Strategy{
+		SendLocData: *sld, SendRmtData: *srd,
+		ReqLocData: *rld, ReqRmtData: *rrd, Blocking: *blocking,
+	}
+	if *sld == 0 && *srd == 0 && *rrd == 0 && !*strict {
+		// Default to the paper's standard sender initiated schedule.
+		st = mp.SenderInitiated(2, 10)
+	}
+	cfg := mp.DefaultConfig(st)
+	cfg.Procs = *procs
+	cfg.Router.Iterations = *iters
+	cfg.DynamicWires = *dynamic
+	cfg.StrictOwnership = *strict
+	switch *packets {
+	case "bbox":
+		cfg.Packets = mp.StructureBbox
+	case "wire":
+		cfg.Packets = mp.StructureWireBased
+	case "region":
+		cfg.Packets = mp.StructureWholeRegion
+	default:
+		log.Fatalf("unknown packet structure %q", *packets)
+	}
+	if *strict {
+		// Strict ownership requires the pure-locality assignment.
+		asn = assign.AssignThreshold(c, part, assign.ThresholdInfinity)
+	}
+
+	run := mp.Run
+	if *live {
+		run = mp.RunLive
+	}
+	res, err := run(c, asn, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("circuit %s on %d processors (%dx%d mesh), strategy %v\n",
+		c.Name, *procs, px, py, st)
+	fmt.Printf("locality measure: %.2f hops, load imbalance %.2fx\n",
+		assign.LocalityMeasure(c, part, asn), asn.Imbalance())
+	fmt.Printf("circuit height:   %d\n", res.CircuitHeight)
+	fmt.Printf("occupancy factor: %d\n", res.Occupancy)
+	fmt.Printf("execution time:   %v\n", res.Time)
+	fmt.Printf("update traffic:   %.3f MBytes (%d packets, contention delay %v)\n",
+		res.MBytes(), res.Net.Packets, res.Net.ContentionDelay)
+	fmt.Printf("busy time split:  %.0f%% routing, %.0f%% update machinery\n",
+		(1-res.MessageFraction())*100, res.MessageFraction()*100)
+
+	kinds := make([]msg.Kind, 0, len(res.BytesByKind))
+	for k := range res.BytesByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-12s %8d bytes in %d packets\n",
+			k, res.BytesByKind[k], res.PacketsByKind[k])
+	}
+}

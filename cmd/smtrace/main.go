@@ -1,0 +1,163 @@
+// Command smtrace runs the traced shared memory LocusRoute (the Tango
+// methodology), replays the shared reference trace through the Write Back
+// with Invalidate coherence simulator, and prints the bus traffic
+// breakdown per cache line size.
+//
+// Usage:
+//
+//	smtrace [-bench bnrE|MDC] [-procs 16] [-iters N] [-lines 4,8,16,32]
+//	        [-assign dynamic|rr|threshold] [-threshold 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/cache"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/route"
+	"locusroute/internal/sm"
+	"locusroute/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smtrace: ")
+	var (
+		bench     = flag.String("bench", "bnrE", "builtin benchmark: bnrE or MDC")
+		seed      = flag.Int64("seed", 1, "benchmark generator seed")
+		procs     = flag.Int("procs", 16, "number of logical processes")
+		iters     = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
+		lines     = flag.String("lines", "4,8,16,32", "comma-separated cache line sizes (bytes)")
+		asnMethod = flag.String("assign", "dynamic", "wire distribution: dynamic, rr or threshold")
+		threshold = flag.Int("threshold", 1000, "ThresholdCost for -assign threshold (-1 = infinity)")
+		dump      = flag.String("dump", "", "write the shared reference trace to this file and exit")
+		replay    = flag.String("replay", "", "skip tracing; replay this trace file instead")
+		capLines  = flag.Int("cache-lines", 0, "finite cache capacity in lines (0 = infinite, the paper's assumption)")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		replayFile(*replay, *lines, *capLines)
+		return
+	}
+
+	var c *circuit.Circuit
+	var err error
+	switch *bench {
+	case "bnrE":
+		c, err = circuit.Generate(circuit.BnrELike(*seed))
+	case "MDC":
+		c, err = circuit.Generate(circuit.MDCLike(*seed))
+	default:
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sm.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.Router.Iterations = *iters
+	switch *asnMethod {
+	case "dynamic":
+		cfg.Order = sm.Dynamic
+	case "rr", "threshold":
+		px, py := geom.SquarestFactors(*procs)
+		part, err := geom.NewPartition(c.Grid, px, py)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Order = sm.Static
+		if *asnMethod == "rr" {
+			cfg.Assignment = assign.AssignRoundRobin(c, part)
+		} else {
+			th := *threshold
+			if th < 0 {
+				th = assign.ThresholdInfinity
+			}
+			cfg.Assignment = assign.AssignThreshold(c, part, th)
+		}
+	default:
+		log.Fatalf("unknown assignment %q", *asnMethod)
+	}
+
+	res, tr, err := sm.RunTraced(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteFile(f, tr, *procs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d references from %d processes to %s\n", tr.Len(), *procs, *dump)
+		return
+	}
+	fmt.Printf("circuit %s, %d processes, %s distribution\n", c.Name, *procs, cfg.Order)
+	fmt.Printf("circuit height:   %d\n", res.CircuitHeight)
+	fmt.Printf("occupancy factor: %d\n", res.Occupancy)
+	fmt.Printf("virtual makespan: %v\n", res.Span)
+	fmt.Printf("shared refs:      %d reads, %d writes\n\n", res.Reads, res.Writes)
+
+	replayTrace(tr, *procs, *lines, *capLines)
+}
+
+// replayTrace runs the coherence simulation at each line size and prints
+// the traffic breakdown.
+func replayTrace(tr *trace.Trace, procs int, lines string, capLines int) {
+	for _, field := range strings.Split(lines, ",") {
+		ls, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			log.Fatalf("bad line size %q: %v", field, err)
+		}
+		if capLines > 0 {
+			t, err := cache.ReplayFinite(tr, procs, ls, capLines)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("line %2dB (cache %d lines): %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB)\n",
+				ls, capLines, t.MBytes(), float64(t.FillBytes)/1e6,
+				float64(t.WriteWordBytes)/1e6, float64(t.WritebackBytes)/1e6)
+			continue
+		}
+		simr, err := cache.New(procs, ls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ref := range tr.Refs {
+			simr.Access(ref)
+		}
+		t := simr.Traffic()
+		fmt.Printf("line %2dB: %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB; %d invalidations; %.0f%% write-caused)\n",
+			ls, t.MBytes(), float64(t.FillBytes)/1e6, float64(t.WriteWordBytes)/1e6,
+			float64(t.WritebackBytes)/1e6, t.Invalidations, simr.AttributedWriteFraction()*100)
+	}
+}
+
+// replayFile loads a dumped trace and replays it.
+func replayFile(path, lines string, capLines int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, procs, err := trace.ReadFile(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d references from %d processes (%s)\n", tr.Len(), procs, path)
+	replayTrace(tr, procs, lines, capLines)
+}

@@ -1,0 +1,13 @@
+// Package locusroute reproduces "Tradeoffs in Message Passing and Shared
+// Memory Implementations of a Standard Cell Router" (Martonosi & Gupta,
+// ICPP 1989) in Go: the LocusRoute standard cell router, its message
+// passing implementation on a simulated k-ary n-cube multicomputer, its
+// shared memory implementation with Tango-style tracing and a
+// write-back-invalidate coherence simulator, and a harness regenerating
+// every table of the paper's evaluation.
+//
+// Start with README.md; the system inventory is in DESIGN.md and the
+// paper-vs-measured results in EXPERIMENTS.md. The top-level test files
+// hold the cross-paradigm integration tests and the per-table benchmarks
+// (go test -bench . -benchtime 1x).
+package locusroute

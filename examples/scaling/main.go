@@ -1,0 +1,68 @@
+// Scaling: grow the processor count and watch the paper's Section 5.4
+// effects — speedup, quality degradation from parallel staleness, and the
+// non-monotone network traffic curve (the shape of the paper's Table 6).
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/metrics"
+	"locusroute/internal/mp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := circuit.Generate(circuit.BnrELike(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("processor scaling on %s (sender initiated SRD=2 SLD=10)", c.Name),
+		"Procs", "Mesh", "Ckt Ht.", "Occup.", "MBytes", "Time (s)", "Speedup")
+	// Speedup uses the paper's definition: relative to the two-processor
+	// run, multiplied by two (a one-processor "message passing" run has
+	// no distribution and its locality assignment is degenerate).
+	var base float64
+	for _, procs := range []int{1, 2, 4, 9, 16} {
+		px, py := geom.SquarestFactors(procs)
+		part, err := geom.NewPartition(c.Grid, px, py)
+		if err != nil {
+			log.Fatal(err)
+		}
+		asn := assign.AssignThreshold(c, part, 1000)
+		cfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+		cfg.Procs = procs
+		res, err := mp.Run(c, asn, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := res.Time.Seconds()
+		if procs == 2 {
+			base = secs
+		}
+		speedup := "-"
+		if base > 0 {
+			speedup = metrics.Ratio(base / secs * 2)
+		}
+		table.Add(
+			fmt.Sprintf("%d", procs),
+			fmt.Sprintf("%dx%d", px, py),
+			fmt.Sprintf("%d", res.CircuitHeight),
+			fmt.Sprintf("%d", res.Occupancy),
+			fmt.Sprintf("%.3f", res.MBytes()),
+			metrics.Seconds(secs),
+			speedup)
+	}
+	fmt.Println(table)
+	fmt.Println("quality degrades with processors because more wires are routed against")
+	fmt.Println("stale views; traffic peaks at small counts then falls as owned regions")
+	fmt.Println("shrink and bounding-box updates carry fewer wasted bytes (Section 5.4).")
+}

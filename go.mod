@@ -1,0 +1,3 @@
+module locusroute
+
+go 1.22

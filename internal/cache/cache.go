@@ -1,0 +1,196 @@
+// Package cache simulates a bus-based Write Back with Invalidate cache
+// coherence protocol (Archibald & Baer style) over a shared reference
+// trace, and accounts the bus traffic in bytes — the shared memory side of
+// the paper's traffic comparison (Section 5.2).
+//
+// Per the paper, caches are infinite (traffic is purely coherence and
+// cold-miss traffic, not capacity misses) and traffic has three parts:
+//
+//  1. a processor's initial access to a location misses and brings the
+//     line into its cache (a line fill);
+//  2. the first write to a clean line causes a word write on the shared
+//     bus, and every other cache holding the line invalidates its copy;
+//  3. an access to a line that was invalidated refetches it from memory
+//     (another line fill), with a dirty owner first writing the line
+//     back.
+package cache
+
+import (
+	"fmt"
+
+	"locusroute/internal/trace"
+)
+
+// WordSize is the width in bytes of the bus word write caused by the
+// first write to a clean line.
+const WordSize = 4
+
+// lineState is a per-(processor, line) coherence state.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared            // present and clean
+	dirty             // present and modified (exclusive)
+)
+
+// Traffic is the bus-byte accounting of a simulation.
+type Traffic struct {
+	FillBytes      int64 // line fills (cold misses and refetches)
+	WriteWordBytes int64 // word writes announcing a write to a clean line
+	WritebackBytes int64 // dirty lines written back when another cache needs them
+	Fills          int64
+	WriteWords     int64
+	Writebacks     int64
+	Invalidations  int64 // copies invalidated in other caches
+	Refs           int64
+}
+
+// Bytes returns total bus traffic in bytes.
+func (t Traffic) Bytes() int64 { return t.FillBytes + t.WriteWordBytes + t.WritebackBytes }
+
+// MBytes returns total bus traffic in megabytes (10^6 bytes, as the
+// paper's tables report).
+func (t Traffic) MBytes() float64 { return float64(t.Bytes()) / 1e6 }
+
+// WriteFraction returns the fraction of bytes caused by writes (word
+// writes, invalidation-induced refetches are not separable here, so this
+// counts word writes and writebacks). The paper reports over 80% of
+// shared memory bytes are caused by writes when refetches are attributed
+// to the invalidating writes; see Simulator.AttributedWriteFraction for
+// that attribution.
+func (t Traffic) WriteFraction() float64 {
+	b := t.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(t.WriteWordBytes+t.WritebackBytes) / float64(b)
+}
+
+// Simulator replays a trace against per-processor infinite caches.
+type Simulator struct {
+	lineSize int
+	procs    int
+	state    []map[uint64]lineState // per processor: line -> state
+	// everIn[line] marks lines some cache has held, so refetch fills can
+	// be distinguished from cold fills.
+	coldDone map[uint64]map[int]bool
+	// invalidatedBy attributes a later refetch to the write that killed
+	// the line, for the writes-cause-most-traffic analysis.
+	refetchBytes int64
+	traffic      Traffic
+}
+
+// New builds a simulator for procs processors with the given cache line
+// size in bytes (a positive multiple of WordSize).
+func New(procs, lineSize int) (*Simulator, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("cache: processor count %d must be positive", procs)
+	}
+	if lineSize <= 0 || lineSize%WordSize != 0 {
+		return nil, fmt.Errorf("cache: line size %d must be a positive multiple of %d",
+			lineSize, WordSize)
+	}
+	s := &Simulator{
+		lineSize: lineSize,
+		procs:    procs,
+		state:    make([]map[uint64]lineState, procs),
+		coldDone: make(map[uint64]map[int]bool),
+	}
+	for i := range s.state {
+		s.state[i] = make(map[uint64]lineState)
+	}
+	return s, nil
+}
+
+// LineSize returns the configured line size in bytes.
+func (s *Simulator) LineSize() int { return s.lineSize }
+
+// Traffic returns the accumulated accounting.
+func (s *Simulator) Traffic() Traffic { return s.traffic }
+
+// AttributedRefetchBytes returns the fill bytes attributable to
+// invalidations (refetches) rather than cold misses.
+func (s *Simulator) AttributedRefetchBytes() int64 { return s.refetchBytes }
+
+// AttributedWriteFraction returns the fraction of all bus bytes caused by
+// writes when invalidation-induced refetches are charged to the writes
+// that caused them — the paper's "over 80% of the bytes transferred...
+// are caused by writes" statistic.
+func (s *Simulator) AttributedWriteFraction() float64 {
+	b := s.traffic.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(s.traffic.WriteWordBytes+s.traffic.WritebackBytes+s.refetchBytes) / float64(b)
+}
+
+// Access replays one reference.
+func (s *Simulator) Access(r trace.Ref) {
+	if r.Proc < 0 || r.Proc >= s.procs {
+		panic(fmt.Sprintf("cache: reference from processor %d of %d", r.Proc, s.procs))
+	}
+	s.traffic.Refs++
+	line := r.Addr / uint64(s.lineSize)
+	st := s.state[r.Proc][line]
+
+	if st == invalid {
+		// Miss: a dirty owner must write the line back first.
+		s.writebackIfDirty(line, r.Proc)
+		s.fill(line, r.Proc)
+		st = shared
+	}
+
+	if r.Op == trace.Write && st != dirty {
+		// First write to a clean line: word write on the bus, every
+		// other copy invalidates.
+		s.traffic.WriteWords++
+		s.traffic.WriteWordBytes += WordSize
+		for p := 0; p < s.procs; p++ {
+			if p != r.Proc && s.state[p][line] != invalid {
+				s.state[p][line] = invalid
+				s.traffic.Invalidations++
+			}
+		}
+		st = dirty
+	}
+	s.state[r.Proc][line] = st
+}
+
+func (s *Simulator) writebackIfDirty(line uint64, except int) {
+	for p := 0; p < s.procs; p++ {
+		if p != except && s.state[p][line] == dirty {
+			s.state[p][line] = shared
+			s.traffic.Writebacks++
+			s.traffic.WritebackBytes += int64(s.lineSize)
+		}
+	}
+}
+
+func (s *Simulator) fill(line uint64, proc int) {
+	s.traffic.Fills++
+	s.traffic.FillBytes += int64(s.lineSize)
+	had := s.coldDone[line]
+	if had == nil {
+		had = make(map[int]bool)
+		s.coldDone[line] = had
+	}
+	if had[proc] {
+		// This processor held the line before: the fill is a refetch
+		// caused by an invalidation.
+		s.refetchBytes += int64(s.lineSize)
+	}
+	had[proc] = true
+}
+
+// Replay runs an entire (time-ordered) trace and returns the traffic.
+func Replay(t *trace.Trace, procs, lineSize int) (Traffic, error) {
+	s, err := New(procs, lineSize)
+	if err != nil {
+		return Traffic{}, err
+	}
+	for _, r := range t.Refs {
+		s.Access(r)
+	}
+	return s.Traffic(), nil
+}

@@ -1,0 +1,162 @@
+// Package circuit models standard cell circuits for the router: a routing
+// grid, and wires (nets) with pins at grid locations.
+//
+// The two benchmark circuits of the paper — bnrE (420 wires, 10 channels x
+// 341 grids, Bell-Northern Research) and MDC (573 wires, 12 channels x 386
+// grids, University of Toronto MDC) — were never published, so this package
+// provides seeded synthetic generators matched to their published
+// statistics (see Generate and the BnrELike/MDCLike presets). The
+// experiments depend only on those statistics, not on the exact netlists.
+package circuit
+
+import (
+	"fmt"
+
+	"locusroute/internal/geom"
+)
+
+// Pin is a wire terminal at a grid location.
+type Pin = geom.Point
+
+// Wire is a net to be routed: an ordered list of pins. The router
+// decomposes multi-pin wires into two-pin segments between consecutive
+// pins sorted by X, as LocusRoute does.
+type Wire struct {
+	ID   int
+	Pins []Pin
+}
+
+// Bounds returns the bounding box of the wire's pins.
+func (w *Wire) Bounds() geom.Rect {
+	var bb geom.Rect
+	for _, p := range w.Pins {
+		bb = bb.AddPoint(p)
+	}
+	return bb
+}
+
+// Cost is the wire-length cost measure the static assignment phase uses
+// (Section 4.2): a quick length estimate — the Manhattan length of the
+// polyline through the pins in netlist order. For two-pin wires this is
+// the bounding-box half-perimeter; long high-fanout wires can exceed
+// 1000, which is what distinguishes ThresholdCost = 1000 from
+// ThresholdCost = infinity in the locality experiments. Wires with Cost
+// below ThresholdCost are assigned by locality, longer wires by load
+// balancing.
+func (w *Wire) Cost() int {
+	cost := 0
+	for i := 0; i+1 < len(w.Pins); i++ {
+		cost += w.Pins[i].Manhattan(w.Pins[i+1])
+	}
+	return cost
+}
+
+// LeftmostPin returns the pin with the smallest X (ties broken by smallest
+// Y). The paper assigns local wires to the owner of this pin.
+func (w *Wire) LeftmostPin() Pin {
+	best := w.Pins[0]
+	for _, p := range w.Pins[1:] {
+		if p.X < best.X || (p.X == best.X && p.Y < best.Y) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Validate checks the wire is routable on grid g.
+func (w *Wire) Validate(g geom.Grid) error {
+	if len(w.Pins) < 2 {
+		return fmt.Errorf("circuit: wire %d has %d pins, need at least 2", w.ID, len(w.Pins))
+	}
+	for _, p := range w.Pins {
+		if !p.In(g.Bounds()) {
+			return fmt.Errorf("circuit: wire %d pin %v outside grid %dx%d",
+				w.ID, p, g.Grids, g.Channels)
+		}
+	}
+	return nil
+}
+
+// Circuit is a standard cell circuit: a routing grid and its wires.
+type Circuit struct {
+	Name  string
+	Grid  geom.Grid
+	Wires []Wire
+}
+
+// Validate checks every wire in the circuit.
+func (c *Circuit) Validate() error {
+	if !c.Grid.Valid() {
+		return fmt.Errorf("circuit %q: invalid grid %+v", c.Name, c.Grid)
+	}
+	seen := make(map[int]bool, len(c.Wires))
+	for i := range c.Wires {
+		w := &c.Wires[i]
+		if err := w.Validate(c.Grid); err != nil {
+			return err
+		}
+		if seen[w.ID] {
+			return fmt.Errorf("circuit %q: duplicate wire id %d", c.Name, w.ID)
+		}
+		seen[w.ID] = true
+	}
+	return nil
+}
+
+// Stats summarises a circuit for reporting and generator verification.
+type Stats struct {
+	Wires        int
+	Pins         int
+	MeanCost     float64 // mean wire half-perimeter cost
+	MaxCost      int
+	MeanSpanX    float64 // mean horizontal span
+	MeanSpanY    float64 // mean channel span
+	LongWires    int     // wires with Cost >= LongWireCost
+	MultiPin     int     // wires with more than 2 pins
+	GridCells    int
+	WiresPerCell float64
+}
+
+// LongWireCost is the cost at or above which a wire counts as "long" in
+// Stats (a reporting convention, not an algorithm parameter).
+const LongWireCost = 60
+
+// ComputeStats summarises the circuit.
+func ComputeStats(c *Circuit) Stats {
+	s := Stats{Wires: len(c.Wires), GridCells: c.Grid.Cells()}
+	var costSum, spanXSum, spanYSum int
+	for i := range c.Wires {
+		w := &c.Wires[i]
+		s.Pins += len(w.Pins)
+		cost := w.Cost()
+		costSum += cost
+		if cost > s.MaxCost {
+			s.MaxCost = cost
+		}
+		if cost >= LongWireCost {
+			s.LongWires++
+		}
+		if len(w.Pins) > 2 {
+			s.MultiPin++
+		}
+		bb := w.Bounds()
+		spanXSum += bb.Dx() - 1
+		spanYSum += bb.Dy() - 1
+	}
+	if s.Wires > 0 {
+		s.MeanCost = float64(costSum) / float64(s.Wires)
+		s.MeanSpanX = float64(spanXSum) / float64(s.Wires)
+		s.MeanSpanY = float64(spanYSum) / float64(s.Wires)
+	}
+	if s.GridCells > 0 {
+		s.WiresPerCell = float64(s.Wires) / float64(s.GridCells)
+	}
+	return s
+}
+
+// String renders the stats in a human-readable one-per-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"wires=%d pins=%d meanCost=%.1f maxCost=%d meanSpanX=%.1f meanSpanY=%.1f long=%d multiPin=%d",
+		s.Wires, s.Pins, s.MeanCost, s.MaxCost, s.MeanSpanX, s.MeanSpanY, s.LongWires, s.MultiPin)
+}

@@ -1,0 +1,249 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locusroute/internal/geom"
+)
+
+// GenParams configures the synthetic standard cell circuit generator.
+//
+// The generator models the empirical structure of standard cell netlists
+// that the paper's experiments depend on:
+//
+//   - most wires are short and local (a geometric horizontal span),
+//   - a minority of wires are long, stretching across many owned regions
+//     (these are what limit exploitable locality, Section 5.3.3),
+//   - wires span few channels vertically (cells sit in rows),
+//   - pin positions cluster around a wire's own neighbourhood, and
+//   - wire "centres" are spread over the whole area with mild clustering,
+//     so locality-based assignment has load imbalance to fight
+//     (Section 4.2).
+type GenParams struct {
+	Name     string
+	Channels int
+	Grids    int
+	Wires    int
+
+	// MeanSpan is the mean horizontal span of short wires, in grid
+	// columns (geometric distribution).
+	MeanSpan float64
+	// LongFrac is the fraction of wires drawn as long wires whose span is
+	// uniform over [Grids/4, Grids-1].
+	LongFrac float64
+	// MaxChanSpan bounds the vertical (channel) span of a wire.
+	MaxChanSpan int
+	// PinDist gives the probability of 2, 3, 4, 5 pins; it is normalised
+	// internally. A zero value defaults to {0.60, 0.25, 0.10, 0.05}.
+	PinDist [4]float64
+	// Cluster controls spatial clustering of wire centres: 0 is uniform;
+	// larger values concentrate wires around ClusterCount hot spots,
+	// creating the load imbalance that pure locality assignment suffers.
+	Cluster      float64
+	ClusterCount int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (p GenParams) withDefaults() GenParams {
+	if p.PinDist == ([4]float64{}) {
+		p.PinDist = [4]float64{0.60, 0.25, 0.10, 0.05}
+	}
+	if p.MeanSpan <= 0 {
+		p.MeanSpan = 14
+	}
+	if p.MaxChanSpan <= 0 {
+		p.MaxChanSpan = 3
+	}
+	if p.ClusterCount <= 0 {
+		p.ClusterCount = 5
+	}
+	return p
+}
+
+// BnrELike returns generator parameters matched to the published bnrE
+// statistics: 420 wires on a 10 channel x 341 grid circuit. bnrE has the
+// poorer locality of the two benchmarks (locality measure ~1.21 at 16
+// processors), so it gets a slightly longer wire mix and stronger
+// clustering.
+func BnrELike(seed int64) GenParams {
+	return GenParams{
+		Name:         "bnrE-like",
+		Channels:     10,
+		Grids:        341,
+		Wires:        420,
+		MeanSpan:     16,
+		LongFrac:     0.12,
+		MaxChanSpan:  4,
+		Cluster:      0.5,
+		ClusterCount: 4,
+		Seed:         seed,
+	}
+}
+
+// MDCLike returns generator parameters matched to the published MDC
+// statistics: 573 wires on a 12 channel x 386 grid circuit, with better
+// locality (~0.91) than bnrE: shorter wires, weaker clustering.
+func MDCLike(seed int64) GenParams {
+	return GenParams{
+		Name:         "MDC-like",
+		Channels:     12,
+		Grids:        386,
+		Wires:        573,
+		MeanSpan:     12,
+		LongFrac:     0.08,
+		MaxChanSpan:  3,
+		Cluster:      0.35,
+		ClusterCount: 6,
+		Seed:         seed,
+	}
+}
+
+// Generate builds a synthetic circuit from params. The same params always
+// produce the same circuit.
+func Generate(params GenParams) (*Circuit, error) {
+	p := params.withDefaults()
+	g := geom.Grid{Channels: p.Channels, Grids: p.Grids}
+	if !g.Valid() {
+		return nil, fmt.Errorf("circuit: invalid dimensions %dx%d", p.Channels, p.Grids)
+	}
+	if p.Wires <= 0 {
+		return nil, fmt.Errorf("circuit: wire count %d must be positive", p.Wires)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Hot spots for clustering.
+	hot := make([]geom.Point, p.ClusterCount)
+	for i := range hot {
+		hot[i] = geom.Pt(rng.Intn(g.Grids), rng.Intn(g.Channels))
+	}
+
+	c := &Circuit{Name: p.Name, Grid: g, Wires: make([]Wire, 0, p.Wires)}
+	for id := 0; id < p.Wires; id++ {
+		w := Wire{ID: id, Pins: genPins(rng, p, g, hot)}
+		c.Wires = append(c.Wires, w)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: generator produced invalid circuit: %w", err)
+	}
+	return c, nil
+}
+
+// MustGenerate is Generate for known-good presets; it panics on error.
+func MustGenerate(params GenParams) *Circuit {
+	c, err := Generate(params)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func genPins(rng *rand.Rand, p GenParams, g geom.Grid, hot []geom.Point) []Pin {
+	// Wire centre: blend of uniform and a hot spot.
+	var cx, cy int
+	if rng.Float64() < p.Cluster {
+		h := hot[rng.Intn(len(hot))]
+		cx = h.X + int(rng.NormFloat64()*float64(g.Grids)/12)
+		cy = h.Y + int(rng.NormFloat64()*float64(g.Channels)/4)
+	} else {
+		cx = rng.Intn(g.Grids)
+		cy = rng.Intn(g.Channels)
+	}
+	centre := g.Clamp(geom.Pt(cx, cy))
+
+	// Horizontal span: geometric short wires, occasional long wires.
+	var span int
+	long := rng.Float64() < p.LongFrac
+	if long {
+		lo := g.Grids / 4
+		span = lo + rng.Intn(g.Grids-lo)
+	} else {
+		span = 1 + geometric(rng, p.MeanSpan)
+		if span >= g.Grids {
+			span = g.Grids - 1
+		}
+	}
+	chanSpan := rng.Intn(p.MaxChanSpan + 1)
+	if chanSpan >= g.Channels {
+		chanSpan = g.Channels - 1
+	}
+
+	npins := 2 + weightedIndex(rng, p.PinDist[:])
+	if long {
+		// Long nets in real standard cell circuits are high-fanout
+		// (clocks, resets, buses): give them extra scattered pins. Their
+		// netlist-order polyline cost can then exceed 1000, populating
+		// the band between ThresholdCost = 1000 and infinity.
+		npins += 3 + rng.Intn(7)
+	}
+	pins := make([]Pin, 0, npins)
+	x0 := centre.X - span/2
+	y0 := centre.Y - chanSpan/2
+	for i := 0; i < npins; i++ {
+		var px, py int
+		switch i {
+		case 0: // anchor left end
+			px, py = x0, y0
+		case 1: // anchor right end
+			px, py = x0+span, y0+chanSpan
+		default: // interior pins
+			px = x0 + rng.Intn(span+1)
+			py = y0 + rng.Intn(chanSpan+1)
+		}
+		pins = append(pins, g.Clamp(geom.Pt(px, py)))
+	}
+	// Degenerate wires (all pins at one point after clamping) still need
+	// two distinct pins to be routable in a meaningful sense; nudge.
+	if allSame(pins) {
+		q := pins[0]
+		if q.X+1 < g.Grids {
+			q.X++
+		} else {
+			q.X--
+		}
+		pins[len(pins)-1] = q
+	}
+	return pins
+}
+
+func allSame(pins []Pin) bool {
+	for _, p := range pins[1:] {
+		if p != pins[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// geometric draws from a geometric distribution with the given mean.
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 0
+	}
+	p := 1 / mean
+	n := 0
+	for rng.Float64() > p {
+		n++
+		if float64(n) > mean*20 { // hard safety bound
+			break
+		}
+	}
+	return n
+}
+
+// weightedIndex picks an index with the given (unnormalised) weights.
+func weightedIndex(rng *rand.Rand, w []float64) int {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	r := rng.Float64() * total
+	for i, v := range w {
+		r -= v
+		if r < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

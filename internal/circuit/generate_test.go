@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"testing"
+
+	"locusroute/internal/geom"
+)
+
+func TestGenerateBnrELikeMatchesPublishedShape(t *testing.T) {
+	c := MustGenerate(BnrELike(1))
+	if c.Grid != (geom.Grid{Channels: 10, Grids: 341}) {
+		t.Errorf("grid = %+v", c.Grid)
+	}
+	if len(c.Wires) != 420 {
+		t.Errorf("wires = %d, want 420", len(c.Wires))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(c)
+	// Short-wire-dominated distribution with a long tail.
+	if s.MeanCost < 5 || s.MeanCost > 150 {
+		t.Errorf("mean cost %f out of plausible band", s.MeanCost)
+	}
+	if s.LongWires == 0 {
+		t.Errorf("expected some long wires (limits on locality, Section 5.3.3)")
+	}
+	if s.LongWires > len(c.Wires)/2 {
+		t.Errorf("too many long wires: %d", s.LongWires)
+	}
+	if s.MultiPin == 0 {
+		t.Errorf("expected some multi-pin wires")
+	}
+}
+
+func TestGenerateMDCLikeMatchesPublishedShape(t *testing.T) {
+	c := MustGenerate(MDCLike(1))
+	if c.Grid != (geom.Grid{Channels: 12, Grids: 386}) {
+		t.Errorf("grid = %+v", c.Grid)
+	}
+	if len(c.Wires) != 573 {
+		t.Errorf("wires = %d, want 573", len(c.Wires))
+	}
+	// MDC has better locality: shorter mean span than bnrE at same seed.
+	b := MustGenerate(BnrELike(1))
+	sb, sm := ComputeStats(b), ComputeStats(c)
+	if sm.MeanSpanX >= sb.MeanSpanX {
+		t.Errorf("MDC-like mean span %f should be below bnrE-like %f",
+			sm.MeanSpanX, sb.MeanSpanX)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(BnrELike(7))
+	b := MustGenerate(BnrELike(7))
+	if len(a.Wires) != len(b.Wires) {
+		t.Fatalf("wire counts differ")
+	}
+	for i := range a.Wires {
+		if len(a.Wires[i].Pins) != len(b.Wires[i].Pins) {
+			t.Fatalf("wire %d pin counts differ", i)
+		}
+		for j := range a.Wires[i].Pins {
+			if a.Wires[i].Pins[j] != b.Wires[i].Pins[j] {
+				t.Fatalf("wire %d pin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(BnrELike(1))
+	b := MustGenerate(BnrELike(2))
+	same := true
+	for i := range a.Wires {
+		if a.Wires[i].Pins[0] != b.Wires[i].Pins[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds should produce different circuits")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(GenParams{Channels: 0, Grids: 10, Wires: 5}); err == nil {
+		t.Errorf("zero channels must fail")
+	}
+	if _, err := Generate(GenParams{Channels: 4, Grids: 10, Wires: 0}); err == nil {
+		t.Errorf("zero wires must fail")
+	}
+}
+
+func TestGenerateNoDegenerateWires(t *testing.T) {
+	for _, params := range []GenParams{BnrELike(3), MDCLike(3)} {
+		c := MustGenerate(params)
+		for i := range c.Wires {
+			w := &c.Wires[i]
+			if allSame(w.Pins) {
+				t.Errorf("%s wire %d has all-coincident pins", c.Name, w.ID)
+			}
+		}
+	}
+}
+
+func TestGenerateSmallGrid(t *testing.T) {
+	// Tiny circuits for unit tests elsewhere must generate cleanly.
+	c, err := Generate(GenParams{
+		Name: "tiny", Channels: 4, Grids: 16, Wires: 10, MeanSpan: 4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	c := MustGenerate(GenParams{
+		Name: "span", Channels: 6, Grids: 200, Wires: 2000,
+		MeanSpan: 10, LongFrac: 0, MaxChanSpan: 0, Seed: 5,
+	})
+	s := ComputeStats(c)
+	// Mean span should be near MeanSpan (geometric with mean 10, +1).
+	if s.MeanSpanX < 6 || s.MeanSpanX > 15 {
+		t.Errorf("mean span %f not near configured 10", s.MeanSpanX)
+	}
+}

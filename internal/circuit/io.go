@@ -1,0 +1,109 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format is deliberately simple and line-oriented so benchmark
+// circuits can be inspected, diffed and hand-edited:
+//
+//	circuit <name> <channels> <grids>
+//	wire <id> <x1> <y1> <x2> <y2> [...]
+//	...
+//
+// Blank lines and lines starting with '#' are ignored.
+
+// Write serialises the circuit to w in the text format.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	name := c.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	if strings.ContainsAny(name, " \t\n") {
+		return fmt.Errorf("circuit: name %q must not contain whitespace", name)
+	}
+	if _, err := fmt.Fprintf(bw, "circuit %s %d %d\n", name, c.Grid.Channels, c.Grid.Grids); err != nil {
+		return err
+	}
+	for i := range c.Wires {
+		wire := &c.Wires[i]
+		if _, err := fmt.Fprintf(bw, "wire %d", wire.ID); err != nil {
+			return err
+		}
+		for _, p := range wire.Pins {
+			if _, err := fmt.Fprintf(bw, " %d %d", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a circuit from r and validates it.
+func Read(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var c *Circuit
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if c != nil {
+				return nil, fmt.Errorf("circuit: line %d: duplicate circuit header", lineno)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("circuit: line %d: want 'circuit <name> <channels> <grids>'", lineno)
+			}
+			var channels, grids int
+			if _, err := fmt.Sscanf(fields[2]+" "+fields[3], "%d %d", &channels, &grids); err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %v", lineno, err)
+			}
+			c = &Circuit{Name: fields[1]}
+			c.Grid.Channels, c.Grid.Grids = channels, grids
+		case "wire":
+			if c == nil {
+				return nil, fmt.Errorf("circuit: line %d: wire before circuit header", lineno)
+			}
+			if len(fields) < 6 || len(fields)%2 != 0 {
+				return nil, fmt.Errorf("circuit: line %d: want 'wire <id> <x> <y> <x> <y> ...'", lineno)
+			}
+			var w Wire
+			if _, err := fmt.Sscanf(fields[1], "%d", &w.ID); err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad wire id: %v", lineno, err)
+			}
+			for i := 2; i < len(fields); i += 2 {
+				var p Pin
+				if _, err := fmt.Sscanf(fields[i]+" "+fields[i+1], "%d %d", &p.X, &p.Y); err != nil {
+					return nil, fmt.Errorf("circuit: line %d: bad pin: %v", lineno, err)
+				}
+				w.Pins = append(w.Pins, p)
+			}
+			c.Wires = append(c.Wires, w)
+		default:
+			return nil, fmt.Errorf("circuit: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: no circuit header found")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

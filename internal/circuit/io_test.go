@@ -1,0 +1,82 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := MustGenerate(BnrELike(11))
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Grid != orig.Grid || len(got.Wires) != len(orig.Wires) {
+		t.Fatalf("header mismatch: %q %+v %d", got.Name, got.Grid, len(got.Wires))
+	}
+	for i := range orig.Wires {
+		if got.Wires[i].ID != orig.Wires[i].ID {
+			t.Fatalf("wire %d id mismatch", i)
+		}
+		if len(got.Wires[i].Pins) != len(orig.Wires[i].Pins) {
+			t.Fatalf("wire %d pin count mismatch", i)
+		}
+		for j := range orig.Wires[i].Pins {
+			if got.Wires[i].Pins[j] != orig.Wires[i].Pins[j] {
+				t.Fatalf("wire %d pin %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+circuit demo 4 20
+
+wire 0 0 0 10 1
+# another
+wire 1 2 2 15 3
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Wires) != 2 || c.Grid.Channels != 4 || c.Grid.Grids != 20 {
+		t.Errorf("parsed %+v", c)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no header", "wire 0 0 0 1 1\n"},
+		{"dup header", "circuit a 4 10\ncircuit b 4 10\n"},
+		{"bad directive", "circuit a 4 10\nblah\n"},
+		{"odd pin coords", "circuit a 4 10\nwire 0 0 0 1\n"},
+		{"one pin", "circuit a 4 10\nwire 0 0 0\n"},
+		{"off grid", "circuit a 4 10\nwire 0 0 0 99 0\n"},
+		{"empty", ""},
+		{"bad dims", "circuit a x y\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteRejectsWhitespaceName(t *testing.T) {
+	c := MustGenerate(BnrELike(1))
+	c.Name = "bad name"
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err == nil {
+		t.Errorf("whitespace in name must be rejected")
+	}
+}

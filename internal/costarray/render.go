@@ -1,0 +1,53 @@
+package costarray
+
+import "strings"
+
+// heatRamp maps relative congestion to characters, light to heavy.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders the cost array as ASCII art, one character per cell
+// column (columns are downsampled to fit width). Congestion is scaled to
+// the array's own maximum, so the picture shows relative hot spots —
+// Figure 1 of the paper, in a terminal.
+func (a *CostArray) Heatmap(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	g := a.grid
+	step := 1
+	if g.Grids > width {
+		step = (g.Grids + width - 1) / width
+	}
+
+	// Downsample: bucket max per (row, column-group).
+	cols := (g.Grids + step - 1) / step
+	var peak int32 = 1
+	buckets := make([][]int32, g.Channels)
+	for y := 0; y < g.Channels; y++ {
+		buckets[y] = make([]int32, cols)
+		row := a.Row(y)
+		for x, v := range row {
+			b := x / step
+			if v > buckets[y][b] {
+				buckets[y][b] = v
+			}
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+
+	var sb strings.Builder
+	ramp := []rune(heatRamp)
+	for y := 0; y < g.Channels; y++ {
+		for _, v := range buckets[y] {
+			idx := int(int64(v) * int64(len(ramp)-1) / int64(peak))
+			if idx < 0 {
+				idx = 0
+			}
+			sb.WriteRune(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/metrics"
+	"locusroute/internal/mp"
+)
+
+// --- Ablation: update packet structures (Section 4.3.1) ------------------
+
+// PacketRow is one packet-structure measurement.
+type PacketRow struct {
+	Structure string
+	CktHt     int64
+	MBytes    float64
+	Packets   int64
+	Seconds   float64
+}
+
+// PacketStructures compares the paper's chosen bounding-box packet
+// structure against the two alternatives it discusses: wire-based
+// packets (no rip-up/reroute cancellation) and whole-region packets
+// (bytes for unchanged cells). Run with the standard sender initiated
+// schedule.
+func PacketStructures(c *circuit.Circuit, s Setup) []PacketRow {
+	var rows []PacketRow
+	for _, structure := range []mp.PacketStructure{
+		mp.StructureBbox, mp.StructureWireBased, mp.StructureWholeRegion,
+	} {
+		cfg := mp.DefaultConfig(Table4Strategy())
+		cfg.Procs = s.Procs
+		cfg.Router = s.routerParams()
+		cfg.Packets = structure
+		res, err := mp.Run(c, s.assignment(c), cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: packet structure %v: %v", structure, err))
+		}
+		rows = append(rows, PacketRow{
+			Structure: structure.String(),
+			CktHt:     res.CircuitHeight,
+			MBytes:    res.MBytes(),
+			Packets:   res.Net.Packets,
+			Seconds:   res.Time.Seconds(),
+		})
+	}
+	return rows
+}
+
+// RenderPacketStructures renders the packet structure ablation.
+func RenderPacketStructures(rows []PacketRow) string {
+	t := metrics.NewTable("Ablation (Section 4.3.1): update packet structures",
+		"Structure", "Ckt Ht.", "MBytes Xfrd.", "Packets", "Time (s)")
+	for _, r := range rows {
+		t.Add(r.Structure, fmt.Sprintf("%d", r.CktHt), fmt.Sprintf("%.3f", r.MBytes),
+			fmt.Sprintf("%d", r.Packets), metrics.Seconds(r.Seconds))
+	}
+	return t.String()
+}
+
+// --- Ablation: dynamic vs static wire assignment (Section 4.2) -----------
+
+// DistributionRow is one wire-distribution measurement.
+type DistributionRow struct {
+	Method  string
+	CktHt   int64
+	MBytes  float64
+	Seconds float64
+}
+
+// WireDistribution compares the paper's chosen static assignment against
+// the dynamic request/grant scheme it rejects for its distribution
+// latency (wire requests are only serviced when the assignment processor
+// checks its queue between wires).
+func WireDistribution(c *circuit.Circuit, s Setup) []DistributionRow {
+	var rows []DistributionRow
+	for _, dynamic := range []bool{false, true} {
+		cfg := mp.DefaultConfig(Table4Strategy())
+		cfg.Procs = s.Procs
+		cfg.Router = s.routerParams()
+		cfg.DynamicWires = dynamic
+		res, err := mp.Run(c, s.assignment(c), cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wire distribution dynamic=%v: %v", dynamic, err))
+		}
+		label := "static (ThresholdCost)"
+		if dynamic {
+			label = "dynamic (request/grant)"
+		}
+		rows = append(rows, DistributionRow{
+			Method:  label,
+			CktHt:   res.CircuitHeight,
+			MBytes:  res.MBytes(),
+			Seconds: res.Time.Seconds(),
+		})
+	}
+	return rows
+}
+
+// RenderWireDistribution renders the wire distribution ablation.
+func RenderWireDistribution(rows []DistributionRow) string {
+	t := metrics.NewTable("Ablation (Section 4.2): wire distribution",
+		"Method", "Ckt Ht.", "MBytes Xfrd.", "Time (s)")
+	for _, r := range rows {
+		t.Add(r.Method, fmt.Sprintf("%d", r.CktHt),
+			fmt.Sprintf("%.3f", r.MBytes), metrics.Seconds(r.Seconds))
+	}
+	return t.String()
+}
+
+// --- Ablation: cost array distribution (Section 4.1) ---------------------
+
+// OwnershipRow is one cost-array-distribution measurement.
+type OwnershipRow struct {
+	Scheme  string
+	CktHt   int64
+	MBytes  float64
+	Packets int64
+	Seconds float64
+}
+
+// CostArrayDistribution compares the paper's chosen replicated-view
+// design against the strict region ownership scheme it rejects: no
+// update traffic at all, but per-region greedy routing, task-passing
+// messages, and the load imbalance of region-bound work.
+func CostArrayDistribution(c *circuit.Circuit, s Setup) []OwnershipRow {
+	var rows []OwnershipRow
+
+	chosen := mp.DefaultConfig(Table4Strategy())
+	chosen.Procs = s.Procs
+	chosen.Router = s.routerParams()
+	res, err := mp.Run(c, s.assignment(c), chosen)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: replicated views: %v", err))
+	}
+	rows = append(rows, OwnershipRow{
+		Scheme: "replicated views + updates", CktHt: res.CircuitHeight,
+		MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
+	})
+
+	strict := mp.DefaultConfig(mp.Strategy{})
+	strict.Procs = s.Procs
+	strict.Router = s.routerParams()
+	strict.StrictOwnership = true
+	asn := assign.AssignThreshold(c, s.partition(c), assign.ThresholdInfinity)
+	res, err = mp.Run(c, asn, strict)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: strict ownership: %v", err))
+	}
+	rows = append(rows, OwnershipRow{
+		Scheme: "strict region ownership", CktHt: res.CircuitHeight,
+		MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
+	})
+	return rows
+}
+
+// RenderCostArrayDistribution renders the ownership ablation.
+func RenderCostArrayDistribution(rows []OwnershipRow) string {
+	t := metrics.NewTable("Ablation (Section 4.1): cost array distribution",
+		"Scheme", "Ckt Ht.", "MBytes Xfrd.", "Packets", "Time (s)")
+	for _, r := range rows {
+		t.Add(r.Scheme, fmt.Sprintf("%d", r.CktHt), fmt.Sprintf("%.3f", r.MBytes),
+			fmt.Sprintf("%d", r.Packets), metrics.Seconds(r.Seconds))
+	}
+	return t.String()
+}
+
+// --- Ablation: wire routing order -----------------------------------------
+
+// OrderRow is one wire-ordering measurement.
+type OrderRow struct {
+	Order   string
+	CktHt   int64
+	MBytes  float64
+	Seconds float64
+}
+
+// WireOrdering sweeps the order in which each processor routes its
+// assigned wires. The paper routes in circuit order; longest-first is
+// the classic router heuristic (place the hard wires while the array is
+// empty), shortest-first the adversarial baseline.
+func WireOrdering(c *circuit.Circuit, s Setup) []OrderRow {
+	var rows []OrderRow
+	for _, order := range []assign.WireOrder{
+		assign.NaturalOrder, assign.LongestFirst, assign.ShortestFirst,
+	} {
+		asn := s.assignment(c)
+		asn.Order = order
+		r := runMPAssigned(c, s, Table4Strategy(), asn, order.String())
+		rows = append(rows, OrderRow{
+			Order: order.String(), CktHt: r.CktHt, MBytes: r.MBytes, Seconds: r.Seconds,
+		})
+	}
+	return rows
+}
+
+// RenderWireOrdering renders the wire ordering ablation.
+func RenderWireOrdering(rows []OrderRow) string {
+	t := metrics.NewTable("Ablation: per-processor wire routing order",
+		"Order", "Ckt Ht.", "MBytes Xfrd.", "Time (s)")
+	for _, r := range rows {
+		t.Add(r.Order, fmt.Sprintf("%d", r.CktHt),
+			fmt.Sprintf("%.3f", r.MBytes), metrics.Seconds(r.Seconds))
+	}
+	return t.String()
+}

@@ -1,0 +1,133 @@
+// Package experiments contains one driver per table of the paper's
+// evaluation (Section 5), plus the Section 5.1.3 blocking/mixed
+// comparisons and the Section 5.3.3 locality measure. Each driver returns
+// typed rows and can render itself as an aligned text table; the cmd/paper
+// binary and the repository benchmarks are thin wrappers around these.
+//
+// The benchmark circuits are seeded synthetic stand-ins for the paper's
+// unpublished bnrE and MDC netlists (see internal/circuit); absolute
+// numbers therefore differ from the paper, but the comparative shapes the
+// paper's conclusions rest on are reproduced (EXPERIMENTS.md records
+// paper-vs-measured for every row).
+package experiments
+
+import (
+	"fmt"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/metrics"
+	"locusroute/internal/mp"
+	"locusroute/internal/route"
+	"locusroute/internal/sm"
+)
+
+// DefaultSeed fixes the benchmark circuit generation.
+const DefaultSeed = 1
+
+// BnrE returns the bnrE-like benchmark circuit (420 wires, 10x341).
+func BnrE() *circuit.Circuit { return circuit.MustGenerate(circuit.BnrELike(DefaultSeed)) }
+
+// MDC returns the MDC-like benchmark circuit (573 wires, 12x386).
+func MDC() *circuit.Circuit { return circuit.MustGenerate(circuit.MDCLike(DefaultSeed)) }
+
+// Setup carries the choices shared by all experiments.
+type Setup struct {
+	// Procs is the processor count (paper default: 16, a 4x4 grid).
+	Procs int
+	// Iterations of rip-up-and-reroute.
+	Iterations int
+	// Threshold is the ThresholdCost of the standard wire assignment
+	// (the paper's tables 1, 2 and 6 use a locality assignment; 1000
+	// reproduces their configuration).
+	Threshold int
+}
+
+// DefaultSetup returns the 16-processor configuration most tables use.
+func DefaultSetup() Setup {
+	return Setup{Procs: 16, Iterations: route.DefaultParams().Iterations, Threshold: 1000}
+}
+
+func (s Setup) routerParams() route.Params {
+	p := route.DefaultParams()
+	p.Iterations = s.Iterations
+	return p
+}
+
+func (s Setup) partition(c *circuit.Circuit) geom.Partition {
+	px, py := geom.SquarestFactors(s.Procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: partition %d procs on %q: %v", s.Procs, c.Name, err))
+	}
+	return part
+}
+
+func (s Setup) assignment(c *circuit.Circuit) *assign.Assignment {
+	return assign.AssignThreshold(c, s.partition(c), s.Threshold)
+}
+
+// MPRow is one message passing run in the units of the paper's tables.
+type MPRow struct {
+	Label     string
+	Strategy  mp.Strategy
+	CktHt     int64
+	Occupancy int64
+	MBytes    float64
+	Seconds   float64
+}
+
+// runMP executes one message passing cell with the setup's standard
+// assignment.
+func runMP(c *circuit.Circuit, s Setup, st mp.Strategy, label string) MPRow {
+	return runMPAssigned(c, s, st, s.assignment(c), label)
+}
+
+func runMPAssigned(c *circuit.Circuit, s Setup, st mp.Strategy, asn *assign.Assignment, label string) MPRow {
+	cfg := mp.DefaultConfig(st)
+	cfg.Procs = s.Procs
+	cfg.Router = s.routerParams()
+	res, err := mp.Run(c, asn, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: mp run %q: %v", label, err))
+	}
+	return MPRow{
+		Label:     label,
+		Strategy:  st,
+		CktHt:     res.CircuitHeight,
+		Occupancy: res.Occupancy,
+		MBytes:    res.MBytes(),
+		Seconds:   res.Time.Seconds(),
+	}
+}
+
+// smQuality runs the traced shared memory router and returns its result
+// plus the reference trace (callers replay it through the cache
+// simulator at the line sizes they need).
+func smQuality(c *circuit.Circuit, s Setup, order sm.Order, asn *assign.Assignment) (sm.Result, *traceHandle) {
+	cfg := sm.DefaultConfig()
+	cfg.Procs = s.Procs
+	cfg.Router = s.routerParams()
+	cfg.Order = order
+	cfg.Assignment = asn
+	res, tr, err := sm.RunTraced(c, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sm run: %v", err))
+	}
+	return res, &traceHandle{tr: tr, procs: s.Procs}
+}
+
+// renderMPTable renders MP rows with the paper's column names.
+func renderMPTable(title string, rows []MPRow) string {
+	t := metrics.NewTable(title,
+		"Schedule", "Ckt Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)")
+	for _, r := range rows {
+		t.Add(r.Label,
+			fmt.Sprintf("%d", r.CktHt),
+			fmt.Sprintf("%d", r.Occupancy),
+			fmt.Sprintf("%.3f", r.MBytes),
+			metrics.Seconds(r.Seconds))
+	}
+	return t.String()
+}

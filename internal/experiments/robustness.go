@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/metrics"
+	"locusroute/internal/mp"
+)
+
+// RobustnessRow summarises one claim across seeds.
+type RobustnessRow struct {
+	Claim string
+	Held  int
+	Total int
+	// Margin is the mean of the claim's margin metric across seeds (the
+	// ratio that should exceed 1.0).
+	Margin float64
+}
+
+// Robustness re-checks the paper's headline comparative claims across
+// several circuit generator seeds, reporting how often each holds. The
+// synthetic circuits make absolute numbers seed-dependent; the claims the
+// reproduction stands on should hold for most seeds.
+func Robustness(seeds []int64, s Setup) []RobustnessRow {
+	type check struct {
+		name   string
+		margin func(c *circuit.Circuit) float64 // >1 means the claim held
+	}
+	checks := []check{
+		{
+			name: "sender traffic > receiver traffic",
+			margin: func(c *circuit.Circuit) float64 {
+				snd := runMP(c, s, mp.SenderInitiated(2, 5), "snd")
+				rcv := runMP(c, s, mp.ReceiverInitiated(1, 5, false), "rcv")
+				return snd.MBytes / math.Max(rcv.MBytes, 1e-9)
+			},
+		},
+		{
+			name: "rarer receiver updates -> less traffic",
+			margin: func(c *circuit.Circuit) float64 {
+				eager := runMP(c, s, mp.ReceiverInitiated(1, 5, false), "eager")
+				lazy := runMP(c, s, mp.ReceiverInitiated(1, 30, false), "lazy")
+				return eager.MBytes / math.Max(lazy.MBytes, 1e-9)
+			},
+		},
+		{
+			name: "SM traffic grows 4B -> 32B lines",
+			margin: func(c *circuit.Circuit) float64 {
+				rows := Table3(c, s)
+				return rows[len(rows)-1].MBytes / math.Max(rows[0].MBytes, 1e-9)
+			},
+		},
+		{
+			name: "pure locality slower than balanced threshold",
+			margin: func(c *circuit.Circuit) float64 {
+				rows := Table4([]*circuit.Circuit{c}, s)
+				var t30, inf float64
+				for _, r := range rows {
+					switch r.Method {
+					case "ThresholdCost = 30":
+						t30 = r.Seconds
+					case "ThresholdCost = inf.":
+						inf = r.Seconds
+					}
+				}
+				return inf / math.Max(t30, 1e-9)
+			},
+		},
+		{
+			name: "quality degrades 2 -> 16 processors",
+			margin: func(c *circuit.Circuit) float64 {
+				rows := Table6(c, s)
+				return float64(rows[len(rows)-1].CktHt) / math.Max(float64(rows[0].CktHt), 1)
+			},
+		},
+	}
+
+	rows := make([]RobustnessRow, len(checks))
+	for i, ch := range checks {
+		rows[i].Claim = ch.name
+	}
+	for _, seed := range seeds {
+		params := circuit.BnrELike(seed)
+		c := circuit.MustGenerate(params)
+		for i, ch := range checks {
+			m := ch.margin(c)
+			rows[i].Total++
+			rows[i].Margin += m
+			if m > 1 {
+				rows[i].Held++
+			}
+		}
+	}
+	for i := range rows {
+		if rows[i].Total > 0 {
+			rows[i].Margin /= float64(rows[i].Total)
+		}
+	}
+	return rows
+}
+
+// RenderRobustness renders the robustness sweep.
+func RenderRobustness(rows []RobustnessRow) string {
+	t := metrics.NewTable("Robustness: headline claims across circuit seeds",
+		"Claim", "Held", "Mean margin")
+	for _, r := range rows {
+		t.Add(r.Claim, fmt.Sprintf("%d/%d", r.Held, r.Total), fmt.Sprintf("%.2fx", r.Margin))
+	}
+	return t.String()
+}

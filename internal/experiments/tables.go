@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"fmt"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/cache"
+	"locusroute/internal/circuit"
+	"locusroute/internal/metrics"
+	"locusroute/internal/mp"
+	"locusroute/internal/sm"
+	"locusroute/internal/trace"
+)
+
+// traceHandle pairs a reference trace with the processor count that
+// produced it.
+type traceHandle struct {
+	tr    *trace.Trace
+	procs int
+}
+
+// replay runs the coherence simulator at the given line size.
+func (h *traceHandle) replay(lineSize int) cache.Traffic {
+	t, err := cache.Replay(h.tr, h.procs, lineSize)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cache replay: %v", err))
+	}
+	return t
+}
+
+// --- Table 1: network traffic using sender initiated updates ------------
+
+// Table1Schedules are the (SendRmtData, SendLocData) pairs of Table 1.
+func Table1Schedules() []mp.Strategy {
+	var out []mp.Strategy
+	for _, srd := range []int{2, 5, 10} {
+		for _, sld := range []int{1, 5, 10, 20} {
+			out = append(out, mp.SenderInitiated(srd, sld))
+		}
+	}
+	return out
+}
+
+// Table1 sweeps the sender initiated update frequencies on circuit c.
+func Table1(c *circuit.Circuit, s Setup) []MPRow {
+	var rows []MPRow
+	for _, st := range Table1Schedules() {
+		label := fmt.Sprintf("SRD=%d SLD=%d", st.SendRmtData, st.SendLocData)
+		rows = append(rows, runMP(c, s, st, label))
+	}
+	return rows
+}
+
+// RenderTable1 renders Table 1.
+func RenderTable1(rows []MPRow) string {
+	return renderMPTable("Table 1: network traffic using sender initiated updates", rows)
+}
+
+// --- Table 2: non-blocking receiver initiated updates -------------------
+
+// Table2Schedules are the (ReqLocData, ReqRmtData) pairs of Table 2.
+func Table2Schedules() []mp.Strategy {
+	var out []mp.Strategy
+	for _, rld := range []int{1, 2, 10} {
+		for _, rrd := range []int{5, 10, 30} {
+			out = append(out, mp.ReceiverInitiated(rld, rrd, false))
+		}
+	}
+	return out
+}
+
+// Table2 sweeps the non-blocking receiver initiated update frequencies.
+func Table2(c *circuit.Circuit, s Setup) []MPRow {
+	var rows []MPRow
+	for _, st := range Table2Schedules() {
+		label := fmt.Sprintf("RLD=%d RRD=%d", st.ReqLocData, st.ReqRmtData)
+		rows = append(rows, runMP(c, s, st, label))
+	}
+	return rows
+}
+
+// RenderTable2 renders Table 2.
+func RenderTable2(rows []MPRow) string {
+	return renderMPTable("Table 2: traffic using non-blocking receiver initiated updates", rows)
+}
+
+// --- Section 5.1.3: blocking vs non-blocking and mixed schedules --------
+
+// Blocking compares blocking against non-blocking receiver initiated
+// runs on the same schedules: quality is expected to be about the same
+// while blocking execution time is substantially larger.
+func Blocking(c *circuit.Circuit, s Setup) []MPRow {
+	var rows []MPRow
+	for _, rrd := range []int{5, 10} {
+		nb := mp.ReceiverInitiated(1, rrd, false)
+		bl := mp.ReceiverInitiated(1, rrd, true)
+		rows = append(rows,
+			runMP(c, s, nb, fmt.Sprintf("RRD=%d non-blocking", rrd)),
+			runMP(c, s, bl, fmt.Sprintf("RRD=%d blocking", rrd)))
+	}
+	return rows
+}
+
+// RenderBlocking renders the blocking comparison.
+func RenderBlocking(rows []MPRow) string {
+	return renderMPTable("Section 5.1.3: blocking vs non-blocking receiver initiated", rows)
+}
+
+// MixedSchedule is the paper's example mixed schedule: SendLocData = 5,
+// SendRmtData = 2, ReqLocData = 1, ReqRmtData = 5.
+func MixedSchedule() mp.Strategy {
+	return mp.Strategy{SendLocData: 5, SendRmtData: 2, ReqLocData: 1, ReqRmtData: 5}
+}
+
+// Mixed runs the paper's mixed schedule alongside the pure schemes it is
+// compared against in Section 5.1.3: the most frequent sender initiated
+// schedule (whose traffic it roughly halves) and the matching receiver
+// initiated schedule.
+func Mixed(c *circuit.Circuit, s Setup) []MPRow {
+	return []MPRow{
+		runMP(c, s, mp.SenderInitiated(2, 1), "pure sender SRD=2 SLD=1"),
+		runMP(c, s, mp.ReceiverInitiated(1, 5, false), "pure receiver RLD=1 RRD=5"),
+		runMP(c, s, MixedSchedule(), "mixed SLD=5 SRD=2 RLD=1 RRD=5"),
+	}
+}
+
+// RenderMixed renders the mixed-schedule comparison.
+func RenderMixed(rows []MPRow) string {
+	return renderMPTable("Section 5.1.3: mixed update schedules", rows)
+}
+
+// --- Table 3: shared memory traffic as a function of cache line size ----
+
+// Table3Row is one line-size measurement of the shared memory version.
+type Table3Row struct {
+	Circuit  string
+	LineSize int
+	MBytes   float64
+	CktHt    int64
+	// WriteFraction is the fraction of bytes attributable to writes
+	// (word writes, writebacks, invalidation refetches); the paper
+	// reports over 80%.
+	WriteFraction float64
+}
+
+// Table3LineSizes are the cache line sizes of Table 3.
+func Table3LineSizes() []int { return []int{4, 8, 16, 32} }
+
+// Table3 measures shared memory bus traffic at each line size, using the
+// paper's default dynamic (distributed loop) wire distribution.
+func Table3(c *circuit.Circuit, s Setup) []Table3Row {
+	res, h := smQuality(c, s, sm.Dynamic, nil)
+	var rows []Table3Row
+	for _, ls := range Table3LineSizes() {
+		sim, err := cache.New(h.procs, ls)
+		if err != nil {
+			panic(err)
+		}
+		for _, ref := range h.tr.Refs {
+			sim.Access(ref)
+		}
+		tr := sim.Traffic()
+		rows = append(rows, Table3Row{
+			Circuit:       c.Name,
+			LineSize:      ls,
+			MBytes:        tr.MBytes(),
+			CktHt:         res.CircuitHeight,
+			WriteFraction: sim.AttributedWriteFraction(),
+		})
+	}
+	return rows
+}
+
+// RenderTable3 renders Table 3.
+func RenderTable3(rows []Table3Row) string {
+	t := metrics.NewTable("Table 3: traffic as a function of cache line size (shared memory)",
+		"Circuit", "Cache Line Size", "MBytes Transferred", "Write Fraction")
+	for _, r := range rows {
+		t.Add(r.Circuit, fmt.Sprintf("%d", r.LineSize),
+			fmt.Sprintf("%.3f", r.MBytes), fmt.Sprintf("%.0f%%", r.WriteFraction*100))
+	}
+	return t.String()
+}
+
+// --- Tables 4 and 5: effect of locality ---------------------------------
+
+// AssignmentMethod is one row of the locality tables.
+type AssignmentMethod struct {
+	Label     string
+	Threshold int // -1 marks round robin
+}
+
+// LocalityMethods are the four assignment methods of Tables 4 and 5.
+func LocalityMethods() []AssignmentMethod {
+	return []AssignmentMethod{
+		{Label: "round robin", Threshold: -1},
+		{Label: "ThresholdCost = 30", Threshold: 30},
+		{Label: "ThresholdCost = 1000", Threshold: 1000},
+		{Label: "ThresholdCost = inf.", Threshold: assign.ThresholdInfinity},
+	}
+}
+
+func (m AssignmentMethod) build(c *circuit.Circuit, s Setup) *assign.Assignment {
+	part := s.partition(c)
+	if m.Threshold < 0 {
+		return assign.AssignRoundRobin(c, part)
+	}
+	return assign.AssignThreshold(c, part, m.Threshold)
+}
+
+// Table4Row is one message passing locality measurement.
+type Table4Row struct {
+	Circuit string
+	Method  string
+	CktHt   int64
+	MBytes  float64
+	Seconds float64
+}
+
+// Table4Strategy is the sender initiated schedule Tables 4 and 6 use
+// (SendRmtData = 2, SendLocData = 10, matching the paper's cross-table
+// row: same traffic and time as Table 1's corresponding entry).
+func Table4Strategy() mp.Strategy { return mp.SenderInitiated(2, 10) }
+
+// Table4 measures the effect of wire assignment locality on the message
+// passing version (sender initiated).
+func Table4(circuits []*circuit.Circuit, s Setup) []Table4Row {
+	var rows []Table4Row
+	for _, c := range circuits {
+		for _, m := range LocalityMethods() {
+			r := runMPAssigned(c, s, Table4Strategy(), m.build(c, s), m.Label)
+			rows = append(rows, Table4Row{
+				Circuit: c.Name, Method: m.Label,
+				CktHt: r.CktHt, MBytes: r.MBytes, Seconds: r.Seconds,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderTable4 renders Table 4.
+func RenderTable4(rows []Table4Row) string {
+	t := metrics.NewTable("Table 4: effect of locality (message passing, sender initiated)",
+		"Ckt.", "Asmt. Method", "Ckt. Ht.", "MBytes Xfrd.", "Time (s)")
+	for _, r := range rows {
+		t.Add(r.Circuit, r.Method, fmt.Sprintf("%d", r.CktHt),
+			fmt.Sprintf("%.3f", r.MBytes), metrics.Seconds(r.Seconds))
+	}
+	return t.String()
+}
+
+// Table5Row is one shared memory locality measurement.
+type Table5Row struct {
+	Circuit string
+	Method  string
+	CktHt   int64
+	MBytes  float64
+}
+
+// Table5LineSize is the cache line size Table 5 reports (8 bytes).
+const Table5LineSize = 8
+
+// Table5 measures the effect of wire assignment locality on the shared
+// memory version: static assignments replace the distributed loop, and
+// traffic comes from the coherence simulator at 8-byte lines.
+func Table5(circuits []*circuit.Circuit, s Setup) []Table5Row {
+	var rows []Table5Row
+	for _, c := range circuits {
+		for _, m := range LocalityMethods() {
+			res, h := smQuality(c, s, sm.Static, m.build(c, s))
+			rows = append(rows, Table5Row{
+				Circuit: c.Name, Method: m.Label,
+				CktHt:  res.CircuitHeight,
+				MBytes: h.replay(Table5LineSize).MBytes(),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderTable5 renders Table 5.
+func RenderTable5(rows []Table5Row) string {
+	t := metrics.NewTable("Table 5: effect of locality (shared memory, 8-byte lines)",
+		"Ckt.", "Asmt. Method", "Ckt. Height", "MBytes Xfrd.")
+	for _, r := range rows {
+		t.Add(r.Circuit, r.Method, fmt.Sprintf("%d", r.CktHt), fmt.Sprintf("%.3f", r.MBytes))
+	}
+	return t.String()
+}
+
+// --- Table 6: effect of the number of processors -------------------------
+
+// Table6Row is one processor-count measurement.
+type Table6Row struct {
+	Circuit   string
+	Procs     int
+	CktHt     int64
+	Occupancy int64
+	MBytes    float64
+	Seconds   float64
+	// Speedup is computed the paper's way: relative to the two-processor
+	// run, multiplied by two.
+	Speedup float64
+}
+
+// Table6Procs are the processor counts of Table 6.
+func Table6Procs() []int { return []int{2, 4, 9, 16} }
+
+// Table6 measures quality, traffic and time as the processor count grows
+// (sender initiated schedule, locality assignment rebuilt per count).
+func Table6(c *circuit.Circuit, s Setup) []Table6Row {
+	var rows []Table6Row
+	var base float64
+	for _, procs := range Table6Procs() {
+		sp := s
+		sp.Procs = procs
+		r := runMP(c, sp, Table4Strategy(), fmt.Sprintf("%d procs", procs))
+		row := Table6Row{
+			Circuit: c.Name, Procs: procs,
+			CktHt: r.CktHt, Occupancy: r.Occupancy,
+			MBytes: r.MBytes, Seconds: r.Seconds,
+		}
+		if procs == 2 {
+			base = r.Seconds
+		}
+		if base > 0 {
+			row.Speedup = base / r.Seconds * 2
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable6 renders Table 6.
+func RenderTable6(rows []Table6Row) string {
+	t := metrics.NewTable("Table 6: effect of number of processors (sender initiated)",
+		"Ckt", "Num Procs.", "Ckt. Ht.", "Occup. Factor", "MBytes Xfrd.", "Time (s)", "Speedup")
+	for _, r := range rows {
+		t.Add(r.Circuit, fmt.Sprintf("%d", r.Procs), fmt.Sprintf("%d", r.CktHt),
+			fmt.Sprintf("%d", r.Occupancy), fmt.Sprintf("%.3f", r.MBytes),
+			metrics.Seconds(r.Seconds), metrics.Ratio(r.Speedup))
+	}
+	return t.String()
+}
+
+// --- Section 5.3.3: the locality measure ---------------------------------
+
+// LocalityRow is one locality-measure computation.
+type LocalityRow struct {
+	Circuit string
+	Method  string
+	Measure float64
+}
+
+// Locality computes the paper's locality measure (average hops between
+// routing processor and owning processor) for each assignment method.
+func Locality(circuits []*circuit.Circuit, s Setup) []LocalityRow {
+	var rows []LocalityRow
+	for _, c := range circuits {
+		part := s.partition(c)
+		for _, m := range LocalityMethods() {
+			rows = append(rows, LocalityRow{
+				Circuit: c.Name, Method: m.Label,
+				Measure: assign.LocalityMeasure(c, part, m.build(c, s)),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderLocality renders the locality measure table.
+func RenderLocality(rows []LocalityRow) string {
+	t := metrics.NewTable("Section 5.3.3: locality measure (avg hops from router to owner)",
+		"Ckt.", "Asmt. Method", "Locality")
+	for _, r := range rows {
+		t.Add(r.Circuit, r.Method, fmt.Sprintf("%.2f", r.Measure))
+	}
+	return t.String()
+}
+
+// --- Cross-paradigm comparison (Section 5.2) -----------------------------
+
+// ComparisonRow contrasts the paradigms on one circuit.
+type ComparisonRow struct {
+	Variant string
+	CktHt   int64
+	MBytes  float64
+}
+
+// Comparison reproduces the Section 5.2 traffic/quality comparison:
+// shared memory (8-byte lines) vs the best sender initiated and receiver
+// initiated message passing schedules.
+func Comparison(c *circuit.Circuit, s Setup) []ComparisonRow {
+	res, h := smQuality(c, s, sm.Dynamic, nil)
+	rows := []ComparisonRow{{
+		Variant: "shared memory (8B lines)",
+		CktHt:   res.CircuitHeight,
+		MBytes:  h.replay(Table5LineSize).MBytes(),
+	}}
+	snd := runMP(c, s, mp.SenderInitiated(2, 5), "sender")
+	rcv := runMP(c, s, mp.ReceiverInitiated(1, 5, false), "receiver")
+	rows = append(rows,
+		ComparisonRow{Variant: "MP sender initiated (SRD=2 SLD=5)", CktHt: snd.CktHt, MBytes: snd.MBytes},
+		ComparisonRow{Variant: "MP receiver initiated (RLD=1 RRD=5)", CktHt: rcv.CktHt, MBytes: rcv.MBytes},
+	)
+	return rows
+}
+
+// RenderComparison renders the cross-paradigm comparison.
+func RenderComparison(rows []ComparisonRow) string {
+	t := metrics.NewTable("Section 5.2: shared memory vs message passing",
+		"Variant", "Ckt. Ht.", "MBytes Xfrd.")
+	for _, r := range rows {
+		t.Add(r.Variant, fmt.Sprintf("%d", r.CktHt), fmt.Sprintf("%.3f", r.MBytes))
+	}
+	return t.String()
+}

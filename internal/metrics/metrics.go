@@ -1,0 +1,81 @@
+// Package metrics provides the small reporting utilities the experiment
+// drivers and commands share: aligned text tables and number formatting
+// matching the paper's conventions.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; it panics if the cell count does not match the
+// header, because that is a programming error in a driver.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table has %d columns",
+			len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MB formats a byte count as megabytes with three decimals, the paper's
+// "MBytes Xfrd." convention.
+func MB(bytes int64) string { return fmt.Sprintf("%.3f", float64(bytes)/1e6) }
+
+// Seconds formats a float seconds value with three decimals.
+func Seconds(s float64) string { return fmt.Sprintf("%.3f", s) }
+
+// Ratio formats a ratio like "1.43x".
+func Ratio(r float64) string { return fmt.Sprintf("%.2fx", r) }

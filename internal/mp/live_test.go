@@ -1,0 +1,117 @@
+package mp
+
+import (
+	"testing"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/geom"
+	"locusroute/internal/msg"
+	"locusroute/internal/route"
+)
+
+func runLiveSmall(t *testing.T, procs int, st Strategy) Result {
+	t.Helper()
+	c := smallCircuit(1)
+	cfg := DefaultConfig(st)
+	cfg.Procs = procs
+	cfg.Router.Iterations = 2
+	px, py := geom.SquarestFactors(procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := assign.AssignThreshold(c, part, 1000)
+	res, err := RunLive(c, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLiveSingleProcessorMatchesSequential(t *testing.T) {
+	c := smallCircuit(1)
+	cfg := DefaultConfig(Strategy{})
+	cfg.Procs = 1
+	cfg.Router.Iterations = 2
+	part, _ := geom.NewPartition(c.Grid, 1, 1)
+	asn := assign.AssignRoundRobin(c, part)
+	res, err := RunLive(c, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := route.Sequential(c, cfg.Router)
+	if res.CircuitHeight != seq.CircuitHeight {
+		t.Errorf("1-proc live height %d != sequential %d", res.CircuitHeight, seq.CircuitHeight)
+	}
+	if res.Occupancy != seq.Occupancy {
+		t.Errorf("1-proc live occupancy %d != sequential %d", res.Occupancy, seq.Occupancy)
+	}
+}
+
+func TestLiveSenderInitiatedCompletes(t *testing.T) {
+	res := runLiveSmall(t, 4, SenderInitiated(2, 5))
+	if res.CircuitHeight <= 0 {
+		t.Errorf("height = %d", res.CircuitHeight)
+	}
+	if res.BytesByKind[msg.KindSendRmtData] == 0 || res.BytesByKind[msg.KindSendLocData] == 0 {
+		t.Errorf("sender traffic missing: %v", res.BytesByKind)
+	}
+}
+
+func TestLiveReceiverInitiatedCompletes(t *testing.T) {
+	res := runLiveSmall(t, 4, ReceiverInitiated(1, 5, false))
+	if res.PacketsByKind[msg.KindRspRmtData] != res.PacketsByKind[msg.KindReqRmtData] {
+		t.Errorf("requests %d != responses %d",
+			res.PacketsByKind[msg.KindReqRmtData], res.PacketsByKind[msg.KindRspRmtData])
+	}
+}
+
+func TestLiveBlockingCompletes(t *testing.T) {
+	res := runLiveSmall(t, 4, ReceiverInitiated(1, 3, true))
+	if res.CircuitHeight <= 0 {
+		t.Errorf("blocking live run failed to complete")
+	}
+}
+
+func TestLiveMixedCompletes(t *testing.T) {
+	res := runLiveSmall(t, 9, Strategy{SendLocData: 5, SendRmtData: 2, ReqLocData: 1, ReqRmtData: 5})
+	if res.CircuitHeight <= 0 {
+		t.Errorf("mixed live run failed to complete")
+	}
+	if res.UpdateBytes <= 0 {
+		t.Errorf("mixed live run moved no update bytes")
+	}
+}
+
+func TestLiveQualityComparableToDES(t *testing.T) {
+	// The live runtime drives the same protocol; scheduling differs
+	// (real concurrency vs virtual time), so quality will not be
+	// identical, but it must be in the same band.
+	st := SenderInitiated(2, 5)
+	des := runSmall(t, 4, st)
+	live := runLiveSmall(t, 4, st)
+	lo, hi := float64(des.CircuitHeight)*0.8, float64(des.CircuitHeight)*1.2
+	if float64(live.CircuitHeight) < lo || float64(live.CircuitHeight) > hi {
+		t.Errorf("live height %d far from DES height %d", live.CircuitHeight, des.CircuitHeight)
+	}
+}
+
+func TestLiveTrafficOrderingMatchesDES(t *testing.T) {
+	snd := runLiveSmall(t, 4, SenderInitiated(2, 5))
+	rcv := runLiveSmall(t, 4, ReceiverInitiated(1, 5, false))
+	if snd.UpdateBytes <= rcv.UpdateBytes {
+		t.Errorf("live sender traffic %d must exceed receiver traffic %d",
+			snd.UpdateBytes, rcv.UpdateBytes)
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	c := smallCircuit(1)
+	part, _ := geom.NewPartition(c.Grid, 2, 2)
+	asn := assign.AssignRoundRobin(c, part)
+	cfg := DefaultConfig(Strategy{})
+	cfg.Procs = 16 // mismatch
+	if _, err := RunLive(c, asn, cfg); err == nil {
+		t.Errorf("processor-count mismatch must fail")
+	}
+}

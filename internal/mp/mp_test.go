@@ -1,0 +1,215 @@
+package mp
+
+import (
+	"testing"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/msg"
+	"locusroute/internal/route"
+)
+
+// smallCircuit builds a quick circuit for unit tests.
+func smallCircuit(seed int64) *circuit.Circuit {
+	return circuit.MustGenerate(circuit.GenParams{
+		Name: "small", Channels: 8, Grids: 64, Wires: 60, MeanSpan: 10,
+		LongFrac: 0.1, Seed: seed,
+	})
+}
+
+func runSmall(t *testing.T, procs int, st Strategy) Result {
+	t.Helper()
+	c := smallCircuit(1)
+	cfg := DefaultConfig(st)
+	cfg.Procs = procs
+	cfg.Router.Iterations = 2
+	px, py := geom.SquarestFactors(procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := assign.AssignThreshold(c, part, 1000)
+	res, err := Run(c, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunSingleProcessorMatchesSequentialQuality(t *testing.T) {
+	c := smallCircuit(1)
+	cfg := DefaultConfig(Strategy{})
+	cfg.Procs = 1
+	cfg.Router.Iterations = 2
+	part, _ := geom.NewPartition(c.Grid, 1, 1)
+	asn := assign.AssignRoundRobin(c, part)
+	res, err := Run(c, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := route.Sequential(c, cfg.Router)
+	if res.CircuitHeight != seq.CircuitHeight {
+		t.Errorf("1-proc MP height %d != sequential %d", res.CircuitHeight, seq.CircuitHeight)
+	}
+	if res.Occupancy != seq.Occupancy {
+		t.Errorf("1-proc MP occupancy %d != sequential %d", res.Occupancy, seq.Occupancy)
+	}
+	if res.UpdateBytes != 0 {
+		t.Errorf("1-proc run moved %d update bytes", res.UpdateBytes)
+	}
+}
+
+func TestRunSenderInitiated(t *testing.T) {
+	res := runSmall(t, 4, SenderInitiated(2, 5))
+	if res.CircuitHeight <= 0 {
+		t.Errorf("height = %d", res.CircuitHeight)
+	}
+	if res.Time <= 0 {
+		t.Errorf("time = %v", res.Time)
+	}
+	if res.BytesByKind[msg.KindSendRmtData] == 0 {
+		t.Errorf("sender initiated run produced no SendRmtData traffic")
+	}
+	if res.BytesByKind[msg.KindSendLocData] == 0 {
+		t.Errorf("sender initiated run produced no SendLocData traffic")
+	}
+	if res.BytesByKind[msg.KindReqRmtData] != 0 {
+		t.Errorf("pure sender initiated run produced request traffic")
+	}
+}
+
+func TestRunReceiverInitiated(t *testing.T) {
+	res := runSmall(t, 4, ReceiverInitiated(2, 3, false))
+	if res.BytesByKind[msg.KindReqRmtData] == 0 {
+		t.Errorf("no ReqRmtData traffic")
+	}
+	if res.PacketsByKind[msg.KindRspRmtData] != res.PacketsByKind[msg.KindReqRmtData] {
+		t.Errorf("every request must be answered: req=%d rsp=%d",
+			res.PacketsByKind[msg.KindReqRmtData], res.PacketsByKind[msg.KindRspRmtData])
+	}
+	if res.BytesByKind[msg.KindSendLocData] != 0 {
+		t.Errorf("pure receiver initiated run produced SendLocData traffic")
+	}
+	// ReqLocData enabled: some pull-home traffic should exist.
+	if res.PacketsByKind[msg.KindReqLocData] == 0 {
+		t.Errorf("ReqLocData=2 produced no pull requests")
+	}
+}
+
+func TestRunBlockingCompletesAndIsSlower(t *testing.T) {
+	nb := runSmall(t, 4, ReceiverInitiated(0, 2, false))
+	bl := runSmall(t, 4, ReceiverInitiated(0, 2, true))
+	if bl.Time < nb.Time {
+		t.Errorf("blocking (%v) should not be faster than non-blocking (%v)", bl.Time, nb.Time)
+	}
+}
+
+func TestRunMixedStrategy(t *testing.T) {
+	res := runSmall(t, 4, Strategy{SendLocData: 5, SendRmtData: 2, ReqLocData: 1, ReqRmtData: 5})
+	for _, k := range []msg.Kind{msg.KindSendLocData, msg.KindSendRmtData, msg.KindReqRmtData} {
+		if res.PacketsByKind[k] == 0 {
+			t.Errorf("mixed strategy produced no %v packets", k)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runSmall(t, 4, SenderInitiated(2, 5))
+	b := runSmall(t, 4, SenderInitiated(2, 5))
+	if a.CircuitHeight != b.CircuitHeight || a.Occupancy != b.Occupancy ||
+		a.Time != b.Time || a.Net.Bytes != b.Net.Bytes {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunNoUpdatesStillTerminates(t *testing.T) {
+	// With every mechanism disabled, nodes route on permanently stale
+	// views; the run must still terminate with only barrier traffic.
+	res := runSmall(t, 4, Strategy{})
+	if res.UpdateBytes != 0 {
+		t.Errorf("no-update run moved %d update bytes", res.UpdateBytes)
+	}
+	if res.Net.Bytes == 0 {
+		t.Errorf("barrier traffic must exist on 4 processors")
+	}
+	if res.CircuitHeight <= 0 {
+		t.Errorf("routing must still complete")
+	}
+}
+
+func TestMoreFrequentSenderUpdatesMoreTraffic(t *testing.T) {
+	frequent := runSmall(t, 4, SenderInitiated(1, 1))
+	rare := runSmall(t, 4, SenderInitiated(10, 20))
+	if frequent.UpdateBytes <= rare.UpdateBytes {
+		t.Errorf("frequent updates (%d B) must outweigh rare updates (%d B)",
+			frequent.UpdateBytes, rare.UpdateBytes)
+	}
+}
+
+func TestSenderTrafficExceedsReceiverTraffic(t *testing.T) {
+	// The paper's headline shape: sender initiated traffic is roughly an
+	// order of magnitude above receiver initiated traffic.
+	snd := runSmall(t, 4, SenderInitiated(2, 5))
+	rcv := runSmall(t, 4, ReceiverInitiated(1, 5, false))
+	if snd.UpdateBytes <= rcv.UpdateBytes {
+		t.Errorf("sender traffic (%d B) must exceed receiver traffic (%d B)",
+			snd.UpdateBytes, rcv.UpdateBytes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := smallCircuit(1)
+	part, _ := geom.NewPartition(c.Grid, 2, 2)
+	asn := assign.AssignRoundRobin(c, part)
+	cfg := DefaultConfig(Strategy{})
+	cfg.Procs = 9 // mismatch with the 4-processor assignment
+	if _, err := Run(c, asn, cfg); err == nil {
+		t.Errorf("processor-count mismatch must fail")
+	}
+	cfg.Procs = 0
+	if _, err := Run(c, asn, cfg); err == nil {
+		t.Errorf("zero processors must fail")
+	}
+}
+
+func TestQualityDegradesWithMoreProcessors(t *testing.T) {
+	// Section 5.4: more simultaneous routing means less accurate
+	// information and poorer quality. Compare 1 vs 16 processors on a
+	// moderate schedule; allow equality for small circuits but not
+	// improvement beyond noise.
+	one := runSmall(t, 1, SenderInitiated(10, 10))
+	sixteen := runSmall(t, 16, SenderInitiated(10, 10))
+	if sixteen.CircuitHeight < one.CircuitHeight-2 {
+		t.Errorf("16-proc height %d markedly better than 1-proc %d — staleness model broken",
+			sixteen.CircuitHeight, one.CircuitHeight)
+	}
+	if sixteen.Time >= one.Time {
+		t.Errorf("16 processors (%v) must be faster than 1 (%v)", sixteen.Time, one.Time)
+	}
+}
+
+func TestBusyAndFinishTimesConsistent(t *testing.T) {
+	res := runSmall(t, 4, SenderInitiated(5, 5))
+	if res.BusyTime < res.Time {
+		t.Errorf("summed finish times (%v) must be at least the makespan (%v)",
+			res.BusyTime, res.Time)
+	}
+}
+
+func TestMessageFractionGrowsWithUpdateFrequency(t *testing.T) {
+	// The paper observes packet assembly/disassembly reaching about a
+	// quarter of processing time under the most frequent schedules.
+	frequent := runSmall(t, 4, SenderInitiated(1, 1))
+	rare := runSmall(t, 4, SenderInitiated(10, 20))
+	if frequent.MessageFraction() <= rare.MessageFraction() {
+		t.Errorf("frequent updates fraction %.3f must exceed rare %.3f",
+			frequent.MessageFraction(), rare.MessageFraction())
+	}
+	if frequent.MessageFraction() <= 0 || frequent.MessageFraction() >= 1 {
+		t.Errorf("message fraction %.3f out of range", frequent.MessageFraction())
+	}
+	if frequent.RouteTime <= 0 {
+		t.Errorf("route time must be accounted")
+	}
+}

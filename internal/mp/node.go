@@ -1,0 +1,250 @@
+package mp
+
+import (
+	"fmt"
+
+	"locusroute/internal/mesh"
+	"locusroute/internal/msg"
+	"locusroute/internal/sim"
+)
+
+// node is one simulated processor of the message passing router: the
+// discrete-event runtime around a Proto. It charges the compute model
+// for every operation, transports packets over the simulated mesh, and
+// implements the inter-iteration barrier (Done to node 0, Continue back).
+type node struct {
+	id    int
+	r     *runner
+	p     *sim.Process
+	proto *Proto
+	wires []int
+
+	dones     int // barrier coordinator only: Done packets this iteration
+	continues int // Continue packets received so far
+
+	// grant holds a received wire grant not yet consumed (dynamic wire
+	// assignment only); granted distinguishes a pending zero grant.
+	grant   uint16
+	granted bool
+
+	// routeTime and msgTime split this node's charged busy time between
+	// wire routing and the update machinery.
+	routeTime, msgTime sim.Time
+}
+
+func newNode(id int, r *runner) *node {
+	proto := NewProto(id, r.circ, r.part, r.cfg.Strategy, r.cfg.Router)
+	proto.Structure = r.cfg.Packets
+	proto.SetTruth(r.truth)
+	if r.pathStore != nil {
+		proto.SetPathStore(r.pathStore)
+	}
+	return &node{
+		id:    id,
+		r:     r,
+		proto: proto,
+		wires: r.asn.WiresOf(id),
+	}
+}
+
+// run is the node's process body: Iterations rounds of routing all
+// assigned wires with a global barrier between rounds.
+func (n *node) run(p *sim.Process) {
+	n.p = p
+	if n.r.cfg.DynamicWires {
+		n.runDynamic()
+		return
+	}
+	st := n.r.cfg.Strategy
+	ahead := n.r.cfg.RequestAhead
+	for iter := 0; iter < n.r.cfg.Router.Iterations; iter++ {
+		// Prefill the receiver initiated lookahead window.
+		if st.ReqRmtData > 0 {
+			for k := 0; k < ahead && k < len(n.wires); k++ {
+				n.transmit(n.proto.NoteUpcoming(n.wires[k]))
+			}
+		}
+		for i, wi := range n.wires {
+			n.drain()
+			if st.ReqRmtData > 0 && i+ahead < len(n.wires) {
+				n.transmit(n.proto.NoteUpcoming(n.wires[i+ahead]))
+			}
+			if st.Blocking {
+				for n.proto.Outstanding > 0 {
+					n.recvOne()
+				}
+			}
+			n.routeWire(wi, iter)
+			n.transmit(n.proto.AfterWire())
+		}
+		n.barrier(iter)
+	}
+	n.r.finish[n.id] = p.Now()
+	n.r.routeTime += n.routeTime
+	n.r.msgTime += n.msgTime
+}
+
+// runDynamic is the dynamic wire assignment ablation (Section 4.2, first
+// scheme): processors request wires from node 0 over the network; node 0
+// services requests only when it checks its queue between its own wires,
+// which is exactly the latency problem the paper describes.
+func (n *node) runDynamic() {
+	for iter := 0; iter < n.r.cfg.Router.Iterations; iter++ {
+		for {
+			n.drain()
+			wi := n.fetchDynamicWire()
+			if wi < 0 {
+				break
+			}
+			n.routeWire(wi, iter)
+			n.transmit(n.proto.AfterWire())
+		}
+		n.barrier(iter)
+	}
+	n.r.finish[n.id] = n.p.Now()
+	n.r.routeTime += n.routeTime
+	n.r.msgTime += n.msgTime
+}
+
+// fetchDynamicWire obtains the next wire: node 0 takes from the shared
+// counter locally; everyone else asks node 0 and blocks for the grant.
+func (n *node) fetchDynamicWire() int {
+	if n.id == 0 {
+		return n.r.takeWire()
+	}
+	n.send(0, &msg.Message{Kind: msg.KindReqWire})
+	for !n.granted {
+		n.recvOne()
+	}
+	n.granted = false
+	if n.grant == msg.WireGrantDone {
+		return -1
+	}
+	return int(n.grant)
+}
+
+// routeWire routes one wire through the protocol, charging the compute
+// model between the phases so the commit becomes visible — and the
+// occupancy contribution is measured — at the virtual time the routing
+// computation completes.
+func (n *node) routeWire(wi, iter int) {
+	perf := n.r.cfg.Perf
+	ripped := n.proto.RipUpWire(wi, iter)
+	n.waitRoute(perf.WriteTime(ripped))
+	pw := n.proto.EvaluateWire(wi)
+	n.waitRoute(perf.WireOverhead + perf.EvalTime(pw.CellsExamined))
+	n.r.lastCost[wi] = n.proto.CommitWire(wi, pw)
+	n.waitRoute(perf.WriteTime(pw.Path.Len()))
+	n.r.cells += int64(pw.CellsExamined)
+}
+
+// waitRoute charges d as routing work.
+func (n *node) waitRoute(d sim.Time) {
+	n.routeTime += d
+	n.p.Wait(d)
+}
+
+// waitMsg charges d as update machinery work.
+func (n *node) waitMsg(d sim.Time) {
+	n.msgTime += d
+	n.p.Wait(d)
+}
+
+// transmit charges scan and assembly time and sends each outbound packet.
+func (n *node) transmit(outs []Outbound) {
+	n.waitMsg(n.r.cfg.Perf.ScanTime(n.proto.TakeScanWork()))
+	for _, out := range outs {
+		n.send(out.To, out.Msg)
+	}
+}
+
+// drain handles every message already queued without blocking.
+func (n *node) drain() {
+	inbox := n.r.net.Inbox(n.id)
+	for {
+		item, ok := inbox.TryRecv()
+		if !ok {
+			return
+		}
+		n.handle(item.(*mesh.Packet))
+	}
+}
+
+// recvOne blocks for one message and handles it.
+func (n *node) recvOne() {
+	item := n.r.net.Inbox(n.id).Recv(n.p)
+	n.handle(item.(*mesh.Packet))
+}
+
+// send encodes and transmits one protocol message, charging assembly time
+// and recording per-kind traffic.
+func (n *node) send(to int, m *msg.Message) {
+	buf, err := m.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("mp: node %d encoding %v: %v", n.id, m.Kind, err))
+	}
+	n.waitMsg(n.r.cfg.Perf.CopyTime(len(buf)))
+	n.r.bytesByKind[m.Kind] += int64(len(buf))
+	n.r.packetsByKind[m.Kind]++
+	n.msgTime += n.r.cfg.Net.ProcessTime // the network copy inside Send
+	n.r.net.Send(n.p, n.id, to, buf, len(buf))
+}
+
+// handle dispatches one received packet: barrier kinds are the runtime's
+// own; everything else goes to the protocol, whose responses are sent
+// back out. Reception, disassembly and application costs are charged.
+func (n *node) handle(pkt *mesh.Packet) {
+	n.msgTime += n.r.cfg.Net.ProcessTime
+	n.r.net.ChargeReceive(n.p)
+	buf := pkt.Payload.([]byte)
+	n.waitMsg(n.r.cfg.Perf.CopyTime(len(buf)))
+	m, err := msg.Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("mp: node %d decoding packet from %d: %v", n.id, pkt.From, err))
+	}
+	switch m.Kind {
+	case msg.KindDone:
+		n.dones++
+	case msg.KindContinue:
+		n.continues++
+	case msg.KindReqWire:
+		wi := n.r.takeWire()
+		grant := msg.WireGrantDone
+		if wi >= 0 {
+			grant = uint16(wi)
+		}
+		n.send(pkt.From, &msg.Message{Kind: msg.KindWireGrant, Seq: grant})
+	case msg.KindWireGrant:
+		n.grant = m.Seq
+		n.granted = true
+	default:
+		outs := n.proto.Handle(pkt.From, m)
+		if m.Kind.IsData() {
+			n.waitMsg(n.r.cfg.Perf.WriteTime(len(m.Vals)))
+		} else if m.Kind == msg.KindSendRmtWire {
+			n.waitMsg(n.r.cfg.Perf.WriteTime(m.Region.Area()))
+		}
+		n.transmit(outs)
+	}
+}
+
+// barrier synchronises all nodes between iterations: everyone reports
+// Done to node 0, which broadcasts Continue. While waiting, nodes keep
+// servicing requests so no processor deadlocks behind the barrier.
+func (n *node) barrier(iter int) {
+	if n.id == 0 {
+		for n.dones < n.r.cfg.Procs-1 {
+			n.recvOne()
+		}
+		n.dones = 0
+		n.r.wireCounter = 0 // refill the dynamic wire supply
+		for proc := 1; proc < n.r.cfg.Procs; proc++ {
+			n.send(proc, &msg.Message{Kind: msg.KindContinue, Seq: uint16(iter)})
+		}
+		return
+	}
+	n.send(0, &msg.Message{Kind: msg.KindDone, Seq: uint16(iter)})
+	for n.continues <= iter {
+		n.recvOne()
+	}
+}

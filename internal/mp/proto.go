@@ -1,0 +1,505 @@
+package mp
+
+import (
+	"fmt"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
+	"locusroute/internal/msg"
+	"locusroute/internal/route"
+)
+
+// Outbound is a protocol message the runtime must transmit.
+type Outbound struct {
+	To  int
+	Msg *msg.Message
+}
+
+// WireStats reports the work of one wire routing, for the runtime's
+// compute-time accounting.
+type WireStats struct {
+	CellsExamined  int
+	CellsRipped    int
+	CellsCommitted int
+	// TrueCost is the path cost against the ground-truth array at commit
+	// time (the occupancy contribution).
+	TrueCost int64
+}
+
+// PacketStructure selects the update packet layout (Section 4.3.1 of the
+// paper). The paper chooses the bounding-box structure; the two
+// alternatives it discusses are kept as ablations, valid for pure sender
+// initiated schedules.
+type PacketStructure int
+
+const (
+	// StructureBbox (the paper's choice): the bounding box of all
+	// changes in an owned region, scanned from the delta array.
+	StructureBbox PacketStructure = iota
+	// StructureWireBased: one header-only packet per straight run of
+	// each routed or ripped-up wire. Compact per segment but performs no
+	// cancellation — every rip-up and reroute is transmitted.
+	StructureWireBased
+	// StructureWholeRegion: the entire owned region's delta values,
+	// zeros included. Trivial to assemble and disassemble but wasteful
+	// on the network.
+	StructureWholeRegion
+)
+
+// String names the structure.
+func (s PacketStructure) String() string {
+	switch s {
+	case StructureBbox:
+		return "bbox"
+	case StructureWireBased:
+		return "wire-based"
+	case StructureWholeRegion:
+		return "whole-region"
+	}
+	return fmt.Sprintf("PacketStructure(%d)", int(s))
+}
+
+// Proto is the runtime-independent protocol state of one message passing
+// LocusRoute processor: the full (possibly stale) view of the cost array,
+// the delta array of unsent changes, the dirty bounds that drive
+// SendLocData broadcasts and ReqRmtData responses, and the counters of
+// every update mechanism. Both runtimes — the discrete-event simulation
+// (node.go) and the real goroutine-and-channel runtime (live.go) — drive
+// the same Proto, so strategy behaviour is identical across them by
+// construction.
+//
+// Proto is not safe for concurrent use; each runtime confines a Proto to
+// one processor's thread of control.
+type Proto struct {
+	ID       int
+	Strategy Strategy
+	Part     geom.Partition
+	// Structure selects the SendRmtData packet layout.
+	Structure PacketStructure
+
+	circ  *circuit.Circuit
+	truth Truth
+	view  *costarray.CostArray
+	delta *costarray.Delta
+
+	router route.Params
+	paths  PathStore
+
+	ownDirty geom.Rect
+	reqDirty []geom.Rect
+
+	touch       []int
+	reqFrom     []int
+	Outstanding int // ReqRmtData responses not yet received
+
+	sinceSLD, sinceSRD int
+
+	// wireOps holds, per remote region, the straight runs of paths
+	// committed or ripped since the last update — the wire-based packet
+	// structure's send queue (StructureWireBased only).
+	wireOps [][]wireOp
+
+	// Scan work accumulated by the most recent operation, for runtimes
+	// that charge compute time (reset by TakeScanWork).
+	scanWork int
+}
+
+// wireOp is one straight run of a path inside one remote region.
+type wireOp struct {
+	run   geom.Rect
+	ripUp bool
+}
+
+// Truth is where commits and rip-ups land immediately, regardless of any
+// view staleness: the real circuit state. The DES runtime passes a plain
+// array (single-threaded by construction); the live runtime passes an
+// atomically synchronised one.
+type Truth interface {
+	Add(x, y int, d int32)
+	At(x, y int) int32
+}
+
+// PathStore records the most recent routing of each wire, consulted at
+// rip-up time. With static assignment each processor owns its wires'
+// entries, so the default per-processor map suffices; the dynamic wire
+// assignment ablation shares one store across processors because a wire
+// may be rerouted by a different processor each iteration.
+type PathStore interface {
+	Get(wi int) route.Path
+	Set(wi int, p route.Path)
+}
+
+// mapPathStore is the default private store.
+type mapPathStore map[int]route.Path
+
+// Get implements PathStore.
+func (s mapPathStore) Get(wi int) route.Path { return s[wi] }
+
+// Set implements PathStore.
+func (s mapPathStore) Set(wi int, p route.Path) { s[wi] = p }
+
+// NewProto builds the protocol state for processor id.
+func NewProto(id int, circ *circuit.Circuit, part geom.Partition, st Strategy, router route.Params) *Proto {
+	return &Proto{
+		ID:       id,
+		Strategy: st,
+		Part:     part,
+		circ:     circ,
+		view:     costarray.New(circ.Grid),
+		delta:    costarray.NewDelta(part),
+		router:   router,
+		paths:    make(mapPathStore),
+		reqDirty: make([]geom.Rect, part.Procs()),
+		touch:    make([]int, part.Procs()),
+		reqFrom:  make([]int, part.Procs()),
+	}
+}
+
+// SetTruth installs the ground-truth sink. Must be called before routing.
+func (pr *Proto) SetTruth(t Truth) { pr.truth = t }
+
+// SetPathStore replaces the private path store (dynamic wire assignment
+// shares one across processors). Must be called before routing.
+func (pr *Proto) SetPathStore(ps PathStore) { pr.paths = ps }
+
+// View exposes the processor's current view (for tests and inspection).
+func (pr *Proto) View() *costarray.CostArray { return pr.view }
+
+// TakeScanWork returns and resets the delta/extract scan work since the
+// last call.
+func (pr *Proto) TakeScanWork() int {
+	w := pr.scanWork
+	pr.scanWork = 0
+	return w
+}
+
+// protoCommitView writes through to the view, the ground truth, and the
+// dirty/delta tracking.
+type protoCommitView struct{ pr *Proto }
+
+func (v protoCommitView) Grid() geom.Grid     { return v.pr.view.Grid() }
+func (v protoCommitView) Cost(x, y int) int32 { return v.pr.view.At(x, y) }
+
+func (v protoCommitView) AddCost(x, y int, d int32) {
+	pr := v.pr
+	pr.view.Add(x, y, d)
+	pr.truth.Add(x, y, d)
+	if pr.Part.Owner(geom.Pt(x, y)) == pr.ID {
+		pr.markOwn(geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1})
+	} else if pr.Structure != StructureWireBased {
+		// The wire-based structure transmits whole runs (recorded by
+		// recordWireOps), so remote changes bypass the delta array.
+		pr.delta.Add(x, y, d)
+	}
+}
+
+// recordWireOps splits a committed or ripped path into straight runs per
+// remote region, queueing them for the wire-based packet structure.
+func (pr *Proto) recordWireOps(path route.Path, ripUp bool) {
+	if pr.wireOps == nil {
+		pr.wireOps = make([][]wireOp, pr.Part.Procs())
+	}
+	flush := func(owner int, run geom.Rect) {
+		if owner != pr.ID && !run.Empty() {
+			pr.wireOps[owner] = append(pr.wireOps[owner], wireOp{run: run, ripUp: ripUp})
+		}
+	}
+	var run geom.Rect
+	owner := -1
+	var prev geom.Point
+	for i, c := range path.Cells {
+		o := pr.Part.Owner(c)
+		extends := i > 0 && o == owner && adjacentCollinear(run, prev, c)
+		if !extends {
+			flush(owner, run)
+			run = geom.Rect{}
+			owner = o
+		}
+		run = run.AddPoint(c)
+		prev = c
+	}
+	flush(owner, run)
+}
+
+// adjacentCollinear reports whether adding c after prev keeps the run a
+// straight horizontal or vertical segment.
+func adjacentCollinear(run geom.Rect, prev, c geom.Point) bool {
+	if prev.Manhattan(c) != 1 {
+		return false
+	}
+	ext := run.AddPoint(c)
+	return ext.Dx() == 1 || ext.Dy() == 1
+}
+
+func (pr *Proto) markOwn(bb geom.Rect) {
+	pr.ownDirty = pr.ownDirty.Union(bb)
+	for i := range pr.reqDirty {
+		if i != pr.ID {
+			pr.reqDirty[i] = pr.reqDirty[i].Union(bb)
+		}
+	}
+}
+
+// PendingWire is an evaluated-but-not-yet-committed wire routing, carried
+// between EvaluateWire and CommitWire so the runtime can charge
+// evaluation time before the commit becomes visible.
+type PendingWire struct {
+	Path          route.Path
+	CellsExamined int
+}
+
+// RipUpWire removes the previous routing of wire wi (iterations after the
+// first) and returns the number of cells decremented. It must precede
+// EvaluateWire for the same wire.
+func (pr *Proto) RipUpWire(wi, iter int) int {
+	if iter == 0 {
+		return 0
+	}
+	prev := pr.paths.Get(wi)
+	route.RipUp(protoCommitView{pr: pr}, prev)
+	if pr.Structure == StructureWireBased {
+		pr.recordWireOps(prev, true)
+	}
+	return prev.Len()
+}
+
+// EvaluateWire routes wire wi against the current view without committing.
+func (pr *Proto) EvaluateWire(wi int) PendingWire {
+	w := &pr.circ.Wires[wi]
+	ev := route.RouteWire(route.ArrayView{A: pr.view}, w, pr.router)
+	return PendingWire{Path: ev.Path, CellsExamined: ev.CellsExamined}
+}
+
+// CommitWire places the evaluated path, returning its cost against the
+// ground truth at commit time (the wire's occupancy contribution).
+func (pr *Proto) CommitWire(wi int, pw PendingWire) int64 {
+	var trueCost int64
+	for _, cell := range pw.Path.Cells {
+		trueCost += int64(pr.truth.At(cell.X, cell.Y))
+	}
+	route.Commit(protoCommitView{pr: pr}, pw.Path)
+	if pr.Structure == StructureWireBased {
+		pr.recordWireOps(pw.Path, false)
+	}
+	pr.paths.Set(wi, pw.Path)
+	return trueCost
+}
+
+// RouteWire is the single-shot form of RipUpWire + EvaluateWire +
+// CommitWire for runtimes that do not charge time between phases.
+func (pr *Proto) RouteWire(wi, iter int) WireStats {
+	var st WireStats
+	st.CellsRipped = pr.RipUpWire(wi, iter)
+	pw := pr.EvaluateWire(wi)
+	st.CellsExamined = pw.CellsExamined
+	st.TrueCost = pr.CommitWire(wi, pw)
+	st.CellsCommitted = pw.Path.Len()
+	return st
+}
+
+// AfterWire advances the sender initiated schedule and returns the
+// updates due.
+func (pr *Proto) AfterWire() []Outbound {
+	var outs []Outbound
+	if pr.Strategy.SendRmtData > 0 {
+		pr.sinceSRD++
+		if pr.sinceSRD >= pr.Strategy.SendRmtData {
+			pr.sinceSRD = 0
+			outs = append(outs, pr.pushDeltas()...)
+		}
+	}
+	if pr.Strategy.SendLocData > 0 {
+		pr.sinceSLD++
+		if pr.sinceSLD >= pr.Strategy.SendLocData {
+			pr.sinceSLD = 0
+			outs = append(outs, pr.broadcastOwnRegion()...)
+		}
+	}
+	return outs
+}
+
+func (pr *Proto) pushDeltas() []Outbound {
+	if pr.Structure == StructureWireBased {
+		return pr.pushWireOps()
+	}
+	var outs []Outbound
+	for proc := 0; proc < pr.Part.Procs(); proc++ {
+		if proc == pr.ID || !pr.delta.HasChanges(proc) {
+			continue
+		}
+		var bb geom.Rect
+		var vals []int32
+		var scanned int
+		if pr.Structure == StructureWholeRegion {
+			bb, vals, scanned = pr.delta.TakeWholeRegion(proc)
+		} else {
+			bb, vals, scanned = pr.delta.TakeRegion(proc)
+		}
+		pr.scanWork += scanned
+		if bb.Empty() {
+			continue // full cancellation: nothing to send
+		}
+		outs = append(outs, Outbound{
+			To:  proc,
+			Msg: &msg.Message{Kind: msg.KindSendRmtData, Region: bb, Vals: vals},
+		})
+	}
+	return outs
+}
+
+// pushWireOps drains the wire-based send queues: one header-only packet
+// per straight run, no cancellation.
+func (pr *Proto) pushWireOps() []Outbound {
+	var outs []Outbound
+	for proc := range pr.wireOps {
+		for _, op := range pr.wireOps[proc] {
+			flag := msg.WireFlagRoute
+			if op.ripUp {
+				flag = msg.WireFlagRipUp
+			}
+			outs = append(outs, Outbound{
+				To:  proc,
+				Msg: &msg.Message{Kind: msg.KindSendRmtWire, Region: op.run, Seq: flag},
+			})
+		}
+		pr.wireOps[proc] = pr.wireOps[proc][:0]
+	}
+	return outs
+}
+
+func (pr *Proto) broadcastOwnRegion() []Outbound {
+	if pr.ownDirty.Empty() {
+		return nil
+	}
+	bb, vals := pr.view.ExtractRect(pr.ownDirty)
+	pr.scanWork += bb.Area()
+	pr.ownDirty = geom.Rect{}
+	if bb.Empty() {
+		return nil
+	}
+	outs := make([]Outbound, 0, 4)
+	for _, nb := range pr.Part.Neighbors(pr.ID) {
+		outs = append(outs, Outbound{
+			To:  nb,
+			Msg: &msg.Message{Kind: msg.KindSendLocData, Region: bb, Vals: vals},
+		})
+	}
+	return outs
+}
+
+// NoteUpcoming counts the regions an upcoming wire will touch and returns
+// the ReqRmtData requests due at the configured threshold, incrementing
+// Outstanding for each.
+func (pr *Proto) NoteUpcoming(wi int) []Outbound {
+	if pr.Strategy.ReqRmtData <= 0 {
+		return nil
+	}
+	w := &pr.circ.Wires[wi]
+	var outs []Outbound
+	for _, proc := range pr.Part.RegionsTouching(w.Bounds()) {
+		if proc == pr.ID {
+			continue
+		}
+		pr.touch[proc]++
+		if pr.touch[proc] >= pr.Strategy.ReqRmtData {
+			pr.touch[proc] = 0
+			pr.Outstanding++
+			outs = append(outs, Outbound{
+				To:  proc,
+				Msg: &msg.Message{Kind: msg.KindReqRmtData, Region: pr.Part.Region(proc)},
+			})
+		}
+	}
+	return outs
+}
+
+// Handle processes one incoming protocol message, updating state and
+// returning any responses due. Barrier kinds (Done/Continue) are the
+// runtime's business and are rejected here.
+func (pr *Proto) Handle(from int, m *msg.Message) []Outbound {
+	switch m.Kind {
+	case msg.KindSendLocData:
+		pr.applyAbsolute(m)
+		return nil
+	case msg.KindSendRmtData:
+		pr.applyDeltaToOwn(m)
+		return nil
+	case msg.KindReqRmtData:
+		return pr.handleReqRmt(from)
+	case msg.KindReqLocData:
+		return pr.handleReqLoc(from)
+	case msg.KindRspRmtData:
+		pr.Outstanding--
+		if !m.Region.Empty() {
+			pr.applyAbsolute(m)
+		}
+		return nil
+	case msg.KindRspLocData:
+		if !m.Region.Empty() {
+			pr.applyDeltaToOwn(m)
+		}
+		return nil
+	case msg.KindSendRmtWire:
+		d := int32(1)
+		if m.Seq == msg.WireFlagRipUp {
+			d = -1
+		}
+		r := m.Region.Intersect(pr.view.Grid().Bounds())
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				pr.view.Add(x, y, d)
+			}
+		}
+		pr.markOwn(r)
+		return nil
+	}
+	panic(fmt.Sprintf("mp: proto %d: unexpected kind %v", pr.ID, m.Kind))
+}
+
+func (pr *Proto) applyAbsolute(m *msg.Message) {
+	if err := pr.view.ApplyAbsolute(m.Region, m.Vals); err != nil {
+		panic(fmt.Sprintf("mp: proto %d applying %v: %v", pr.ID, m.Kind, err))
+	}
+}
+
+func (pr *Proto) applyDeltaToOwn(m *msg.Message) {
+	if err := pr.view.ApplyDelta(m.Region, m.Vals); err != nil {
+		panic(fmt.Sprintf("mp: proto %d applying %v: %v", pr.ID, m.Kind, err))
+	}
+	pr.markOwn(m.Region)
+}
+
+func (pr *Proto) handleReqRmt(from int) []Outbound {
+	bb := pr.reqDirty[from]
+	pr.reqDirty[from] = geom.Rect{}
+	rsp := &msg.Message{Kind: msg.KindRspRmtData}
+	if !bb.Empty() {
+		region, vals := pr.view.ExtractRect(bb)
+		pr.scanWork += region.Area()
+		rsp.Region, rsp.Vals = region, vals
+	}
+	outs := []Outbound{{To: from, Msg: rsp}}
+
+	if pr.Strategy.ReqLocData > 0 {
+		pr.reqFrom[from]++
+		if pr.reqFrom[from] >= pr.Strategy.ReqLocData {
+			pr.reqFrom[from] = 0
+			outs = append(outs, Outbound{
+				To:  from,
+				Msg: &msg.Message{Kind: msg.KindReqLocData, Region: pr.Part.Region(pr.ID)},
+			})
+		}
+	}
+	return outs
+}
+
+func (pr *Proto) handleReqLoc(owner int) []Outbound {
+	bb, vals, scanned := pr.delta.TakeRegion(owner)
+	pr.scanWork += scanned
+	rsp := &msg.Message{Kind: msg.KindRspLocData}
+	if !bb.Empty() {
+		rsp.Region, rsp.Vals = bb, vals
+	}
+	return []Outbound{{To: owner, Msg: rsp}}
+}

@@ -1,0 +1,306 @@
+package mp
+
+import (
+	"testing"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
+	"locusroute/internal/msg"
+	"locusroute/internal/route"
+)
+
+// protoFixture builds a 2x2-processor protocol pair (ids 0 and 1 are mesh
+// neighbours) over a small circuit with a shared ground truth.
+type protoFixture struct {
+	circ  *circuit.Circuit
+	part  geom.Partition
+	truth plainTruth
+	ps    []*Proto
+}
+
+func newProtoFixture(t *testing.T, st Strategy) *protoFixture {
+	t.Helper()
+	c := smallCircuit(3)
+	part, err := geom.NewPartition(c.Grid, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &protoFixture{
+		circ:  c,
+		part:  part,
+		truth: plainTruth{a: costarray.New(c.Grid)},
+	}
+	for id := 0; id < 4; id++ {
+		p := NewProto(id, c, part, st, route.Params{Iterations: 2})
+		p.SetTruth(f.truth)
+		f.ps = append(f.ps, p)
+	}
+	return f
+}
+
+// deliver routes outbound messages to their target protos, collecting any
+// cascaded responses until quiescence.
+func (f *protoFixture) deliver(from int, outs []Outbound) {
+	type env struct {
+		from int
+		out  Outbound
+	}
+	queue := make([]env, 0, len(outs))
+	for _, o := range outs {
+		queue = append(queue, env{from: from, out: o})
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		target := f.ps[e.out.To]
+		for _, rsp := range target.Handle(e.from, e.out.Msg) {
+			queue = append(queue, env{from: e.out.To, out: rsp})
+		}
+	}
+}
+
+// wireIn returns a wire index whose bounding box lies inside proc's
+// region, or -1.
+func (f *protoFixture) wireIn(proc int) int {
+	region := f.part.Region(proc)
+	for i := range f.circ.Wires {
+		if region.ContainsRect(f.circ.Wires[i].Bounds()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// wireCrossing returns a wire routed by `by` whose bounding box touches a
+// region not owned by `by`, or -1.
+func (f *protoFixture) wireCrossing(by int) int {
+	for i := range f.circ.Wires {
+		for _, owner := range f.part.RegionsTouching(f.circ.Wires[i].Bounds()) {
+			if owner != by {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestProtoCommitUpdatesViewAndTruth(t *testing.T) {
+	f := newProtoFixture(t, Strategy{})
+	p := f.ps[0]
+	stats := p.RouteWire(0, 0)
+	if stats.CellsCommitted == 0 {
+		t.Fatalf("no cells committed")
+	}
+	// Every committed cell is visible in the router's view and in the
+	// ground truth.
+	var viewSum, truthSum int64
+	g := f.circ.Grid
+	for y := 0; y < g.Channels; y++ {
+		for x := 0; x < g.Grids; x++ {
+			viewSum += int64(p.View().At(x, y))
+			truthSum += int64(f.truth.At(x, y))
+		}
+	}
+	if viewSum != int64(stats.CellsCommitted) || truthSum != viewSum {
+		t.Errorf("view sum %d, truth sum %d, committed %d", viewSum, truthSum, stats.CellsCommitted)
+	}
+}
+
+func TestProtoRipUpRestoresEmpty(t *testing.T) {
+	f := newProtoFixture(t, Strategy{})
+	p := f.ps[0]
+	p.RouteWire(5, 0)
+	ripped := p.RipUpWire(5, 1)
+	if ripped == 0 {
+		t.Fatalf("nothing ripped")
+	}
+	if p.View().NonZeroCells() != 0 || f.truth.a.NonZeroCells() != 0 {
+		t.Errorf("rip-up must restore the empty array")
+	}
+}
+
+func TestProtoSendRmtDataDeliversDeltasToOwner(t *testing.T) {
+	f := newProtoFixture(t, SenderInitiated(1, 0))
+	// Find a wire routed by 0 crossing another region.
+	wi := f.wireCrossing(0)
+	if wi < 0 {
+		t.Skip("no crossing wire in this circuit")
+	}
+	p0 := f.ps[0]
+	p0.RouteWire(wi, 0)
+	outs := p0.AfterWire()
+	if len(outs) == 0 {
+		t.Fatalf("SendRmtData=1 must push deltas after one wire")
+	}
+	f.deliver(0, outs)
+	// After delivery, every owner's view agrees with the truth on its
+	// own region.
+	for id, p := range f.ps {
+		r := f.part.Region(id)
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				if p.View().At(x, y) != f.truth.At(x, y) {
+					t.Fatalf("owner %d cell (%d,%d): view %d truth %d",
+						id, x, y, p.View().At(x, y), f.truth.At(x, y))
+				}
+			}
+		}
+	}
+}
+
+func TestProtoSendLocDataReachesNeighborsOnly(t *testing.T) {
+	f := newProtoFixture(t, SenderInitiated(0, 1))
+	wi := f.wireIn(0)
+	if wi < 0 {
+		t.Skip("no in-region wire")
+	}
+	p0 := f.ps[0]
+	p0.RouteWire(wi, 0)
+	outs := p0.AfterWire()
+	if len(outs) == 0 {
+		t.Fatalf("SendLocData=1 must broadcast after one wire")
+	}
+	neighbors := map[int]bool{}
+	for _, nb := range f.part.Neighbors(0) {
+		neighbors[nb] = true
+	}
+	for _, o := range outs {
+		if o.Msg.Kind != msg.KindSendLocData {
+			t.Errorf("unexpected kind %v", o.Msg.Kind)
+		}
+		if !neighbors[o.To] {
+			t.Errorf("SendLocData sent to non-neighbor %d", o.To)
+		}
+	}
+	// Second AfterWire without routing: nothing changed, nothing sent.
+	if outs := p0.AfterWire(); len(outs) != 0 {
+		t.Errorf("no changes must mean no broadcast, got %d packets", len(outs))
+	}
+}
+
+func TestProtoReqRmtDataRequestResponse(t *testing.T) {
+	f := newProtoFixture(t, ReceiverInitiated(0, 1, false))
+	// Owner 1 routes a wire in its own region so it has data to serve.
+	wi := f.wireIn(1)
+	if wi < 0 {
+		t.Skip("no in-region wire for processor 1")
+	}
+	f.ps[1].RouteWire(wi, 0)
+
+	// Processor 0 notes an upcoming wire crossing region 1.
+	cross := -1
+	for i := range f.circ.Wires {
+		for _, owner := range f.part.RegionsTouching(f.circ.Wires[i].Bounds()) {
+			if owner == 1 {
+				cross = i
+			}
+		}
+	}
+	if cross < 0 {
+		t.Skip("no wire crossing region 1")
+	}
+	outs := f.ps[0].NoteUpcoming(cross)
+	if len(outs) == 0 {
+		t.Fatalf("ReqRmtData=1 must request on first touch")
+	}
+	if f.ps[0].Outstanding == 0 {
+		t.Fatalf("outstanding must count pending responses")
+	}
+	f.deliver(0, outs)
+	if f.ps[0].Outstanding != 0 {
+		t.Errorf("responses must clear outstanding, still %d", f.ps[0].Outstanding)
+	}
+	// Processor 0's view of region 1 now matches the owner's.
+	r1 := f.part.Region(1)
+	for y := r1.Y0; y < r1.Y1; y++ {
+		for x := r1.X0; x < r1.X1; x++ {
+			if f.ps[0].View().At(x, y) != f.ps[1].View().At(x, y) {
+				t.Fatalf("view divergence at (%d,%d) after response", x, y)
+			}
+		}
+	}
+}
+
+func TestProtoSecondRequestGetsNoChange(t *testing.T) {
+	f := newProtoFixture(t, ReceiverInitiated(0, 1, false))
+	wi := f.wireIn(1)
+	if wi < 0 {
+		t.Skip("no in-region wire")
+	}
+	f.ps[1].RouteWire(wi, 0)
+	// Two identical requests from 0: first carries data, second is a
+	// header-only "no changes" response.
+	rsp1 := f.ps[1].Handle(0, &msg.Message{Kind: msg.KindReqRmtData, Region: f.part.Region(1)})
+	rsp2 := f.ps[1].Handle(0, &msg.Message{Kind: msg.KindReqRmtData, Region: f.part.Region(1)})
+	if len(rsp1) == 0 || rsp1[0].Msg.Region.Empty() {
+		t.Fatalf("first response must carry data")
+	}
+	if len(rsp2) == 0 || !rsp2[0].Msg.Region.Empty() {
+		t.Errorf("second response must be a no-change header")
+	}
+}
+
+func TestProtoReqLocDataPullsDeltasHome(t *testing.T) {
+	f := newProtoFixture(t, ReceiverInitiated(1, 1, false))
+	wi := f.wireCrossing(0)
+	if wi < 0 {
+		t.Skip("no crossing wire")
+	}
+	f.ps[0].RouteWire(wi, 0)
+	// Owner of a crossed region asks 0 for its deltas.
+	var owner int = -1
+	for _, o := range f.part.RegionsTouching(f.circ.Wires[wi].Bounds()) {
+		if o != 0 {
+			owner = o
+		}
+	}
+	if owner < 0 {
+		t.Skip("no remote owner")
+	}
+	outs := f.ps[0].Handle(owner, &msg.Message{Kind: msg.KindReqLocData, Region: f.part.Region(owner)})
+	if len(outs) != 1 || outs[0].Msg.Kind != msg.KindRspLocData {
+		t.Fatalf("ReqLocData must produce one RspLocData, got %v", outs)
+	}
+	f.deliver(0, outs)
+	// The owner's view of its region now matches the truth there.
+	r := f.part.Region(owner)
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			if f.ps[owner].View().At(x, y) != f.truth.At(x, y) {
+				t.Fatalf("owner view diverges from truth at (%d,%d)", x, y)
+			}
+		}
+	}
+	// And 0's deltas for that region are cleared: a second pull is empty.
+	outs = f.ps[0].Handle(owner, &msg.Message{Kind: msg.KindReqLocData, Region: f.part.Region(owner)})
+	if !outs[0].Msg.Region.Empty() {
+		t.Errorf("second pull must be empty (deltas already taken)")
+	}
+}
+
+func TestProtoHandleRejectsBarrierKinds(t *testing.T) {
+	f := newProtoFixture(t, Strategy{})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("barrier kinds must panic in Proto.Handle")
+		}
+	}()
+	f.ps[0].Handle(1, &msg.Message{Kind: msg.KindDone})
+}
+
+func TestProtoScanWorkAccumulates(t *testing.T) {
+	f := newProtoFixture(t, SenderInitiated(1, 1))
+	wi := f.wireCrossing(0)
+	if wi < 0 {
+		t.Skip("no crossing wire")
+	}
+	f.ps[0].RouteWire(wi, 0)
+	f.ps[0].AfterWire()
+	if f.ps[0].TakeScanWork() == 0 {
+		t.Errorf("update construction must report scan work")
+	}
+	if f.ps[0].TakeScanWork() != 0 {
+		t.Errorf("TakeScanWork must reset")
+	}
+}

@@ -1,0 +1,148 @@
+package mp
+
+import (
+	"fmt"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
+	"locusroute/internal/mesh"
+	"locusroute/internal/msg"
+	"locusroute/internal/sim"
+)
+
+// plainTruth adapts a plain cost array to the Truth interface for the
+// discrete-event runtime, where the kernel serialises all node execution.
+type plainTruth struct{ a *costarray.CostArray }
+
+// Add implements Truth.
+func (t plainTruth) Add(x, y int, d int32) { t.a.Add(x, y, d) }
+
+// At implements Truth.
+func (t plainTruth) At(x, y int) int32 { return t.a.At(x, y) }
+
+// runner holds the state shared by all nodes of one simulated run. The
+// discrete-event kernel serialises node execution, so plain fields are
+// safe.
+type runner struct {
+	cfg  Config
+	circ *circuit.Circuit
+	asn  *assign.Assignment
+	part geom.Partition
+	net  mesh.Interconnect
+
+	// truth is the ground-truth cost array: every commit and rip-up by
+	// any node lands here immediately, so final quality is measured on
+	// the real circuit state, not on any node's (stale) view.
+	truth plainTruth
+
+	lastCost      []int64 // per wire: path cost at its most recent routing
+	bytesByKind   map[msg.Kind]int64
+	packetsByKind map[msg.Kind]int64
+	cells         int64
+	finish        []sim.Time
+	routeTime     sim.Time
+	msgTime       sim.Time
+
+	// Dynamic wire assignment state (DynamicWires only): the shared
+	// wire counter node 0 serves from, and the cross-processor path
+	// store (a wire may be rerouted by a different processor each
+	// iteration).
+	wireCounter int
+	pathStore   PathStore
+}
+
+// takeWire hands out the next wire of the current iteration, or -1.
+func (r *runner) takeWire() int {
+	if r.wireCounter >= len(r.circ.Wires) {
+		return -1
+	}
+	wi := r.wireCounter
+	r.wireCounter++
+	return wi
+}
+
+// Run executes the message passing LocusRoute on the simulated mesh and
+// reports quality, simulated time and traffic.
+func Run(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(circ, asn); err != nil {
+		return Result{}, err
+	}
+	px, py := geom.SquarestFactors(cfg.Procs)
+	part, err := geom.NewPartition(circ.Grid, px, py)
+	if err != nil {
+		return Result{}, fmt.Errorf("mp: partitioning: %w", err)
+	}
+
+	kernel := sim.NewKernel()
+	var net mesh.Interconnect
+	if len(cfg.Topology) > 0 {
+		nodes := 1
+		for _, d := range cfg.Topology {
+			nodes *= d
+		}
+		if nodes != cfg.Procs {
+			return Result{}, fmt.Errorf("mp: topology %v has %d nodes for %d processors",
+				cfg.Topology, nodes, cfg.Procs)
+		}
+		net, err = mesh.NewCube(kernel, cfg.Topology, cfg.Net)
+	} else {
+		net, err = mesh.New(kernel, px, py, cfg.Net)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	r := &runner{
+		cfg:           cfg,
+		circ:          circ,
+		asn:           asn,
+		part:          part,
+		net:           net,
+		truth:         plainTruth{a: costarray.New(circ.Grid)},
+		lastCost:      make([]int64, len(circ.Wires)),
+		bytesByKind:   make(map[msg.Kind]int64),
+		packetsByKind: make(map[msg.Kind]int64),
+		finish:        make([]sim.Time, cfg.Procs),
+	}
+	if cfg.DynamicWires {
+		r.pathStore = make(mapPathStore)
+	}
+
+	for id := 0; id < cfg.Procs; id++ {
+		if cfg.StrictOwnership {
+			n := newStrictNode(id, r)
+			kernel.Spawn(fmt.Sprintf("node%d", id), n.run)
+		} else {
+			n := newNode(id, r)
+			kernel.Spawn(fmt.Sprintf("node%d", id), n.run)
+		}
+	}
+	kernel.Run()
+
+	var res Result
+	res.CircuitHeight = r.truth.a.CircuitHeight()
+	for _, c := range r.lastCost {
+		res.Occupancy += c
+	}
+	for _, f := range r.finish {
+		if f > res.Time {
+			res.Time = f
+		}
+		res.BusyTime += f
+	}
+	res.Net = net.Stats()
+	res.RouteTime = r.routeTime
+	res.MessageTime = r.msgTime
+	res.BytesByKind = r.bytesByKind
+	res.PacketsByKind = r.packetsByKind
+	res.CellsExamined = r.cells
+	// Update traffic excludes the barrier and the dynamic wire
+	// distribution: the paper's "MBytes Xfrd." measures consistency
+	// traffic.
+	res.UpdateBytes = res.Net.Bytes -
+		r.bytesByKind[msg.KindDone] - r.bytesByKind[msg.KindContinue] -
+		r.bytesByKind[msg.KindReqWire] - r.bytesByKind[msg.KindWireGrant]
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+
+	"locusroute/internal/geom"
+)
+
+// FuzzDecode feeds arbitrary bytes to the packet decoder: it must never
+// panic, and anything it accepts must re-encode to the same bytes
+// (decode-encode round trip).
+func FuzzDecode(f *testing.F) {
+	// Seed with real packets of every kind.
+	seeds := []*Message{
+		{Kind: KindSendLocData, Region: geom.R(0, 0, 3, 1), Vals: []int32{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Kind: KindSendRmtData, Region: geom.R(2, 2, 2, 2), Vals: []int32{-1}},
+		{Kind: KindReqRmtData, Region: geom.R(0, 0, 85, 2)},
+		{Kind: KindReqLocData, Region: geom.R(10, 0, 20, 4)},
+		{Kind: KindRspRmtData},
+		{Kind: KindRspLocData, Region: geom.R(5, 5, 6, 6), Vals: []int32{0, 0, 1, 0}},
+		{Kind: KindDone, Seq: 2},
+		{Kind: KindContinue, Seq: 7},
+		{Kind: KindReqWire},
+		{Kind: KindWireGrant, Seq: 321},
+		{Kind: KindSendRmtWire, Region: geom.R(4, 1, 9, 1), Seq: WireFlagRipUp},
+		{Kind: KindPassTask, Region: geom.Rect{X0: 9, Y0: 2, X1: 3, Y1: 1}, Seq: PackTask(17, 3)},
+		{Kind: KindSegDone, Seq: PackTask(99, 15)},
+	}
+	for _, m := range seeds {
+		buf, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v (%+v)", err, m)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzPackTask checks the task Seq packing is a bijection over its
+// domain.
+func FuzzPackTask(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(0xffff))
+	f.Add(PackTask(4095, 15))
+	f.Fuzz(func(t *testing.T, seq uint16) {
+		wire, init := UnpackTask(seq)
+		if wire < 0 || wire > 4095 || init < 0 || init > 15 {
+			t.Fatalf("unpacked out of domain: wire=%d init=%d", wire, init)
+		}
+		if PackTask(wire, init) != seq {
+			t.Fatalf("pack/unpack not bijective for %d", seq)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+// Package perf holds the compute-cost model for simulated processors.
+//
+// The paper ran on CBS nodes modelling the Ametek Series 2010's MC68020
+// (roughly a 2 MIPS processor). We cannot rerun its binaries, so node
+// computation is charged in units of the router's natural work measures:
+//
+//   - cost-array cells examined while evaluating candidate routes (the
+//     dominant term; a cell evaluation is a couple of loads, an add and a
+//     compare — order of 1 microsecond at 2 MIPS),
+//   - cells touched by commits, rip-ups and update application,
+//   - delta-array cells scanned when building bounding-box updates, and
+//   - bytes marshalled/unmarshalled for update packets (the paper notes
+//     packet assembly and disassembly reach about a quarter of processing
+//     time under the most frequent update schedules, which calibrates the
+//     per-byte charge).
+//
+// Absolute times are therefore calibrated estimates; the experiments
+// compare *relative* execution times, speedups and crossovers, which is
+// also all the paper's conclusions rest on.
+package perf
+
+import "locusroute/internal/sim"
+
+// Model is a set of per-operation time charges.
+type Model struct {
+	// CellEval is charged per cost-array cell read during candidate
+	// route evaluation.
+	CellEval sim.Time
+	// CellWrite is charged per cell incremented or decremented by a
+	// commit, rip-up, or applied update.
+	CellWrite sim.Time
+	// CellScan is charged per delta-array cell scanned when building a
+	// bounding-box update.
+	CellScan sim.Time
+	// ByteCopy is charged per byte when assembling or disassembling an
+	// update packet.
+	ByteCopy sim.Time
+	// WireOverhead is the fixed per-wire-routing charge (queue handling,
+	// segment setup).
+	WireOverhead sim.Time
+}
+
+// Default returns the calibrated MC68020-class model used by all paper
+// experiments.
+func Default() Model {
+	return Model{
+		CellEval:     1200 * sim.Nanosecond,
+		CellWrite:    1500 * sim.Nanosecond,
+		CellScan:     500 * sim.Nanosecond,
+		ByteCopy:     900 * sim.Nanosecond,
+		WireOverhead: 40 * sim.Microsecond,
+	}
+}
+
+// EvalTime returns the charge for examining n cells.
+func (m Model) EvalTime(n int) sim.Time { return m.CellEval * sim.Time(n) }
+
+// WriteTime returns the charge for writing n cells.
+func (m Model) WriteTime(n int) sim.Time { return m.CellWrite * sim.Time(n) }
+
+// ScanTime returns the charge for scanning n delta cells.
+func (m Model) ScanTime(n int) sim.Time { return m.CellScan * sim.Time(n) }
+
+// CopyTime returns the charge for marshalling or unmarshalling n bytes.
+func (m Model) CopyTime(n int) sim.Time { return m.ByteCopy * sim.Time(n) }

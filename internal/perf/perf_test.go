@@ -1,0 +1,44 @@
+package perf
+
+import (
+	"testing"
+
+	"locusroute/internal/sim"
+)
+
+func TestDefaultModelPositive(t *testing.T) {
+	m := Default()
+	if m.CellEval <= 0 || m.CellWrite <= 0 || m.CellScan <= 0 || m.ByteCopy <= 0 || m.WireOverhead <= 0 {
+		t.Errorf("all default charges must be positive: %+v", m)
+	}
+}
+
+func TestChargesScaleLinearly(t *testing.T) {
+	m := Default()
+	if m.EvalTime(10) != 10*m.CellEval {
+		t.Errorf("EvalTime not linear")
+	}
+	if m.WriteTime(3) != 3*m.CellWrite {
+		t.Errorf("WriteTime not linear")
+	}
+	if m.ScanTime(7) != 7*m.CellScan {
+		t.Errorf("ScanTime not linear")
+	}
+	if m.CopyTime(100) != 100*m.ByteCopy {
+		t.Errorf("CopyTime not linear")
+	}
+	if m.EvalTime(0) != 0 {
+		t.Errorf("zero cells must cost nothing")
+	}
+}
+
+func TestModelMagnitudes(t *testing.T) {
+	// Sanity band: a cell evaluation is around a microsecond on a 2 MIPS
+	// class node; a full bnrE routing (millions of cell evals) must land
+	// in whole seconds, not milliseconds or hours.
+	m := Default()
+	perMillionCells := m.EvalTime(1_000_000)
+	if perMillionCells < 100*sim.Millisecond || perMillionCells > 10*sim.Second {
+		t.Errorf("1M cell evals = %v, outside plausible band", perMillionCells)
+	}
+}

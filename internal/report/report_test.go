@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
+	"locusroute/internal/route"
+)
+
+func routedArray(t *testing.T, seed int64) *costarray.CostArray {
+	t.Helper()
+	c := circuit.MustGenerate(circuit.GenParams{
+		Name: "r", Channels: 6, Grids: 60, Wires: 50, MeanSpan: 10, Seed: seed,
+	})
+	_, arr := route.Sequential(c, route.Params{Iterations: 2})
+	return arr
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	arr := routedArray(t, 1)
+	a := Analyze(arr, 5)
+	if a.Height != arr.CircuitHeight() {
+		t.Errorf("height %d != array height %d", a.Height, arr.CircuitHeight())
+	}
+	if len(a.Channels) != 6 {
+		t.Fatalf("channels = %d", len(a.Channels))
+	}
+	// Sum of per-channel tracks equals circuit height.
+	var sum int64
+	for _, ch := range a.Channels {
+		sum += int64(ch.Tracks)
+		if ch.Tracks > 0 && arr.At(ch.PeakX, ch.Channel) != ch.Tracks {
+			t.Errorf("channel %d peak mismatch", ch.Channel)
+		}
+		if ch.Utilisation < 0 || ch.Utilisation > 1 {
+			t.Errorf("channel %d utilisation %f out of range", ch.Channel, ch.Utilisation)
+		}
+	}
+	if sum != a.Height {
+		t.Errorf("channel tracks sum %d != height %d", sum, a.Height)
+	}
+	if len(a.HotSpots) != 5 {
+		t.Errorf("hot spots = %d, want 5", len(a.HotSpots))
+	}
+	for i := 1; i < len(a.HotSpots); i++ {
+		if a.HotSpots[i].Wires > a.HotSpots[i-1].Wires {
+			t.Errorf("hot spots must be sorted by congestion")
+		}
+	}
+	if a.OccupiedCells <= 0 || a.OccupiedCells > a.TotalCells {
+		t.Errorf("occupied = %d of %d", a.OccupiedCells, a.TotalCells)
+	}
+}
+
+func TestAnalyzeEmptyArray(t *testing.T) {
+	arr := costarray.New(geom.Grid{Channels: 3, Grids: 10})
+	a := Analyze(arr, 3)
+	if a.Height != 0 || a.OccupiedCells != 0 || len(a.HotSpots) != 0 {
+		t.Errorf("empty array analysis wrong: %+v", a)
+	}
+	if !strings.Contains(a.String(), "circuit height 0") {
+		t.Errorf("render: %s", a.String())
+	}
+}
+
+func TestAnalyzeRender(t *testing.T) {
+	out := Analyze(routedArray(t, 2), 3).String()
+	for _, want := range []string{"per-channel routing tracks", "hottest cells", "Utilisation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := routedArray(t, 3)
+	d, err := Compare(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellsChanged != 0 || d.ChannelsChanged != 0 || d.HeightA != d.HeightB {
+		t.Errorf("identical arrays differ: %+v", d)
+	}
+}
+
+func TestCompareDifferent(t *testing.T) {
+	a := routedArray(t, 3)
+	b := a.Clone()
+	b.Add(5, 2, 7)
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellsChanged != 1 {
+		t.Errorf("CellsChanged = %d, want 1", d.CellsChanged)
+	}
+	if !strings.Contains(d.String(), "1 cells differ") {
+		t.Errorf("render: %s", d.String())
+	}
+}
+
+func TestCompareGridMismatch(t *testing.T) {
+	a := costarray.New(geom.Grid{Channels: 3, Grids: 10})
+	b := costarray.New(geom.Grid{Channels: 4, Grids: 10})
+	if _, err := Compare(a, b); err == nil {
+		t.Errorf("grid mismatch must fail")
+	}
+}

@@ -1,0 +1,63 @@
+package route
+
+import (
+	"testing"
+
+	"locusroute/internal/circuit"
+)
+
+func TestSequentialRoutesEverything(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenParams{
+		Name: "t", Channels: 6, Grids: 60, Wires: 40, MeanSpan: 8, Seed: 3,
+	})
+	res, arr := Sequential(c, Params{Iterations: 2})
+	if res.WiresRouted != 80 {
+		t.Errorf("WiresRouted = %d, want 80", res.WiresRouted)
+	}
+	if res.CircuitHeight <= 0 {
+		t.Errorf("CircuitHeight = %d, must be positive", res.CircuitHeight)
+	}
+	if arr.CircuitHeight() != res.CircuitHeight {
+		t.Errorf("result height %d != array height %d", res.CircuitHeight, arr.CircuitHeight())
+	}
+	// Total wire-cells in the array equal the sum of final path lengths;
+	// in particular the array must be non-negative everywhere.
+	for _, v := range arr.Cells() {
+		if v < 0 {
+			t.Fatalf("negative cost cell after sequential routing")
+		}
+	}
+}
+
+func TestSequentialIterationsImproveOrHold(t *testing.T) {
+	c := circuit.MustGenerate(circuit.BnrELike(5))
+	one, _ := Sequential(c, Params{Iterations: 1})
+	three, _ := Sequential(c, Params{Iterations: 3})
+	// The paper: performing several iterations improves the final
+	// solution quality. Allow equality (already converged) but not
+	// significant regression.
+	if float64(three.CircuitHeight) > float64(one.CircuitHeight)*1.02 {
+		t.Errorf("3 iterations height %d much worse than 1 iteration %d",
+			three.CircuitHeight, one.CircuitHeight)
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	c := circuit.MustGenerate(circuit.MDCLike(2))
+	a, _ := Sequential(c, DefaultParams())
+	b, _ := Sequential(c, DefaultParams())
+	if a != b {
+		t.Errorf("sequential routing must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSequentialOccupancyPositive(t *testing.T) {
+	c := circuit.MustGenerate(circuit.BnrELike(5))
+	res, _ := Sequential(c, DefaultParams())
+	if res.Occupancy <= 0 {
+		t.Errorf("occupancy = %d on a real circuit, must be positive", res.Occupancy)
+	}
+	if res.CellsExamined <= 0 {
+		t.Errorf("cells examined must be positive")
+	}
+}

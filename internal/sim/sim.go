@@ -1,0 +1,261 @@
+// Package sim is a deterministic discrete-event simulation kernel with a
+// process model: simulated processors run as goroutines that cooperate
+// with the kernel, so node code reads sequentially (block on a receive,
+// advance simulated time for computation) while the kernel keeps a single
+// global virtual clock.
+//
+// Exactly one goroutine — the kernel or one process — runs at any moment;
+// the baton is passed over unbuffered channels. Ties in the event queue
+// are broken by schedule order, so a simulation is a pure function of its
+// inputs. This package plays the role CBS played for the paper: the
+// substrate on which the message passing LocusRoute executes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time in seconds with nanosecond precision trimmed to
+// microseconds, which is the resolution the experiments report.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: schedule order
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	yield  chan struct{} // a running process signals it has blocked/finished
+	procs  []*Process
+	closed bool
+}
+
+// NewKernel returns an empty simulation.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if k.closed {
+		return
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// killed is the panic sentinel used to unwind parked processes at
+// shutdown.
+type killed struct{}
+
+// Process is a simulated thread of control. Its methods must only be
+// called from within the process's own body function.
+type Process struct {
+	Name     string
+	kernel   *Kernel
+	resume   chan struct{}
+	dead     bool
+	panicked any // non-nil: the process body panicked with this value
+}
+
+// Spawn starts a new process whose body runs fn. The process begins
+// parked; it first runs when the kernel reaches its start event (time
+// Now). Spawn may be called before Run or from within a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Process)) *Process {
+	p := &Process{Name: name, kernel: k, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	go func() {
+		defer func() {
+			p.dead = true
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					// A real panic from node code: hand it to the kernel
+					// goroutine, which re-panics in Run's context.
+					p.panicked = r
+				}
+			}
+			k.yield <- struct{}{}
+		}()
+		<-p.resume // wait for the start event
+		fn(p)
+	}()
+	k.At(k.now, func() { k.runProcess(p) })
+	return p
+}
+
+// runProcess hands the baton to p and waits until it parks again or
+// finishes.
+func (k *Kernel) runProcess(p *Process) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-k.yield
+	if p.panicked != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.Name, p.panicked))
+	}
+}
+
+// Run processes events until the queue is empty, then returns the final
+// simulated time. Processes still parked when the queue drains are
+// considered blocked forever; Run unwinds them (their deferred functions
+// run) and returns. The kernel cannot be reused after Run.
+func (k *Kernel) Run() Time {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	k.closed = true
+	// Unwind any parked processes so goroutines are not leaked.
+	for _, p := range k.procs {
+		if !p.dead {
+			p.kill()
+		}
+	}
+	return k.now
+}
+
+// kill resumes a parked process in a mode that makes park panic with the
+// killed sentinel, unwinding the process body.
+func (p *Process) kill() {
+	p.dead = true
+	p.resume <- struct{}{}
+	<-p.kernel.yield
+}
+
+// park blocks the process until the kernel resumes it. It must be called
+// with a wake event already scheduled (or a waiter registration made);
+// parking with no way to wake is a deadlock, which Run resolves by
+// unwinding the process when the event queue drains.
+func (p *Process) park() {
+	p.kernel.yield <- struct{}{}
+	<-p.resume
+	if p.dead {
+		panic(killed{})
+	}
+}
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.kernel.now }
+
+// Wait advances the process's simulated time by d — the primitive that
+// models computation taking time. Non-positive d returns immediately.
+func (p *Process) Wait(d Time) {
+	if d <= 0 {
+		return
+	}
+	k := p.kernel
+	k.At(k.now+d, func() { k.runProcess(p) })
+	p.park()
+}
+
+// Kernel returns the kernel the process runs on, for scheduling events or
+// constructing channels from within process code.
+func (p *Process) Kernel() *Kernel { return p.kernel }
+
+// Chan is a simulated unbounded FIFO channel. Sends never block and take
+// no simulated time (transport delay is modelled by scheduling the Send
+// with Kernel.At); receives block the calling process until an item is
+// available.
+type Chan struct {
+	kernel  *Kernel
+	items   []any
+	waiters []*Process
+}
+
+// NewChan returns an empty channel on k.
+func NewChan(k *Kernel) *Chan { return &Chan{kernel: k} }
+
+// Len returns the number of queued items.
+func (c *Chan) Len() int { return len(c.items) }
+
+// Send enqueues item and wakes any blocked receivers. It may be called
+// from process context or from a kernel event.
+func (c *Chan) Send(item any) {
+	c.items = append(c.items, item)
+	if len(c.waiters) > 0 {
+		ws := c.waiters
+		c.waiters = nil
+		for _, w := range ws {
+			w := w
+			// Wake via an event so the currently running process keeps
+			// the baton until it parks.
+			c.kernel.At(c.kernel.now, func() { c.kernel.runProcess(w) })
+		}
+	}
+}
+
+// Recv blocks p until an item is available, then dequeues and returns it.
+// Wakeups may be spurious (another receiver took the item first); Recv
+// re-checks and re-parks.
+func (c *Chan) Recv(p *Process) any {
+	for len(c.items) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.park()
+	}
+	item := c.items[0]
+	c.items = c.items[1:]
+	return item
+}
+
+// TryRecv dequeues an item if one is available, without blocking.
+func (c *Chan) TryRecv() (any, bool) {
+	if len(c.items) == 0 {
+		return nil, false
+	}
+	item := c.items[0]
+	c.items = c.items[1:]
+	return item, true
+}

@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+// TestManyProcessesDeterministic stresses the kernel with 50 processes
+// passing tokens through a chain of channels; the result must be exactly
+// reproducible.
+func TestManyProcessesDeterministic(t *testing.T) {
+	run := func() (Time, int) {
+		k := NewKernel()
+		const n = 50
+		chans := make([]*Chan, n)
+		for i := range chans {
+			chans[i] = NewChan(k)
+		}
+		delivered := 0
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn("hop", func(p *Process) {
+				for {
+					v := chans[i].Recv(p).(int)
+					p.Wait(Time(10 + i))
+					if v <= 0 {
+						continue // token exhausted; keep serving others
+					}
+					delivered++
+					chans[(i+1)%n].Send(v - 1)
+				}
+			})
+		}
+		// Inject three tokens and enough stop markers.
+		k.At(1, func() { chans[0].Send(200) })
+		k.At(2, func() { chans[10].Send(150) })
+		k.At(3, func() { chans[20].Send(100) })
+		end := k.Run()
+		return end, delivered
+	}
+	e1, d1 := run()
+	e2, d2 := run()
+	if e1 != e2 || d1 != d2 {
+		t.Fatalf("stress run not deterministic: (%v,%d) vs (%v,%d)", e1, d1, e2, d2)
+	}
+	if d1 != 200+150+100 {
+		t.Errorf("delivered = %d, want 450", d1)
+	}
+}
+
+// TestEventStorm pushes a large number of events through the queue.
+func TestEventStorm(t *testing.T) {
+	k := NewKernel()
+	var count int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k.At(Time(i%977), func() { count++ })
+	}
+	end := k.Run()
+	if count != n {
+		t.Errorf("ran %d events, want %d", count, n)
+	}
+	if end != 976 {
+		t.Errorf("end = %v, want 976", end)
+	}
+}
+
+// TestChainedWaits verifies long sequential Wait chains advance time
+// exactly.
+func TestChainedWaits(t *testing.T) {
+	k := NewKernel()
+	var final Time
+	k.Spawn("w", func(p *Process) {
+		for i := 0; i < 1000; i++ {
+			p.Wait(3)
+		}
+		final = p.Now()
+	})
+	k.Run()
+	if final != 3000 {
+		t.Errorf("final = %v, want 3000", final)
+	}
+}
+
+// TestInterleavedSendRecvNoLoss pushes many items through one channel
+// from several producers to several consumers.
+func TestInterleavedSendRecvNoLoss(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan(k)
+	const producers, items = 5, 40
+	received := 0
+	for c := 0; c < 3; c++ {
+		k.Spawn("consumer", func(p *Process) {
+			for {
+				v := ch.Recv(p)
+				if v.(int) < 0 {
+					return
+				}
+				received++
+				p.Wait(7)
+			}
+		})
+	}
+	for pr := 0; pr < producers; pr++ {
+		pr := pr
+		k.Spawn("producer", func(p *Process) {
+			for i := 0; i < items; i++ {
+				p.Wait(Time(5 + pr))
+				ch.Send(i)
+			}
+		})
+	}
+	// Poison pills after the producers are done.
+	k.At(100000, func() {
+		for c := 0; c < 3; c++ {
+			ch.Send(-1)
+		}
+	})
+	k.Run()
+	if received != producers*items {
+		t.Errorf("received %d, want %d", received, producers*items)
+	}
+}

@@ -1,0 +1,283 @@
+package sm
+
+import (
+	"container/heap"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
+	"locusroute/internal/route"
+	"locusroute/internal/sim"
+	"locusroute/internal/trace"
+)
+
+// wordBytes is the size of one cost array cell in shared memory.
+const wordBytes = 4
+
+// addrOf maps a cell to its shared memory byte address. The array is laid
+// out column-major: the cost entries of all channels of one routing grid
+// column are contiguous (Channels * 4 bytes per column). This is the
+// natural layout for a channel router — choosing a jog column reads one
+// column's channel occupancies together — and it is what gives the shared
+// memory version the paper's strong traffic growth with cache line size:
+// horizontal path runs stride a whole column apart in memory, so their
+// writes and rereads never batch into one line, and every line brought in
+// carries neighbouring-channel words that are often never used.
+func addrOf(grid geom.Grid, x, y int) uint64 {
+	return uint64(x*grid.Channels+y) * wordBytes
+}
+
+// counterAddr is the shared address of the distributed-loop wire counter,
+// placed far above the cost array so it never shares a cache line with
+// it.
+const counterAddr = 1 << 40
+
+// tracedView routes reads and writes of one logical process through the
+// shared array, recording every reference and advancing the process's
+// virtual clock per access. Writes performed through the view update the
+// shared array immediately (rip-up) — commits use deferred application,
+// see proc.commitWire.
+type tracedView struct {
+	p *proc
+}
+
+func (v tracedView) Grid() geom.Grid { return v.p.r.shared.Grid() }
+
+func (v tracedView) Cost(x, y int) int32 {
+	p := v.p
+	p.clock += p.r.cfg.Perf.CellEval
+	p.r.tr.Append(trace.Ref{
+		T: p.clock, Proc: p.id,
+		Addr: addrOf(p.r.shared.Grid(), x, y), Op: trace.Read,
+	})
+	return p.r.shared.At(x, y)
+}
+
+func (v tracedView) AddCost(x, y int, d int32) {
+	p := v.p
+	p.clock += p.r.cfg.Perf.CellWrite
+	p.r.tr.Append(trace.Ref{
+		T: p.clock, Proc: p.id,
+		Addr: addrOf(p.r.shared.Grid(), x, y), Op: trace.Write,
+	})
+	p.r.shared.Add(x, y, d)
+}
+
+// pendingCommit is one commit increment that becomes visible to other
+// processes at its write time: commits apply cell by cell, as the real
+// program's increment loop does, so a process routing concurrently sees
+// exactly the prefix of a neighbour's in-flight wire that has been
+// written so far.
+type pendingCommit struct {
+	at   sim.Time
+	seq  uint64
+	cell geom.Point
+}
+
+type commitQueue []*pendingCommit
+
+func (q commitQueue) Len() int { return len(q) }
+func (q commitQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q commitQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *commitQueue) Push(x any)   { *q = append(*q, x.(*pendingCommit)) }
+func (q *commitQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// tracedRunner is the shared state of one traced execution.
+type tracedRunner struct {
+	cfg    Config
+	circ   *circuit.Circuit
+	shared *costarray.CostArray
+	tr     *trace.Trace
+	pend   commitQueue
+	seq    uint64
+	// lastCost[w] is the path cost of wire w at its latest routing.
+	lastCost []int64
+	paths    []route.Path
+	cells    int64
+	wires    int
+}
+
+// proc is one logical process.
+type proc struct {
+	id    int
+	r     *tracedRunner
+	clock sim.Time
+	// work is the wire list for static order; cursor indexes it.
+	work   []int
+	cursor int
+}
+
+// applyPending makes visible every commit write at or before t.
+func (r *tracedRunner) applyPending(t sim.Time) {
+	for r.pend.Len() > 0 && r.pend[0].at <= t {
+		pc := heap.Pop(&r.pend).(*pendingCommit)
+		r.shared.Add(pc.cell.X, pc.cell.Y, 1)
+	}
+}
+
+// flushPending applies every outstanding commit.
+func (r *tracedRunner) flushPending() {
+	r.applyPending(sim.Time(1<<62 - 1))
+}
+
+// routeOneWire performs one complete wire routing for process p at its
+// current clock: rip-up of the previous path (immediately visible, as in
+// the real program where decrements happen in place), evaluation against
+// the shared array (which excludes other processes' in-flight commits),
+// and a commit that becomes visible when the routing completes.
+func (p *proc) routeOneWire(wi int, iter int) {
+	r := p.r
+	w := &r.circ.Wires[wi]
+	view := tracedView{p: p}
+	p.clock += r.cfg.Perf.WireOverhead
+
+	if iter > 0 {
+		route.RipUp(view, r.paths[wi])
+	}
+	ev := route.RouteWire(view, w, r.cfg.Router)
+	// Occupancy contribution: the deduplicated path cost against the
+	// shared array at routing time (a metric computation, not program
+	// memory traffic, so it is not traced).
+	cost := route.PathCost(route.ArrayView{A: r.shared}, ev.Path)
+	// Trace the commit writes at their natural times; each write becomes
+	// visible to *other* processes at that time (per-cell pending
+	// application), not retroactively before it happened.
+	for _, c := range ev.Path.Cells {
+		p.clock += r.cfg.Perf.CellWrite
+		r.tr.Append(trace.Ref{
+			T: p.clock, Proc: p.id,
+			Addr: addrOf(r.shared.Grid(), c.X, c.Y), Op: trace.Write,
+		})
+		r.seq++
+		heap.Push(&r.pend, &pendingCommit{at: p.clock, seq: r.seq, cell: c})
+	}
+
+	r.paths[wi] = ev.Path
+	r.lastCost[wi] = cost
+	r.cells += int64(ev.CellsExamined)
+	r.wires++
+}
+
+// fetchWire returns the next wire for p in iteration iter, or -1 when the
+// iteration's work is exhausted. In dynamic order it models the
+// distributed loop: a read-modify-write of the shared counter.
+func (p *proc) fetchWire(counter *int, limit int) int {
+	r := p.r
+	if r.cfg.Order == Static {
+		if p.cursor >= len(p.work) {
+			return -1
+		}
+		wi := p.work[p.cursor]
+		p.cursor++
+		return wi
+	}
+	// Distributed loop: the counter is a shared word.
+	p.clock += r.cfg.Perf.CellEval
+	r.tr.Append(trace.Ref{T: p.clock, Proc: p.id, Addr: counterAddr, Op: trace.Read})
+	if *counter >= limit {
+		return -1
+	}
+	wi := *counter
+	*counter++
+	p.clock += r.cfg.Perf.CellWrite
+	r.tr.Append(trace.Ref{T: p.clock, Proc: p.id, Addr: counterAddr, Op: trace.Write})
+	return wi
+}
+
+// RunTraced executes the multiplexed shared memory router and returns the
+// result together with the time-sorted shared reference trace.
+func RunTraced(circ *circuit.Circuit, cfg Config) (Result, *trace.Trace, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(circ); err != nil {
+		return Result{}, nil, err
+	}
+	r := &tracedRunner{
+		cfg:      cfg,
+		circ:     circ,
+		shared:   costarray.New(circ.Grid),
+		tr:       &trace.Trace{},
+		lastCost: make([]int64, len(circ.Wires)),
+		paths:    make([]route.Path, len(circ.Wires)),
+	}
+	procs := make([]*proc, cfg.Procs)
+	for i := range procs {
+		procs[i] = &proc{id: i, r: r}
+		if cfg.Order == Static {
+			procs[i].work = cfg.Assignment.WiresOf(i)
+		}
+	}
+
+	iterations := cfg.Router.Iterations
+	if iterations <= 0 {
+		iterations = 1
+	}
+	for iter := 0; iter < iterations; iter++ {
+		counter := 0
+		for i := range procs {
+			procs[i].cursor = 0
+		}
+		active := make([]bool, cfg.Procs)
+		for i := range active {
+			active[i] = true
+		}
+		remaining := cfg.Procs
+		for remaining > 0 {
+			// Pick the active process with the smallest clock (ties by
+			// id): the fine-grain multiplexing of the tracer.
+			best := -1
+			for i, a := range active {
+				if a && (best < 0 || procs[i].clock < procs[best].clock) {
+					best = i
+				}
+			}
+			p := procs[best]
+			r.applyPending(p.clock)
+			wi := p.fetchWire(&counter, len(circ.Wires))
+			if wi < 0 {
+				active[best] = false
+				remaining--
+				continue
+			}
+			p.routeOneWire(wi, iter)
+		}
+		// Barrier: everyone waits for the slowest process.
+		var maxClock sim.Time
+		for _, p := range procs {
+			if p.clock > maxClock {
+				maxClock = p.clock
+			}
+		}
+		for _, p := range procs {
+			p.clock = maxClock
+		}
+		r.flushPending()
+	}
+
+	var res Result
+	res.CircuitHeight = r.shared.CircuitHeight()
+	for _, c := range r.lastCost {
+		res.Occupancy += c
+	}
+	for _, p := range procs {
+		if p.clock > res.Span {
+			res.Span = p.clock
+		}
+	}
+	res.Reads, res.Writes = r.tr.Counts()
+	res.WiresRouted = r.wires
+	res.CellsExamined = r.cells
+	r.tr.Sort()
+	return res, r.tr, nil
+}

@@ -1,0 +1,65 @@
+// Package trace represents shared-data reference traces, the role Tango
+// played for the paper (Section 2.2): for each shared reference the time,
+// address and referencing processor are recorded. Traces are produced by
+// the traced shared memory router (internal/sm) and consumed by the cache
+// coherence simulator (internal/cache).
+package trace
+
+import (
+	"sort"
+
+	"locusroute/internal/sim"
+)
+
+// Op is the reference type.
+type Op uint8
+
+const (
+	// Read is a load from shared memory.
+	Read Op = iota
+	// Write is a store to shared memory.
+	Write
+)
+
+// Ref is one shared-data reference.
+type Ref struct {
+	T    sim.Time
+	Proc int
+	Addr uint64 // byte address of the referenced word
+	Op   Op
+}
+
+// Trace is a time-ordered sequence of references.
+type Trace struct {
+	Refs []Ref
+}
+
+// Append adds a reference (not necessarily in order; call Sort before
+// consuming).
+func (t *Trace) Append(r Ref) { t.Refs = append(t.Refs, r) }
+
+// Len returns the number of references.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// Sort orders references by time, breaking ties by processor then
+// sequence, making consumption deterministic.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Refs, func(i, j int) bool {
+		if t.Refs[i].T != t.Refs[j].T {
+			return t.Refs[i].T < t.Refs[j].T
+		}
+		return t.Refs[i].Proc < t.Refs[j].Proc
+	})
+}
+
+// Counts returns the number of reads and writes.
+func (t *Trace) Counts() (reads, writes int) {
+	for _, r := range t.Refs {
+		if r.Op == Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	return reads, writes
+}

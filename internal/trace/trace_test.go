@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"testing"
+
+	"locusroute/internal/sim"
+)
+
+func TestSortByTime(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Ref{T: 30, Proc: 0, Addr: 1, Op: Read})
+	tr.Append(Ref{T: 10, Proc: 1, Addr: 2, Op: Write})
+	tr.Append(Ref{T: 20, Proc: 2, Addr: 3, Op: Read})
+	tr.Sort()
+	if tr.Refs[0].T != 10 || tr.Refs[1].T != 20 || tr.Refs[2].T != 30 {
+		t.Errorf("not sorted: %+v", tr.Refs)
+	}
+}
+
+func TestSortStableTieBreak(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Ref{T: 5, Proc: 2, Addr: 1})
+	tr.Append(Ref{T: 5, Proc: 0, Addr: 2})
+	tr.Append(Ref{T: 5, Proc: 1, Addr: 3})
+	tr.Sort()
+	for i, want := range []int{0, 1, 2} {
+		if tr.Refs[i].Proc != want {
+			t.Errorf("tie-break by proc failed: %+v", tr.Refs)
+			break
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Ref{Op: Read})
+	tr.Append(Ref{Op: Write})
+	tr.Append(Ref{Op: Write})
+	r, w := tr.Counts()
+	if r != 1 || w != 2 {
+		t.Errorf("Counts = %d, %d", r, w)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	tr.Sort()
+	r, w := tr.Counts()
+	if r != 0 || w != 0 || tr.Len() != 0 {
+		t.Errorf("empty trace not empty")
+	}
+	_ = sim.Time(0)
+}
