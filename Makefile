@@ -1,0 +1,33 @@
+# Repository verification and benchmark entry points. `make verify` is
+# the tier-1 gate every PR must keep green.
+
+GO ?= go
+
+.PHONY: verify build test race bench bench-route paper
+
+verify: ## build, vet, full tests, and race-test the concurrent packages
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/...
+
+# Routing-kernel allocation benchmarks; compare against BENCH_route.json.
+bench-route:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouteWire|BenchmarkSequential' -benchmem -benchtime 2s . ./internal/route/
+
+# Full paper-table benchmarks (several minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regenerate every paper table.
+paper:
+	$(GO) run ./cmd/paper -all

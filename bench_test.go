@@ -158,17 +158,21 @@ func reportBest(b *testing.B, rows []experiments.MPRow) {
 // --- micro-benchmarks of the primitives ----------------------------------
 
 // BenchmarkRouteWire measures single-wire route evaluation on a loaded
-// cost array.
+// cost array, in the production configuration: a per-worker Scratch
+// reused across calls (see BENCH_route.json for the recorded baseline and
+// the pre-Scratch numbers).
 func BenchmarkRouteWire(b *testing.B) {
 	c := experiments.BnrE()
 	res, arr := route.Sequential(c, route.Params{Iterations: 1})
 	_ = res
 	view := route.ArrayView{A: arr}
+	scratch := route.NewScratch(c.Grid)
 	w := &c.Wires[17]
 	params := route.DefaultParams()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		route.RouteWire(view, w, params)
+		scratch.RouteWire(view, w, params)
 	}
 }
 
@@ -176,6 +180,7 @@ func BenchmarkRouteWire(b *testing.B) {
 func BenchmarkSequentialIteration(b *testing.B) {
 	c := experiments.BnrE()
 	params := route.Params{Iterations: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		route.Sequential(c, params)

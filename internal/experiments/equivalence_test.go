@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"testing"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/mp"
+	"locusroute/internal/route"
+	"locusroute/internal/sm"
+)
+
+// quality is the (circuit height, occupancy factor) pair every backend
+// reports.
+type quality struct{ Height, Occupancy int64 }
+
+// equivalenceGolden pins the routing quality of every execution backend
+// on three seeded bnrE-like circuits. The values are produced by the one
+// shared routing kernel, so any change that perturbs candidate
+// enumeration order, tie-breaking, or the work count shows up here
+// immediately — across all four backends at once.
+//
+// The live backends run with one worker (their only deterministic
+// configuration); the traced SM and DES MP runtimes are deterministic at
+// any processor count and run with four.
+var equivalenceGolden = map[int64]map[string]quality{
+	1: {
+		"sequential":   {51, 7542},
+		"sm-live-1p":   {51, 7542},
+		"sm-traced-4p": {52, 7039},
+		"mp-des-4p":    {51, 7677},
+		"mp-live-1p":   {51, 7542},
+	},
+	2: {
+		"sequential":   {49, 7307},
+		"sm-live-1p":   {49, 7307},
+		"sm-traced-4p": {50, 7108},
+		"mp-des-4p":    {50, 7250},
+		"mp-live-1p":   {49, 7307},
+	},
+	3: {
+		"sequential":   {50, 6767},
+		"sm-live-1p":   {50, 6767},
+		"sm-traced-4p": {52, 6221},
+		"mp-des-4p":    {51, 6679},
+		"mp-live-1p":   {50, 6767},
+	},
+}
+
+func equivCircuit(seed int64) *circuit.Circuit {
+	return circuit.MustGenerate(circuit.GenParams{
+		Name: "equiv", Channels: 10, Grids: 160, Wires: 180, MeanSpan: 20, Seed: seed,
+	})
+}
+
+// TestCrossBackendEquivalence routes the same seeded circuits through
+// sequential, shared memory (live and traced), and message passing (DES
+// and live) and checks each against its golden quality values.
+func TestCrossBackendEquivalence(t *testing.T) {
+	for seed, golden := range equivalenceGolden {
+		c := equivCircuit(seed)
+		params := route.DefaultParams()
+		params.Iterations = 2
+
+		got := make(map[string]quality)
+
+		seq, _ := route.Sequential(c, params)
+		got["sequential"] = quality{seq.CircuitHeight, seq.Occupancy}
+
+		smLive, err := sm.RunLive(c, sm.Config{Procs: 1, Router: params})
+		if err != nil {
+			t.Fatalf("seed %d: sm.RunLive: %v", seed, err)
+		}
+		got["sm-live-1p"] = quality{smLive.CircuitHeight, smLive.Occupancy}
+
+		smTr, _, err := sm.RunTraced(c, sm.Config{Procs: 4, Router: params})
+		if err != nil {
+			t.Fatalf("seed %d: sm.RunTraced: %v", seed, err)
+		}
+		got["sm-traced-4p"] = quality{smTr.CircuitHeight, smTr.Occupancy}
+
+		part4, err := geom.NewPartition(c.Grid, 2, 2)
+		if err != nil {
+			t.Fatalf("seed %d: partition: %v", seed, err)
+		}
+		cfg4 := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+		cfg4.Procs = 4
+		cfg4.Router = params
+		des, err := mp.Run(c, assign.AssignThreshold(c, part4, 1000), cfg4)
+		if err != nil {
+			t.Fatalf("seed %d: mp.Run: %v", seed, err)
+		}
+		got["mp-des-4p"] = quality{des.CircuitHeight, des.Occupancy}
+
+		part1, err := geom.NewPartition(c.Grid, 1, 1)
+		if err != nil {
+			t.Fatalf("seed %d: partition 1x1: %v", seed, err)
+		}
+		cfg1 := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+		cfg1.Procs = 1
+		cfg1.Router = params
+		live, err := mp.RunLive(c, assign.AssignThreshold(c, part1, 1000), cfg1)
+		if err != nil {
+			t.Fatalf("seed %d: mp.RunLive: %v", seed, err)
+		}
+		got["mp-live-1p"] = quality{live.CircuitHeight, live.Occupancy}
+
+		for backend, want := range golden {
+			if got[backend] != want {
+				t.Errorf("seed %d %s: (height, occupancy) = %v, golden %v",
+					seed, backend, got[backend], want)
+			}
+		}
+
+		// A single worker removes all interference, so the live backends
+		// must reproduce the sequential reference exactly — the strongest
+		// statement that all four backends share one kernel.
+		for _, backend := range []string{"sm-live-1p", "mp-live-1p"} {
+			if got[backend] != got["sequential"] {
+				t.Errorf("seed %d: %s %v != sequential %v",
+					seed, backend, got[backend], got["sequential"])
+			}
+		}
+	}
+}

@@ -12,6 +12,9 @@ import (
 // discrete-event runtime around a Proto. It charges the compute model
 // for every operation, transports packets over the simulated mesh, and
 // implements the inter-iteration barrier (Done to node 0, Continue back).
+// Routing scratch state lives inside the Proto (one route.Scratch per
+// processor for the whole run), so both this runtime and the live one get
+// the allocation-free kernel without owning it themselves.
 type node struct {
 	id    int
 	r     *runner

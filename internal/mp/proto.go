@@ -85,6 +85,10 @@ type Proto struct {
 
 	router route.Params
 	paths  PathStore
+	// scratch is this processor's reusable routing kernel state. Proto is
+	// confined to one thread of control, so the scratch is too; both
+	// runtimes (DES and live) inherit allocation-free routing through it.
+	scratch *route.Scratch
 
 	ownDirty geom.Rect
 	reqDirty []geom.Rect
@@ -150,6 +154,7 @@ func NewProto(id int, circ *circuit.Circuit, part geom.Partition, st Strategy, r
 		delta:    costarray.NewDelta(part),
 		router:   router,
 		paths:    make(mapPathStore),
+		scratch:  route.NewScratch(circ.Grid),
 		reqDirty: make([]geom.Rect, part.Procs()),
 		touch:    make([]int, part.Procs()),
 		reqFrom:  make([]int, part.Procs()),
@@ -267,7 +272,7 @@ func (pr *Proto) RipUpWire(wi, iter int) int {
 // EvaluateWire routes wire wi against the current view without committing.
 func (pr *Proto) EvaluateWire(wi int) PendingWire {
 	w := &pr.circ.Wires[wi]
-	ev := route.RouteWire(route.ArrayView{A: pr.view}, w, pr.router)
+	ev := pr.scratch.RouteWire(route.ArrayView{A: pr.view}, w, pr.router)
 	return PendingWire{Path: ev.Path, CellsExamined: ev.CellsExamined}
 }
 

@@ -2,9 +2,7 @@ package mp
 
 import (
 	"fmt"
-	"sort"
 
-	"locusroute/internal/circuit"
 	"locusroute/internal/costarray"
 	"locusroute/internal/geom"
 	"locusroute/internal/mesh"
@@ -37,9 +35,10 @@ type strictNode struct {
 	r  *runner
 	p  *sim.Process
 
-	region geom.Rect
-	arr    *costarray.CostArray // authoritative for my region only
-	wires  []int                // wires I initiate (leftmost pin in my region)
+	region  geom.Rect
+	arr     *costarray.CostArray // authoritative for my region only
+	wires   []int                // wires I initiate (leftmost pin in my region)
+	scratch *route.Scratch       // reusable routing kernel state
 
 	subPaths    map[int][]route.Path // my committed sub-paths per wire
 	outstanding int                  // my initiated segments still routing somewhere
@@ -54,6 +53,7 @@ func newStrictNode(id int, r *runner) *strictNode {
 		region:   r.part.Region(id),
 		arr:      costarray.New(r.circ.Grid),
 		wires:    r.asn.WiresOf(id),
+		scratch:  route.NewScratch(r.circ.Grid),
 		subPaths: make(map[int][]route.Path),
 	}
 }
@@ -106,16 +106,9 @@ func (n *strictNode) ripAll() {
 
 // launchWire decomposes a wire into two-pin segments and starts a task
 // for each; segments beginning in other regions are passed immediately.
+// The sorted pin order comes from the scratch's per-run cache.
 func (n *strictNode) launchWire(wi int) {
-	w := &n.r.circ.Wires[wi]
-	pins := make([]geom.Point, len(w.Pins))
-	copy(pins, w.Pins)
-	sort.Slice(pins, func(i, j int) bool {
-		if pins[i].X != pins[j].X {
-			return pins[i].X < pins[j].X
-		}
-		return pins[i].Y < pins[j].Y
-	})
+	pins := n.scratch.SortedPins(&n.r.circ.Wires[wi])
 	for i := 0; i+1 < len(pins); i++ {
 		n.outstanding++
 		n.dispatch(pins[i], pins[i+1], wi, n.id)
@@ -140,9 +133,8 @@ func (n *strictNode) dispatch(cur, tgt geom.Point, wi, initiator int) {
 // then completes or hands off.
 func (n *strictNode) processTask(cur, tgt geom.Point, wi, initiator int) {
 	clamped := clampInto(n.region, tgt)
-	seg := circuit.Wire{ID: wi, Pins: []geom.Point{cur, clamped}}
 
-	ev := route.RouteWire(route.ArrayView{A: n.arr}, &seg, strictRouterParams(n.r.cfg.Router))
+	ev := n.scratch.RoutePair(route.ArrayView{A: n.arr}, cur, clamped, strictRouterParams(n.r.cfg.Router))
 	n.p.Wait(n.r.cfg.Perf.WireOverhead + n.r.cfg.Perf.EvalTime(ev.CellsExamined))
 	var trueCost int64
 	for _, c := range ev.Path.Cells {

@@ -99,23 +99,13 @@ type Eval struct {
 // wire. Multi-pin wires are decomposed into two-pin segments between
 // consecutive pins sorted by X, as LocusRoute does; the per-wire path is
 // the deduplicated union of segment paths.
+//
+// This standalone form builds a fresh Scratch per call and is meant for
+// tests and one-off evaluations; hot paths hold a Scratch per worker and
+// call its RouteWire method instead.
 func RouteWire(view CostView, w *circuit.Wire, params Params) Eval {
-	params = params.withDefaults()
-	pins := sortedPins(w)
-	seen := make(map[geom.Point]bool, 64)
-	var ev Eval
-	for i := 0; i+1 < len(pins); i++ {
-		seg, cost, cells := routeSegment(view, pins[i], pins[i+1], params)
-		ev.Cost += cost
-		ev.CellsExamined += cells
-		for _, c := range seg {
-			if !seen[c] {
-				seen[c] = true
-				ev.Path.Cells = append(ev.Path.Cells, c)
-			}
-		}
-	}
-	return ev
+	var s Scratch
+	return s.RouteWire(view, w, params)
 }
 
 // PathCost returns the sum of cost entries along the (deduplicated) path
@@ -145,92 +135,40 @@ func RipUp(view CostView, path Path) {
 	}
 }
 
-// sortedPins returns the wire's pins sorted by (X, Y) without mutating the
-// wire.
+// sortedPins returns the wire's pins sorted by (X, Y) without mutating
+// the wire. Already-sorted pin lists (the common case for generated
+// circuits) are returned as-is, without copying; callers must treat the
+// result as read-only.
 func sortedPins(w *circuit.Wire) []geom.Point {
+	sorted := true
+	for i := 1; i < len(w.Pins); i++ {
+		if pinLess(w.Pins[i], w.Pins[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return w.Pins
+	}
 	pins := make([]geom.Point, len(w.Pins))
 	copy(pins, w.Pins)
-	sort.Slice(pins, func(i, j int) bool {
-		if pins[i].X != pins[j].X {
-			return pins[i].X < pins[j].X
-		}
-		return pins[i].Y < pins[j].Y
-	})
+	sort.Slice(pins, func(i, j int) bool { return pinLess(pins[i], pins[j]) })
 	return pins
 }
 
-// routeSegment enumerates the low-bend candidate routes between p and q,
-// evaluates each against the view, and returns the cells of the cheapest
-// (ties broken by enumeration order, which is deterministic).
-//
-// Candidate families:
-//
-//   - HVH: horizontal at p.Y to a jog column xm, vertical at xm, then
-//     horizontal at q.Y. xm samples the span [p.X, q.X] (the locus of
-//     minimal-length routes), at most MaxHVHCandidates of them.
-//   - VHV: vertical at p.X to a crossing channel ym, horizontal at ym,
-//     vertical at q.X. ym ranges over the pin band extended by
-//     VHVDetourChannels in each direction, allowing congestion detours.
-func routeSegment(view CostView, p, q geom.Point, params Params) (cells []geom.Point, cost int64, examined int) {
-	grid := view.Grid()
-	best := int64(-1)
-	var bestCells []geom.Point
-
-	consider := func(path []geom.Point) {
-		var c int64
-		for _, pt := range path {
-			c += int64(view.Cost(pt.X, pt.Y))
-		}
-		examined += len(path)
-		if best < 0 || c < best {
-			best = c
-			bestCells = path
-		}
+// pinLess is the pin ordering of the segment decomposition: by X, ties by
+// Y.
+func pinLess(a, b geom.Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
 	}
-
-	// HVH family.
-	x0, x1 := p.X, q.X
-	if x0 > x1 {
-		x0, x1 = x1, x0
-	}
-	span := x1 - x0
-	stride := 1
-	if span+1 > params.MaxHVHCandidates {
-		stride = (span + params.MaxHVHCandidates) / params.MaxHVHCandidates
-	}
-	for xm := x0; ; xm += stride {
-		if xm > x1 {
-			break
-		}
-		consider(hvhPath(p, q, xm))
-		if stride > 1 && xm < x1 && xm+stride > x1 {
-			xm = x1 - stride // make sure the far end is always sampled
-		}
-	}
-
-	// VHV family (skip when pins share a channel and no detour is
-	// allowed — HVH already covers the straight route).
-	y0, y1 := p.Y, q.Y
-	if y0 > y1 {
-		y0, y1 = y1, y0
-	}
-	y0 -= params.VHVDetourChannels
-	y1 += params.VHVDetourChannels
-	if y0 < 0 {
-		y0 = 0
-	}
-	if y1 >= grid.Channels {
-		y1 = grid.Channels - 1
-	}
-	for ym := y0; ym <= y1; ym++ {
-		consider(vhvPath(p, q, ym))
-	}
-
-	return bestCells, best, examined
+	return a.Y < b.Y
 }
 
 // hvhPath builds the cell list for the horizontal-vertical-horizontal
-// route through jog column xm, deduplicating the two corner cells.
+// route through jog column xm, deduplicating the two corner cells. It is
+// the reference materialisation of walkHVH, kept for tests that compare
+// the kernel against explicitly built candidate paths.
 func hvhPath(p, q geom.Point, xm int) []geom.Point {
 	cells := make([]geom.Point, 0, absInt(p.X-q.X)+absInt(p.Y-q.Y)+2)
 	cells = appendHorizontal(cells, p.Y, p.X, xm)
@@ -240,7 +178,7 @@ func hvhPath(p, q geom.Point, xm int) []geom.Point {
 }
 
 // vhvPath builds the cell list for the vertical-horizontal-vertical route
-// through crossing channel ym.
+// through crossing channel ym (reference materialisation of walkVHV).
 func vhvPath(p, q geom.Point, ym int) []geom.Point {
 	cells := make([]geom.Point, 0, absInt(p.X-q.X)+absInt(p.Y-q.Y)+2)
 	cells = appendVertical(cells, p.X, p.Y, ym)

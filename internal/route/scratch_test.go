@@ -1,0 +1,159 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+)
+
+func evalsEqual(a, b Eval) bool {
+	if a.Cost != b.Cost || a.CellsExamined != b.CellsExamined || a.Path.Len() != b.Path.Len() {
+		return false
+	}
+	for i := range a.Path.Cells {
+		if a.Path.Cells[i] != b.Path.Cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A reused Scratch must produce exactly the evaluation a fresh one does,
+// wire after wire, on a congested array — cost, work count, and the cell
+// sequence of the path.
+func TestScratchReuseMatchesStandalone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	v := emptyView(8, 120)
+	for i := 0; i < 400; i++ {
+		v.A.Add(rng.Intn(120), rng.Intn(8), int32(rng.Intn(5)))
+	}
+	s := NewScratch(v.Grid())
+	for trial := 0; trial < 200; trial++ {
+		nPins := 2 + rng.Intn(3)
+		pins := make([]geom.Point, nPins)
+		for i := range pins {
+			pins[i] = geom.Pt(rng.Intn(120), rng.Intn(8))
+		}
+		w := &circuit.Wire{ID: trial, Pins: pins}
+		got := s.RouteWire(v, w, DefaultParams())
+		want := RouteWire(v, w, DefaultParams())
+		if !evalsEqual(got, want) {
+			t.Fatalf("trial %d: scratch eval %+v != standalone %+v", trial, got, want)
+		}
+		// Routing must also mutate the array the same way either path
+		// would; commit some wires so later trials see congestion.
+		if trial%3 == 0 {
+			Commit(v, got.Path)
+		}
+	}
+}
+
+// The sorted-pin cache is keyed by wire ID but validated by pointer: a
+// different wire with a recycled ID must not reuse stale pins.
+func TestScratchPinCacheInvalidation(t *testing.T) {
+	v := emptyView(6, 40)
+	s := NewScratch(v.Grid())
+
+	w1 := &circuit.Wire{ID: 7, Pins: []geom.Point{geom.Pt(30, 2), geom.Pt(5, 1)}}
+	ev1 := s.RouteWire(v, w1, DefaultParams())
+	if !pathSet(ev1.Path)[geom.Pt(30, 2)] || !pathSet(ev1.Path)[geom.Pt(5, 1)] {
+		t.Fatalf("first wire path misses its pins: %v", ev1.Path.Cells)
+	}
+
+	// Same ID, different wire object and different pins.
+	w2 := &circuit.Wire{ID: 7, Pins: []geom.Point{geom.Pt(10, 5), geom.Pt(20, 0)}}
+	ev2 := s.RouteWire(v, w2, DefaultParams())
+	set := pathSet(ev2.Path)
+	if !set[geom.Pt(10, 5)] || !set[geom.Pt(20, 0)] {
+		t.Fatalf("recycled-ID wire routed with stale pins: %v", ev2.Path.Cells)
+	}
+	if set[geom.Pt(5, 1)] {
+		t.Fatalf("recycled-ID wire path contains the old wire's pin")
+	}
+
+	// Re-routing the first wire again (same pointer) must hit the cache
+	// and still be correct.
+	ev1b := s.RouteWire(v, w1, DefaultParams())
+	if !evalsEqual(ev1, ev1b) {
+		t.Fatalf("cached re-route differs: %+v vs %+v", ev1, ev1b)
+	}
+}
+
+// RoutePair must match RouteWire on the equivalent two-pin wire, in both
+// argument orders (the kernel canonicalises pin order itself).
+func TestRoutePairMatchesTwoPinWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := emptyView(6, 60)
+	for i := 0; i < 150; i++ {
+		v.A.Add(rng.Intn(60), rng.Intn(6), int32(rng.Intn(4)))
+	}
+	s := NewScratch(v.Grid())
+	for trial := 0; trial < 100; trial++ {
+		a := geom.Pt(rng.Intn(60), rng.Intn(6))
+		b := geom.Pt(rng.Intn(60), rng.Intn(6))
+		want := RouteWire(v, &circuit.Wire{ID: trial, Pins: []geom.Point{a, b}}, DefaultParams())
+		for _, pair := range [][2]geom.Point{{a, b}, {b, a}} {
+			got := s.RoutePair(v, pair[0], pair[1], DefaultParams())
+			if !evalsEqual(got, want) {
+				t.Fatalf("trial %d: RoutePair(%v,%v) %+v != RouteWire %+v",
+					trial, pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+// One scratch must survive a change of grid size between calls (tests
+// reuse scratches across arrays; production never does).
+func TestScratchGridResize(t *testing.T) {
+	small := emptyView(4, 20)
+	big := emptyView(8, 200)
+	s := NewScratch(small.Grid())
+
+	w := &circuit.Wire{ID: 1, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(15, 3)}}
+	if got, want := s.RouteWire(small, w, DefaultParams()), RouteWire(small, w, DefaultParams()); !evalsEqual(got, want) {
+		t.Fatalf("small grid: %+v != %+v", got, want)
+	}
+	w2 := &circuit.Wire{ID: 2, Pins: []geom.Point{geom.Pt(5, 6), geom.Pt(180, 0)}}
+	if got, want := s.RouteWire(big, w2, DefaultParams()), RouteWire(big, w2, DefaultParams()); !evalsEqual(got, want) {
+		t.Fatalf("big grid: %+v != %+v", got, want)
+	}
+	if got, want := s.RouteWire(small, w, DefaultParams()), RouteWire(small, w, DefaultParams()); !evalsEqual(got, want) {
+		t.Fatalf("back to small grid: %+v != %+v", got, want)
+	}
+}
+
+// The walkers must enumerate exactly the cells of the materialised
+// reference paths, in order — the invariant that keeps the cost-only
+// pass and the winner materialisation (and thus every trace) identical.
+func TestWalkersMatchReferencePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		p := geom.Pt(rng.Intn(50), rng.Intn(8))
+		q := geom.Pt(rng.Intn(50), rng.Intn(8))
+		xm := min(p.X, q.X) + rng.Intn(absInt(p.X-q.X)+1)
+		ym := rng.Intn(8)
+
+		check := func(name string, ref []geom.Point, walk func(sink cellSink)) {
+			var got []geom.Point
+			walk(collectSink{cells: &got})
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d %s: %d cells, reference %d (%v vs %v)",
+					trial, name, len(got), len(ref), got, ref)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("trial %d %s: cell %d = %v, reference %v", trial, name, i, got[i], ref[i])
+				}
+			}
+		}
+		check("hvh", hvhPath(p, q, xm), func(sink cellSink) { walkHVH(p, q, xm, sink) })
+		check("vhv", vhvPath(p, q, ym), func(sink cellSink) { walkVHV(p, q, ym, sink) })
+	}
+}
+
+// collectSink records walked cells for the walker equivalence test.
+type collectSink struct{ cells *[]geom.Point }
+
+func (c collectSink) visit(x, y int) { *c.cells = append(*c.cells, geom.Pt(x, y)) }

@@ -43,6 +43,7 @@ func Sequential(c *circuit.Circuit, params Params) (Result, *costarray.CostArray
 	params = params.withDefaults()
 	arr := costarray.New(c.Grid)
 	view := ArrayView{A: arr}
+	scratch := NewScratch(c.Grid)
 	paths := make([]Path, len(c.Wires))
 	lastCost := make([]int64, len(c.Wires))
 	var res Result
@@ -53,7 +54,7 @@ func Sequential(c *circuit.Circuit, params Params) (Result, *costarray.CostArray
 			if iter > 0 {
 				RipUp(view, paths[i])
 			}
-			ev := RouteWire(view, w, params)
+			ev := scratch.RouteWire(view, w, params)
 			cost := PathCost(ArrayView{A: arr}, ev.Path)
 			Commit(view, ev.Path)
 			paths[i] = ev.Path

@@ -71,6 +71,14 @@ func RunLive(circ *circuit.Circuit, cfg Config) (Result, error) {
 	var cells atomic.Int64
 	var routed atomic.Int64
 
+	// One routing scratch per worker slot for the whole run: the slot-p
+	// goroutines of successive iterations are separated by wg.Wait, so the
+	// scratch (and its sorted-pin cache) hands off cleanly between them.
+	scratches := make([]*route.Scratch, cfg.Procs)
+	for i := range scratches {
+		scratches[i] = route.NewScratch(circ.Grid)
+	}
+
 	iterations := cfg.Router.Iterations
 	if iterations <= 0 {
 		iterations = 1
@@ -82,6 +90,7 @@ func RunLive(circ *circuit.Circuit, cfg Config) (Result, error) {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
+				scratch := scratches[p]
 				next := func() int {
 					if cfg.Order == Static {
 						return -1 // static work handled below
@@ -115,7 +124,7 @@ func RunLive(circ *circuit.Circuit, cfg Config) (Result, error) {
 					if iter > 0 {
 						route.RipUp(view, paths[wi])
 					}
-					ev := route.RouteWire(view, w, cfg.Router)
+					ev := scratch.RouteWire(view, w, cfg.Router)
 					cost := route.PathCost(view, ev.Path)
 					route.Commit(view, ev.Path)
 					// Each wire is routed by exactly one goroutine per

@@ -114,6 +114,9 @@ type proc struct {
 	id    int
 	r     *tracedRunner
 	clock sim.Time
+	// scratch is this process's reusable routing kernel state; the
+	// multiplexer runs one process at a time, so it is never shared.
+	scratch *route.Scratch
 	// work is the wire list for static order; cursor indexes it.
 	work   []int
 	cursor int
@@ -146,7 +149,7 @@ func (p *proc) routeOneWire(wi int, iter int) {
 	if iter > 0 {
 		route.RipUp(view, r.paths[wi])
 	}
-	ev := route.RouteWire(view, w, r.cfg.Router)
+	ev := p.scratch.RouteWire(view, w, r.cfg.Router)
 	// Occupancy contribution: the deduplicated path cost against the
 	// shared array at routing time (a metric computation, not program
 	// memory traffic, so it is not traced).
@@ -213,7 +216,7 @@ func RunTraced(circ *circuit.Circuit, cfg Config) (Result, *trace.Trace, error) 
 	}
 	procs := make([]*proc, cfg.Procs)
 	for i := range procs {
-		procs[i] = &proc{id: i, r: r}
+		procs[i] = &proc{id: i, r: r, scratch: route.NewScratch(circ.Grid)}
 		if cfg.Order == Static {
 			procs[i].work = cfg.Assignment.WiresOf(i)
 		}
