@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"locusroute/internal/circuit"
+	"locusroute/internal/obs"
 	"locusroute/internal/report"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
@@ -31,12 +33,24 @@ func main() {
 		mode        = flag.String("mode", "seq", "seq (sequential reference) or live (goroutine shared memory)")
 		heatmap     = flag.Bool("heatmap", false, "render the final cost array as ASCII art (seq mode)")
 		showReport  = flag.Bool("report", false, "print the per-channel congestion analysis (seq mode)")
+		jsonPath    = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
+		profile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	stopProfile, err := obs.StartCPUProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 
 	c, err := loadCircuit(*circuitFile, *bench, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var col *obs.Collector
+	if *jsonPath != "" {
+		col = obs.NewCollector()
 	}
 	params := route.DefaultParams()
 	params.Iterations = *iters
@@ -55,18 +69,33 @@ func main() {
 		if *showReport {
 			fmt.Printf("\n%s", report.Analyze(arr, 10))
 		}
+		col.Append(obs.Run{
+			Name: c.Name, Backend: "sequential", Circuit: c.Name, Procs: 1,
+			Quality: &obs.Quality{CircuitHeight: res.CircuitHeight, Occupancy: res.Occupancy},
+		})
 	case "live":
 		cfg := sm.DefaultConfig()
 		cfg.Procs = *procs
 		cfg.Router = params
+		if col.Enabled() {
+			cfg.Obs = obs.NewSM()
+		}
 		res, err := sm.RunLive(c, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("shared memory (%d goroutines): circuit height %d, occupancy %d\n",
 			*procs, res.CircuitHeight, res.Occupancy)
+		col.Append(sm.ObsRun(c.Name, "sm-live", c.Name, cfg, res))
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	if *jsonPath != "" {
+		command := strings.Join(append([]string{"locusroute"}, os.Args[1:]...), " ")
+		if err := col.Snapshot(command).WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

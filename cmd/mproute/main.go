@@ -13,13 +13,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
+	"strings"
 
 	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
 	"locusroute/internal/mp"
 	"locusroute/internal/msg"
+	"locusroute/internal/obs"
 	"locusroute/internal/route"
 )
 
@@ -42,11 +45,18 @@ func main() {
 		dynamic   = flag.Bool("dynamic", false, "dynamic wire assignment over the network (ablation)")
 		strict    = flag.Bool("strict", false, "strict region ownership, no replicated views (ablation)")
 		live      = flag.Bool("live", false, "run on real goroutines and channels instead of the DES")
+		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
+		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
+	stopProfile, err := obs.StartCPUProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
+
 	var c *circuit.Circuit
-	var err error
 	switch *bench {
 	case "bnrE":
 		c, err = circuit.Generate(circuit.BnrELike(*seed))
@@ -106,13 +116,25 @@ func main() {
 		asn = assign.AssignThreshold(c, part, assign.ThresholdInfinity)
 	}
 
-	run := mp.Run
+	run, backend := mp.Run, "mp-des"
 	if *live {
-		run = mp.RunLive
+		run, backend = mp.RunLive, "mp-live"
+	}
+	if *jsonPath != "" {
+		cfg.Obs = obs.NewMP(cfg.Procs)
 	}
 	res, err := run(c, asn, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonPath != "" {
+		col := obs.NewCollector()
+		col.Append(mp.ObsRun(*bench, backend, c.Name, cfg, res))
+		command := strings.Join(append([]string{"mproute"}, os.Args[1:]...), " ")
+		if err := col.Snapshot(command).WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("circuit %s on %d processors (%dx%d mesh), strategy %v\n",

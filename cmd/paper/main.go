@@ -15,25 +15,39 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"locusroute/internal/circuit"
 	"locusroute/internal/experiments"
+	"locusroute/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper: ")
 	var (
-		table = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network")
-		all   = flag.Bool("all", false, "regenerate every table")
-		procs = flag.Int("procs", 16, "processor count for tables that do not sweep it")
-		iters = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
+		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network")
+		all      = flag.Bool("all", false, "regenerate every table")
+		procs    = flag.Int("procs", 16, "processor count for tables that do not sweep it")
+		iters    = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
+		jsonPath = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
+		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	stopProfile, err := obs.StartCPUProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 
 	s := experiments.DefaultSetup()
 	s.Procs = *procs
 	s.Iterations = *iters
+	if *jsonPath != "" {
+		s.Obs = obs.NewCollector()
+	}
 	bnrE := experiments.BnrE()
 	both := []*circuit.Circuit{bnrE, experiments.MDC()}
 
@@ -79,14 +93,21 @@ func main() {
 		}
 	}
 
-	if *all {
+	switch {
+	case *all:
 		for _, name := range []string{"1", "2", "blocking", "mixed", "3", "comparison", "4", "5", "6", "locality", "packets", "distribution", "ownership", "network", "ordering", "topology"} {
 			run(name)
 		}
-		return
-	}
-	if *table == "" {
+	case *table == "":
 		log.Fatal("pass -table <name> or -all (see -h)")
+	default:
+		run(*table)
 	}
-	run(*table)
+
+	if *jsonPath != "" {
+		command := strings.Join(append([]string{"paper"}, os.Args[1:]...), " ")
+		if err := s.Obs.Snapshot(command).WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

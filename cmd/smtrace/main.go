@@ -21,6 +21,7 @@ import (
 	"locusroute/internal/cache"
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
+	"locusroute/internal/obs"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
 	"locusroute/internal/trace"
@@ -40,16 +41,23 @@ func main() {
 		dump      = flag.String("dump", "", "write the shared reference trace to this file and exit")
 		replay    = flag.String("replay", "", "skip tracing; replay this trace file instead")
 		capLines  = flag.Int("cache-lines", 0, "finite cache capacity in lines (0 = infinite, the paper's assumption)")
+		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
+		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
+	stopProfile, err := obs.StartCPUProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
+
 	if *replay != "" {
-		replayFile(*replay, *lines, *capLines)
+		replayFile(*replay, *lines, *capLines, *jsonPath)
 		return
 	}
 
 	var c *circuit.Circuit
-	var err error
 	switch *bench {
 	case "bnrE":
 		c, err = circuit.Generate(circuit.BnrELike(*seed))
@@ -92,6 +100,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var col *obs.Collector
+	var runDoc *obs.Run
+	if *jsonPath != "" {
+		col = obs.NewCollector()
+		runDoc = col.Append(sm.ObsRun(*bench, "sm-traced", c.Name, cfg, res))
+	}
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
@@ -104,6 +118,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d references from %d processes to %s\n", tr.Len(), *procs, *dump)
+		writeSnapshot(col, *jsonPath)
 		return
 	}
 	fmt.Printf("circuit %s, %d processes, %s distribution\n", c.Name, *procs, cfg.Order)
@@ -112,12 +127,26 @@ func main() {
 	fmt.Printf("virtual makespan: %v\n", res.Span)
 	fmt.Printf("shared refs:      %d reads, %d writes\n\n", res.Reads, res.Writes)
 
-	replayTrace(tr, *procs, *lines, *capLines)
+	replayTrace(tr, *procs, *lines, *capLines, runDoc)
+	writeSnapshot(col, *jsonPath)
+}
+
+// writeSnapshot writes the collected document when -json was given.
+func writeSnapshot(col *obs.Collector, jsonPath string) {
+	if jsonPath == "" {
+		return
+	}
+	command := strings.Join(append([]string{"smtrace"}, os.Args[1:]...), " ")
+	if err := col.Snapshot(command).WriteFile(jsonPath); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // replayTrace runs the coherence simulation at each line size and prints
-// the traffic breakdown.
-func replayTrace(tr *trace.Trace, procs int, lines string, capLines int) {
+// the traffic breakdown. When runDoc is non-nil, each infinite-cache
+// replay appends its traffic document to it (the finite-capacity
+// extension is print-only).
+func replayTrace(tr *trace.Trace, procs int, lines string, capLines int, runDoc *obs.Run) {
 	for _, field := range strings.Split(lines, ",") {
 		ls, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
@@ -140,6 +169,9 @@ func replayTrace(tr *trace.Trace, procs int, lines string, capLines int) {
 		for _, ref := range tr.Refs {
 			simr.Access(ref)
 		}
+		if runDoc != nil {
+			runDoc.Cache = append(runDoc.Cache, simr.Doc())
+		}
 		t := simr.Traffic()
 		fmt.Printf("line %2dB: %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB; %d invalidations; %.0f%% write-caused)\n",
 			ls, t.MBytes(), float64(t.FillBytes)/1e6, float64(t.WriteWordBytes)/1e6,
@@ -148,7 +180,7 @@ func replayTrace(tr *trace.Trace, procs int, lines string, capLines int) {
 }
 
 // replayFile loads a dumped trace and replays it.
-func replayFile(path, lines string, capLines int) {
+func replayFile(path, lines string, capLines int, jsonPath string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -158,6 +190,13 @@ func replayFile(path, lines string, capLines int) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var col *obs.Collector
+	var runDoc *obs.Run
+	if jsonPath != "" {
+		col = obs.NewCollector()
+		runDoc = col.Append(obs.Run{Name: path, Backend: "cache-replay", Procs: procs})
+	}
 	fmt.Printf("replaying %d references from %d processes (%s)\n", tr.Len(), procs, path)
-	replayTrace(tr, procs, lines, capLines)
+	replayTrace(tr, procs, lines, capLines, runDoc)
+	writeSnapshot(col, jsonPath)
 }

@@ -18,6 +18,7 @@ package cache
 import (
 	"fmt"
 
+	"locusroute/internal/obs"
 	"locusroute/internal/trace"
 )
 
@@ -123,6 +124,27 @@ func (s *Simulator) AttributedWriteFraction() float64 {
 		return 0
 	}
 	return float64(s.traffic.WriteWordBytes+s.traffic.WritebackBytes+s.refetchBytes) / float64(b)
+}
+
+// Doc renders the simulator's accumulated traffic as an observability
+// document, including the refetch attribution only the simulator (not a
+// bare Traffic) knows.
+func (s *Simulator) Doc() obs.CacheDoc {
+	t := s.traffic
+	return obs.CacheDoc{
+		LineSize:       s.lineSize,
+		Refs:           t.Refs,
+		Bytes:          t.Bytes(),
+		FillBytes:      t.FillBytes,
+		WriteWordBytes: t.WriteWordBytes,
+		WritebackBytes: t.WritebackBytes,
+		Fills:          t.Fills,
+		WriteWords:     t.WriteWords,
+		Writebacks:     t.Writebacks,
+		Invalidations:  t.Invalidations,
+		RefetchBytes:   s.refetchBytes,
+		WriteFraction:  s.AttributedWriteFraction(),
+	}
 }
 
 // Access replays one reference.

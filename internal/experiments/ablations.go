@@ -34,10 +34,7 @@ func PacketStructures(c *circuit.Circuit, s Setup) []PacketRow {
 		cfg.Procs = s.Procs
 		cfg.Router = s.routerParams()
 		cfg.Packets = structure
-		res, err := mp.Run(c, s.assignment(c), cfg)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: packet structure %v: %v", structure, err))
-		}
+		res := runConfigured(c, s, cfg, s.assignment(c), "packets/"+structure.String())
 		rows = append(rows, PacketRow{
 			Structure: structure.String(),
 			CktHt:     res.CircuitHeight,
@@ -81,14 +78,11 @@ func WireDistribution(c *circuit.Circuit, s Setup) []DistributionRow {
 		cfg.Procs = s.Procs
 		cfg.Router = s.routerParams()
 		cfg.DynamicWires = dynamic
-		res, err := mp.Run(c, s.assignment(c), cfg)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: wire distribution dynamic=%v: %v", dynamic, err))
-		}
 		label := "static (ThresholdCost)"
 		if dynamic {
 			label = "dynamic (request/grant)"
 		}
+		res := runConfigured(c, s, cfg, s.assignment(c), "distribution/"+label)
 		rows = append(rows, DistributionRow{
 			Method:  label,
 			CktHt:   res.CircuitHeight,
@@ -131,10 +125,7 @@ func CostArrayDistribution(c *circuit.Circuit, s Setup) []OwnershipRow {
 	chosen := mp.DefaultConfig(Table4Strategy())
 	chosen.Procs = s.Procs
 	chosen.Router = s.routerParams()
-	res, err := mp.Run(c, s.assignment(c), chosen)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: replicated views: %v", err))
-	}
+	res := runConfigured(c, s, chosen, s.assignment(c), "ownership/replicated views")
 	rows = append(rows, OwnershipRow{
 		Scheme: "replicated views + updates", CktHt: res.CircuitHeight,
 		MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
@@ -145,10 +136,7 @@ func CostArrayDistribution(c *circuit.Circuit, s Setup) []OwnershipRow {
 	strict.Router = s.routerParams()
 	strict.StrictOwnership = true
 	asn := assign.AssignThreshold(c, s.partition(c), assign.ThresholdInfinity)
-	res, err = mp.Run(c, asn, strict)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: strict ownership: %v", err))
-	}
+	res = runConfigured(c, s, strict, asn, "ownership/strict")
 	rows = append(rows, OwnershipRow{
 		Scheme: "strict region ownership", CktHt: res.CircuitHeight,
 		MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),

@@ -26,25 +26,31 @@ type quality struct{ Height, Occupancy int64 }
 // any processor count and run with four.
 var equivalenceGolden = map[int64]map[string]quality{
 	1: {
-		"sequential":   {51, 7542},
-		"sm-live-1p":   {51, 7542},
-		"sm-traced-4p": {52, 7039},
-		"mp-des-4p":    {51, 7677},
-		"mp-live-1p":   {51, 7542},
+		"sequential":       {51, 7542},
+		"sm-live-1p":       {51, 7542},
+		"sm-traced-4p":     {52, 7039},
+		"mp-des-4p":        {51, 7677},
+		"mp-des-4p-wire":   {53, 7682},
+		"mp-des-4p-region": {52, 7699},
+		"mp-live-1p":       {51, 7542},
 	},
 	2: {
-		"sequential":   {49, 7307},
-		"sm-live-1p":   {49, 7307},
-		"sm-traced-4p": {50, 7108},
-		"mp-des-4p":    {50, 7250},
-		"mp-live-1p":   {49, 7307},
+		"sequential":       {49, 7307},
+		"sm-live-1p":       {49, 7307},
+		"sm-traced-4p":     {50, 7108},
+		"mp-des-4p":        {50, 7250},
+		"mp-des-4p-wire":   {48, 7218},
+		"mp-des-4p-region": {49, 7187},
+		"mp-live-1p":       {49, 7307},
 	},
 	3: {
-		"sequential":   {50, 6767},
-		"sm-live-1p":   {50, 6767},
-		"sm-traced-4p": {52, 6221},
-		"mp-des-4p":    {51, 6679},
-		"mp-live-1p":   {50, 6767},
+		"sequential":       {50, 6767},
+		"sm-live-1p":       {50, 6767},
+		"sm-traced-4p":     {52, 6221},
+		"mp-des-4p":        {51, 6679},
+		"mp-des-4p-wire":   {51, 6776},
+		"mp-des-4p-region": {50, 6739},
+		"mp-live-1p":       {50, 6767},
 	},
 }
 
@@ -92,6 +98,24 @@ func TestCrossBackendEquivalence(t *testing.T) {
 			t.Fatalf("seed %d: mp.Run: %v", seed, err)
 		}
 		got["mp-des-4p"] = quality{des.CircuitHeight, des.Occupancy}
+
+		// The packet-structure ablations ride the same DES runtime and
+		// protocol; pinning them here catches changes that perturb only
+		// the wire-based or whole-region update paths.
+		for name, structure := range map[string]mp.PacketStructure{
+			"mp-des-4p-wire":   mp.StructureWireBased,
+			"mp-des-4p-region": mp.StructureWholeRegion,
+		} {
+			cfgS := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+			cfgS.Procs = 4
+			cfgS.Router = params
+			cfgS.Packets = structure
+			res, err := mp.Run(c, assign.AssignThreshold(c, part4, 1000), cfgS)
+			if err != nil {
+				t.Fatalf("seed %d: mp.Run %s: %v", seed, name, err)
+			}
+			got[name] = quality{res.CircuitHeight, res.Occupancy}
+		}
 
 		part1, err := geom.NewPartition(c.Grid, 1, 1)
 		if err != nil {

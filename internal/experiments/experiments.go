@@ -19,6 +19,7 @@ import (
 	"locusroute/internal/geom"
 	"locusroute/internal/metrics"
 	"locusroute/internal/mp"
+	"locusroute/internal/obs"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
 )
@@ -42,6 +43,10 @@ type Setup struct {
 	// (the paper's tables 1, 2 and 6 use a locality assignment; 1000
 	// reproduces their configuration).
 	Threshold int
+	// Obs, when non-nil, collects one observability document per routing
+	// run the drivers perform (cmd/paper -json). Nil disables collection;
+	// the rendered tables are identical either way.
+	Obs *obs.Collector
 }
 
 // DefaultSetup returns the 16-processor configuration most tables use.
@@ -88,10 +93,7 @@ func runMPAssigned(c *circuit.Circuit, s Setup, st mp.Strategy, asn *assign.Assi
 	cfg := mp.DefaultConfig(st)
 	cfg.Procs = s.Procs
 	cfg.Router = s.routerParams()
-	res, err := mp.Run(c, asn, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: mp run %q: %v", label, err))
-	}
+	res := runConfigured(c, s, cfg, asn, label)
 	return MPRow{
 		Label:     label,
 		Strategy:  st,
@@ -102,10 +104,29 @@ func runMPAssigned(c *circuit.Circuit, s Setup, st mp.Strategy, asn *assign.Assi
 	}
 }
 
+// runConfigured executes one message passing run from a fully prepared
+// config (callers set ablation knobs before handing it over). When the
+// setup carries a collector, an observer is attached for the run and
+// its document recorded under label.
+func runConfigured(c *circuit.Circuit, s Setup, cfg mp.Config, asn *assign.Assignment, label string) mp.Result {
+	if s.Obs.Enabled() {
+		cfg.Obs = obs.NewMP(cfg.Procs)
+	}
+	res, err := mp.Run(c, asn, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: mp run %q: %v", label, err))
+	}
+	if s.Obs.Enabled() {
+		s.Obs.Append(mp.ObsRun(label, "mp-des", c.Name, cfg, res))
+	}
+	return res
+}
+
 // smQuality runs the traced shared memory router and returns its result
 // plus the reference trace (callers replay it through the cache
-// simulator at the line sizes they need).
-func smQuality(c *circuit.Circuit, s Setup, order sm.Order, asn *assign.Assignment) (sm.Result, *traceHandle) {
+// simulator at the line sizes they need; replays attach their traffic to
+// the run's document when a collector is recording).
+func smQuality(c *circuit.Circuit, s Setup, order sm.Order, asn *assign.Assignment, label string) (sm.Result, *traceHandle) {
 	cfg := sm.DefaultConfig()
 	cfg.Procs = s.Procs
 	cfg.Router = s.routerParams()
@@ -115,7 +136,11 @@ func smQuality(c *circuit.Circuit, s Setup, order sm.Order, asn *assign.Assignme
 	if err != nil {
 		panic(fmt.Sprintf("experiments: sm run: %v", err))
 	}
-	return res, &traceHandle{tr: tr, procs: s.Procs}
+	h := &traceHandle{tr: tr, procs: s.Procs}
+	if s.Obs.Enabled() {
+		h.run = s.Obs.Append(sm.ObsRun(label, "sm-traced", c.Name, cfg, res))
+	}
+	return res, h
 }
 
 // renderMPTable renders MP rows with the paper's column names.

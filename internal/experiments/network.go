@@ -53,10 +53,12 @@ func NetworkSensitivity(c *circuit.Circuit, s Setup) []NetworkRow {
 			cfg.Router = s.routerParams()
 			cfg.Net = row.net
 			cfg.RequestAhead = row.ahead
-			res, err := mp.Run(c, s.assignment(c), cfg)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: network sensitivity: %v", err))
+			mode := "non-blocking"
+			if blocking {
+				mode = "blocking"
 			}
+			label := fmt.Sprintf("network/%s, %s", row.label, mode)
+			res := runConfigured(c, s, cfg, s.assignment(c), label)
 			return res.Time.Seconds()
 		}
 		nb, bl := run(false), run(true)
@@ -122,10 +124,7 @@ func Topology(c *circuit.Circuit, s Setup) []TopologyRow {
 		cfg.Procs = s.Procs
 		cfg.Router = s.routerParams()
 		cfg.Topology = sh.dims
-		res, err := mp.Run(c, s.assignment(c), cfg)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: topology %v: %v", sh.dims, err))
-		}
+		res := runConfigured(c, s, cfg, s.assignment(c), "topology/"+sh.label)
 		rows = append(rows, TopologyRow{
 			Label:      sh.label,
 			CktHt:      res.CircuitHeight,

@@ -8,6 +8,7 @@ import (
 	"locusroute/internal/circuit"
 	"locusroute/internal/metrics"
 	"locusroute/internal/mp"
+	"locusroute/internal/obs"
 	"locusroute/internal/sm"
 	"locusroute/internal/trace"
 )
@@ -17,15 +18,25 @@ import (
 type traceHandle struct {
 	tr    *trace.Trace
 	procs int
+	// run, when non-nil, is the collector's document for the traced run
+	// that produced the trace; each replay appends its traffic to it.
+	run *obs.Run
 }
 
-// replay runs the coherence simulator at the given line size.
-func (h *traceHandle) replay(lineSize int) cache.Traffic {
-	t, err := cache.Replay(h.tr, h.procs, lineSize)
+// replay runs the coherence simulator at the given line size and returns
+// it (callers read Traffic or the attributed write fraction off it).
+func (h *traceHandle) replay(lineSize int) *cache.Simulator {
+	sim, err := cache.New(h.procs, lineSize)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: cache replay: %v", err))
 	}
-	return t
+	for _, ref := range h.tr.Refs {
+		sim.Access(ref)
+	}
+	if h.run != nil {
+		h.run.Cache = append(h.run.Cache, sim.Doc())
+	}
+	return sim
 }
 
 // --- Table 1: network traffic using sender initiated updates ------------
@@ -149,16 +160,10 @@ func Table3LineSizes() []int { return []int{4, 8, 16, 32} }
 // Table3 measures shared memory bus traffic at each line size, using the
 // paper's default dynamic (distributed loop) wire distribution.
 func Table3(c *circuit.Circuit, s Setup) []Table3Row {
-	res, h := smQuality(c, s, sm.Dynamic, nil)
+	res, h := smQuality(c, s, sm.Dynamic, nil, "table3")
 	var rows []Table3Row
 	for _, ls := range Table3LineSizes() {
-		sim, err := cache.New(h.procs, ls)
-		if err != nil {
-			panic(err)
-		}
-		for _, ref := range h.tr.Refs {
-			sim.Access(ref)
-		}
+		sim := h.replay(ls)
 		tr := sim.Traffic()
 		rows = append(rows, Table3Row{
 			Circuit:       c.Name,
@@ -267,11 +272,11 @@ func Table5(circuits []*circuit.Circuit, s Setup) []Table5Row {
 	var rows []Table5Row
 	for _, c := range circuits {
 		for _, m := range LocalityMethods() {
-			res, h := smQuality(c, s, sm.Static, m.build(c, s))
+			res, h := smQuality(c, s, sm.Static, m.build(c, s), "table5/"+m.Label)
 			rows = append(rows, Table5Row{
 				Circuit: c.Name, Method: m.Label,
 				CktHt:  res.CircuitHeight,
-				MBytes: h.replay(Table5LineSize).MBytes(),
+				MBytes: h.replay(Table5LineSize).Traffic().MBytes(),
 			})
 		}
 	}
@@ -391,11 +396,11 @@ type ComparisonRow struct {
 // shared memory (8-byte lines) vs the best sender initiated and receiver
 // initiated message passing schedules.
 func Comparison(c *circuit.Circuit, s Setup) []ComparisonRow {
-	res, h := smQuality(c, s, sm.Dynamic, nil)
+	res, h := smQuality(c, s, sm.Dynamic, nil, "comparison/shared memory")
 	rows := []ComparisonRow{{
 		Variant: "shared memory (8B lines)",
 		CktHt:   res.CircuitHeight,
-		MBytes:  h.replay(Table5LineSize).MBytes(),
+		MBytes:  h.replay(Table5LineSize).Traffic().MBytes(),
 	}}
 	snd := runMP(c, s, mp.SenderInitiated(2, 5), "sender")
 	rcv := runMP(c, s, mp.ReceiverInitiated(1, 5, false), "receiver")

@@ -3,6 +3,7 @@ package mesh
 import (
 	"fmt"
 
+	"locusroute/internal/obs"
 	"locusroute/internal/sim"
 )
 
@@ -22,6 +23,7 @@ type Cube struct {
 	linkFree [][]sim.Time
 	inbox    []*sim.Chan
 	stats    Stats
+	rec      *obs.NetRecorder
 }
 
 // NewCube builds a network whose shape is the given dimension list
@@ -59,6 +61,12 @@ func (c *Cube) Dims() []int { return append([]int(nil), c.dims...) }
 
 // Stats returns the accumulated statistics.
 func (c *Cube) Stats() Stats { return c.stats }
+
+// SetRecorder attaches (or with nil detaches) an observability recorder.
+func (c *Cube) SetRecorder(rec *obs.NetRecorder) {
+	c.rec = rec
+	hookInboxes(c.inbox, rec)
+}
 
 // Inbox returns the receive queue of node id.
 func (c *Cube) Inbox(id int) *sim.Chan { return c.inbox[id] }
@@ -118,6 +126,7 @@ func (c *Cube) Send(p *sim.Process, from, to int, payload any, size int) {
 				c.stats.ContentionDelay += free - start
 				start = free
 			}
+			c.rec.ObserveLinkDelay(start - cursor)
 			c.linkFree[node][dim] = start + c.params.HopTime*(L+1)
 			cursor = start + c.params.HopTime
 			hops++
@@ -127,10 +136,16 @@ func (c *Cube) Send(p *sim.Process, from, to int, payload any, size int) {
 
 	arrive := cursor + c.params.HopTime*L
 	pkt.ArriveAt = arrive
-	c.stats.Packets++
-	c.stats.Bytes += int64(size)
-	c.stats.HopBytes += int64(size) * int64(hops)
-	c.stats.TotalLatency += arrive - pkt.SentAt
+	if from == to {
+		c.stats.SelfPackets++
+		c.stats.SelfBytes += int64(size)
+	} else {
+		c.stats.Packets++
+		c.stats.Bytes += int64(size)
+		c.stats.HopBytes += int64(size) * int64(hops)
+		c.stats.TotalLatency += arrive - pkt.SentAt
+		c.rec.ObserveLatency(arrive - pkt.SentAt)
+	}
 
 	inbox := c.inbox[to]
 	c.kernel.At(arrive, func() { inbox.Send(pkt) })

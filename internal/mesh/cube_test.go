@@ -161,3 +161,24 @@ func TestCubeContention(t *testing.T) {
 		t.Errorf("expected contention, got none")
 	}
 }
+
+func TestCubeSelfSendExcludedFromLinkStats(t *testing.T) {
+	k := sim.NewKernel()
+	c, err := NewCube(k, []int{2, 2}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("node0", func(p *sim.Process) {
+		c.Send(p, 0, 0, "self", 10)
+		c.Send(p, 0, 1, "link", 20)
+	})
+	k.Spawn("recv", func(p *sim.Process) { c.Inbox(1).Recv(p) })
+	k.Run()
+	st := c.Stats()
+	if st.SelfPackets != 1 || st.SelfBytes != 10 {
+		t.Errorf("self traffic = %d pkts / %d bytes, want 1 / 10", st.SelfPackets, st.SelfBytes)
+	}
+	if st.Packets != 1 || st.Bytes != 20 {
+		t.Errorf("link traffic = %d pkts / %d bytes, want 1 / 20", st.Packets, st.Bytes)
+	}
+}

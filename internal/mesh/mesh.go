@@ -20,6 +20,7 @@ package mesh
 import (
 	"fmt"
 
+	"locusroute/internal/obs"
 	"locusroute/internal/sim"
 )
 
@@ -48,13 +49,18 @@ type Packet struct {
 	ArriveAt sim.Time
 }
 
-// Stats accumulates network-level accounting for a run.
+// Stats accumulates network-level accounting for a run. Packets and
+// Bytes count only traffic that actually crosses links: a self-send
+// (from == to) traverses zero links, so it is tallied separately in
+// SelfPackets/SelfBytes and never inflates interconnect traffic.
 type Stats struct {
 	Packets         int64
 	Bytes           int64
 	HopBytes        int64    // bytes x hops: total channel occupancy
+	SelfPackets     int64    // local deliveries (from == to), zero links crossed
+	SelfBytes       int64    // bytes of those local deliveries
 	ContentionDelay sim.Time // total head blocking time across packets
-	TotalLatency    sim.Time // sum of (arrive - sent) over packets
+	TotalLatency    sim.Time // sum of (arrive - sent) over link-crossing packets
 }
 
 // MBytes returns total traffic in megabytes (10^6 bytes, as the paper's
@@ -79,6 +85,10 @@ type Interconnect interface {
 	Nodes() int
 	// Distance returns the deterministic-route hop count between nodes.
 	Distance(a, b int) int
+	// SetRecorder attaches an observability recorder that receives
+	// packet latencies, per-link contention delays, and receive-queue
+	// depths at dequeue. A nil recorder detaches (the default).
+	SetRecorder(rec *obs.NetRecorder)
 }
 
 var (
@@ -96,6 +106,7 @@ type Network struct {
 	linkFree [][2]sim.Time
 	inbox    []*sim.Chan
 	stats    Stats
+	rec      *obs.NetRecorder
 }
 
 // New builds a network of px x py nodes on kernel k.
@@ -123,6 +134,25 @@ func (n *Network) Nodes() int { return n.px * n.py }
 // Stats returns the accumulated network statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
+// SetRecorder attaches (or with nil detaches) an observability recorder.
+// Queue-depth observation is hooked into every inbox's dequeue path.
+func (n *Network) SetRecorder(rec *obs.NetRecorder) {
+	n.rec = rec
+	hookInboxes(n.inbox, rec)
+}
+
+// hookInboxes points every inbox's OnDequeue at the recorder's
+// queue-depth histogram (or unhooks on a nil recorder).
+func hookInboxes(inboxes []*sim.Chan, rec *obs.NetRecorder) {
+	for _, c := range inboxes {
+		if rec == nil {
+			c.OnDequeue = nil
+			continue
+		}
+		c.OnDequeue = rec.ObserveQueueDepth
+	}
+}
+
 // Inbox returns the receive queue of node id. Nodes block on it with
 // Recv; every queued item is a *Packet.
 func (n *Network) Inbox(id int) *sim.Chan { return n.inbox[id] }
@@ -141,7 +171,9 @@ func (n *Network) Distance(a, b int) int {
 // copy onto the network); the packet then worms through the +X links and
 // +Y links of the route, contending for each, and is delivered into the
 // destination inbox when its tail arrives. Self-sends traverse no links
-// but still pay both ProcessTime charges and the L-byte serialisation.
+// but still pay both ProcessTime charges and the L-byte serialisation;
+// they count toward Stats.SelfPackets/SelfBytes, never interconnect
+// traffic.
 func (n *Network) Send(p *sim.Process, from, to int, payload any, size int) {
 	if size <= 0 {
 		size = 1
@@ -164,6 +196,7 @@ func (n *Network) Send(p *sim.Process, from, to int, payload any, size int) {
 			n.stats.ContentionDelay += free - start
 			start = free
 		}
+		n.rec.ObserveLinkDelay(start - cursor)
 		// Link is held until the tail (L bytes) has passed.
 		n.linkFree[node][dim] = start + n.params.HopTime*(L+1)
 		cursor = start + n.params.HopTime
@@ -185,10 +218,16 @@ func (n *Network) Send(p *sim.Process, from, to int, payload any, size int) {
 	arrive := cursor + n.params.HopTime*L
 	pkt.ArriveAt = arrive
 
-	n.stats.Packets++
-	n.stats.Bytes += int64(size)
-	n.stats.HopBytes += int64(size) * int64(hops)
-	n.stats.TotalLatency += arrive - pkt.SentAt
+	if from == to {
+		n.stats.SelfPackets++
+		n.stats.SelfBytes += int64(size)
+	} else {
+		n.stats.Packets++
+		n.stats.Bytes += int64(size)
+		n.stats.HopBytes += int64(size) * int64(hops)
+		n.stats.TotalLatency += arrive - pkt.SentAt
+		n.rec.ObserveLatency(arrive - pkt.SentAt)
+	}
 
 	inbox := n.inbox[to]
 	n.kernel.At(arrive, func() { inbox.Send(pkt) })

@@ -3,6 +3,7 @@ package mesh
 import (
 	"testing"
 
+	"locusroute/internal/obs"
 	"locusroute/internal/sim"
 )
 
@@ -274,5 +275,47 @@ func TestHopBytesMatchesDistance(t *testing.T) {
 	}
 	if d := n.Distance(0, 15); d != 6 {
 		t.Errorf("Distance = %d", d)
+	}
+}
+
+func TestSelfSendExcludedFromLinkStats(t *testing.T) {
+	// from==to deliveries cross no links: they are tallied separately so
+	// Packets/Bytes/HopBytes count only real interconnect traffic.
+	k := sim.NewKernel()
+	n := newNet(t, k, 2, 2)
+	k.Spawn("node0", func(p *sim.Process) {
+		n.Send(p, 0, 0, "self", 10)
+		n.Send(p, 0, 1, "link", 20)
+	})
+	k.Spawn("recv", func(p *sim.Process) { n.Inbox(1).Recv(p) })
+	k.Run()
+	st := n.Stats()
+	if st.SelfPackets != 1 || st.SelfBytes != 10 {
+		t.Errorf("self traffic = %d pkts / %d bytes, want 1 / 10", st.SelfPackets, st.SelfBytes)
+	}
+	if st.Packets != 1 || st.Bytes != 20 {
+		t.Errorf("link traffic = %d pkts / %d bytes, want 1 / 20", st.Packets, st.Bytes)
+	}
+	if st.HopBytes != 20 {
+		t.Errorf("HopBytes = %d, want 20 (self-sends cross no links)", st.HopBytes)
+	}
+}
+
+func TestRecorderObservesTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	n := newNet(t, k, 2, 2)
+	rec := &obs.NetRecorder{}
+	n.SetRecorder(rec)
+	k.Spawn("r", func(p *sim.Process) { n.Inbox(1).Recv(p) })
+	k.Spawn("s", func(p *sim.Process) { n.Send(p, 0, 1, "a", 30) })
+	k.Run()
+	if rec.Latency.Count() != 1 {
+		t.Errorf("latency observations = %d, want 1", rec.Latency.Count())
+	}
+	if rec.QueueDepth.Count() != 1 {
+		t.Errorf("queue depth observations = %d, want 1", rec.QueueDepth.Count())
+	}
+	if rec.QueueDepth.Max() != 1 {
+		t.Errorf("queue depth at dequeue = %d, want 1 (the packet being taken)", rec.QueueDepth.Max())
 	}
 }

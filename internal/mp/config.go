@@ -30,6 +30,7 @@ import (
 	"locusroute/internal/circuit"
 	"locusroute/internal/mesh"
 	"locusroute/internal/msg"
+	"locusroute/internal/obs"
 	"locusroute/internal/perf"
 	"locusroute/internal/route"
 	"locusroute/internal/sim"
@@ -112,6 +113,13 @@ type Config struct {
 	// Procs. The cost array partition stays two-dimensional; only the
 	// interconnect shape changes, as in CBS.
 	Topology []int
+	// Obs, when non-nil, collects the run's observability data: per-node
+	// simulated-time breakdown and interconnect histograms in the DES
+	// runtime, wall-clock phases in the live runtime. The DES runtime
+	// resets it at run start, so one observer serves one run. Nil (the
+	// default) disables all collection; the run is byte-identical either
+	// way.
+	Obs *obs.MP
 	// StrictOwnership enables the strict region ownership ablation
 	// (Section 4.1): no replicated views, no update traffic — routing
 	// tasks are passed across region boundaries instead. DES runtime

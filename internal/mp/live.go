@@ -58,6 +58,7 @@ func RunLive(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result,
 	}
 
 	start := time.Now()
+	stopRoute := cfg.Obs.Phase("route")
 	var wg sync.WaitGroup
 	nodes := make([]*liveNode, cfg.Procs)
 	for id := 0; id < cfg.Procs; id++ {
@@ -69,8 +70,11 @@ func RunLive(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result,
 		}(nodes[id])
 	}
 	wg.Wait()
+	stopRoute()
 	elapsed := time.Since(start)
 
+	stopReduce := cfg.Obs.Phase("reduce")
+	defer stopReduce()
 	var res Result
 	res.CircuitHeight = lr.truth.circuitHeight()
 	for _, c := range lr.lastCost {

@@ -5,6 +5,7 @@ import (
 
 	"locusroute/internal/mesh"
 	"locusroute/internal/msg"
+	"locusroute/internal/obs"
 	"locusroute/internal/sim"
 )
 
@@ -33,6 +34,14 @@ type node struct {
 	// routeTime and msgTime split this node's charged busy time between
 	// wire routing and the update machinery.
 	routeTime, msgTime sim.Time
+
+	// clock is the observability breakdown of this node's simulated time
+	// (nil when observability is off). Every time-advancing call below is
+	// followed by exactly one Account stamp, so the four categories
+	// partition the node's whole life. inBarrier steers Recv park time
+	// between the blocked and barrier categories.
+	clock     *obs.NodeClock
+	inBarrier bool
 }
 
 func newNode(id int, r *runner) *node {
@@ -47,6 +56,7 @@ func newNode(id int, r *runner) *node {
 		r:     r,
 		proto: proto,
 		wires: r.asn.WiresOf(id),
+		clock: r.cfg.Obs.NodeClock(id),
 	}
 }
 
@@ -145,12 +155,14 @@ func (n *node) routeWire(wi, iter int) {
 func (n *node) waitRoute(d sim.Time) {
 	n.routeTime += d
 	n.p.Wait(d)
+	n.clock.Account(n.p.Now(), obs.TimeCompute)
 }
 
 // waitMsg charges d as update machinery work.
 func (n *node) waitMsg(d sim.Time) {
 	n.msgTime += d
 	n.p.Wait(d)
+	n.clock.Account(n.p.Now(), obs.TimePacket)
 }
 
 // transmit charges scan and assembly time and sends each outbound packet.
@@ -173,9 +185,15 @@ func (n *node) drain() {
 	}
 }
 
-// recvOne blocks for one message and handles it.
+// recvOne blocks for one message and handles it. Time parked in Recv is
+// blocked-on-receive, or barrier wait when inside the barrier.
 func (n *node) recvOne() {
 	item := n.r.net.Inbox(n.id).Recv(n.p)
+	cat := obs.TimeBlocked
+	if n.inBarrier {
+		cat = obs.TimeBarrier
+	}
+	n.clock.Account(n.p.Now(), cat)
 	n.handle(item.(*mesh.Packet))
 }
 
@@ -191,6 +209,7 @@ func (n *node) send(to int, m *msg.Message) {
 	n.r.packetsByKind[m.Kind]++
 	n.msgTime += n.r.cfg.Net.ProcessTime // the network copy inside Send
 	n.r.net.Send(n.p, n.id, to, buf, len(buf))
+	n.clock.Account(n.p.Now(), obs.TimePacket)
 }
 
 // handle dispatches one received packet: barrier kinds are the runtime's
@@ -199,6 +218,7 @@ func (n *node) send(to int, m *msg.Message) {
 func (n *node) handle(pkt *mesh.Packet) {
 	n.msgTime += n.r.cfg.Net.ProcessTime
 	n.r.net.ChargeReceive(n.p)
+	n.clock.Account(n.p.Now(), obs.TimePacket)
 	buf := pkt.Payload.([]byte)
 	n.waitMsg(n.r.cfg.Perf.CopyTime(len(buf)))
 	m, err := msg.Decode(buf)
@@ -235,6 +255,8 @@ func (n *node) handle(pkt *mesh.Packet) {
 // Done to node 0, which broadcasts Continue. While waiting, nodes keep
 // servicing requests so no processor deadlocks behind the barrier.
 func (n *node) barrier(iter int) {
+	n.inBarrier = true
+	defer func() { n.inBarrier = false }()
 	if n.id == 0 {
 		for n.dones < n.r.cfg.Procs-1 {
 			n.recvOne()

@@ -1,0 +1,227 @@
+package mp
+
+import (
+	"testing"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/geom"
+	"locusroute/internal/msg"
+	"locusroute/internal/obs"
+)
+
+// runObserved executes a small observed DES run and returns the config
+// (with its observer) and the result.
+func runObserved(t *testing.T, procs int, st Strategy, threshold int, mutate func(*Config)) (Config, Result) {
+	t.Helper()
+	c := smallCircuit(1)
+	cfg := DefaultConfig(st)
+	cfg.Procs = procs
+	cfg.Router.Iterations = 2
+	cfg.Obs = obs.NewMP(procs)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	px, py := geom.SquarestFactors(procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := assign.AssignThreshold(c, part, threshold)
+	res, err := Run(c, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, res
+}
+
+func TestNodeTimeBreakdownSums(t *testing.T) {
+	// The four categories must partition each node's simulated life: they
+	// sum to the node's total, and the slowest node's total is exactly
+	// the run's simulated time (nothing unaccounted at either end).
+	cases := []struct {
+		name   string
+		st     Strategy
+		thresh int
+		mutate func(*Config)
+	}{
+		{"sender initiated", SenderInitiated(2, 5), 1000, nil},
+		{"receiver blocking", ReceiverInitiated(1, 5, true), 1000, nil},
+		{"strict ownership", Strategy{}, assign.ThresholdInfinity,
+			func(c *Config) { c.StrictOwnership = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, res := runObserved(t, 4, tc.st, tc.thresh, tc.mutate)
+			times := cfg.Obs.NodeTimes()
+			if len(times) != 4 {
+				t.Fatalf("NodeTimes returned %d entries, want 4", len(times))
+			}
+			var maxTotal int64
+			for _, nt := range times {
+				sum := nt.ComputeNs + nt.PacketNs + nt.BlockedNs + nt.BarrierNs
+				if sum != nt.TotalNs {
+					t.Errorf("node %d: categories sum to %d, total %d", nt.Node, sum, nt.TotalNs)
+				}
+				if nt.TotalNs <= 0 {
+					t.Errorf("node %d: no simulated time accounted", nt.Node)
+				}
+				if nt.ComputeNs <= 0 {
+					t.Errorf("node %d: no compute time — every node routes wires", nt.Node)
+				}
+				if nt.TotalNs > maxTotal {
+					maxTotal = nt.TotalNs
+				}
+			}
+			if maxTotal != int64(res.Time) {
+				t.Errorf("slowest node accounted %d ns, run finished at %d ns — time leaked",
+					maxTotal, int64(res.Time))
+			}
+		})
+	}
+}
+
+func TestBlockedTimeOnlyWhenBlocking(t *testing.T) {
+	// Blocking receiver initiated runs park on outstanding responses
+	// (TimeBlocked); non-blocking ones only ever park at the barrier.
+	blocked := func(cfg Config) int64 {
+		var total int64
+		for _, nt := range cfg.Obs.NodeTimes() {
+			total += nt.BlockedNs
+		}
+		return total
+	}
+	cfgNB, _ := runObserved(t, 4, ReceiverInitiated(1, 5, false), 1000, nil)
+	if b := blocked(cfgNB); b != 0 {
+		t.Errorf("non-blocking run accounted %d ns blocked outside the barrier", b)
+	}
+	cfgBL, _ := runObserved(t, 4, ReceiverInitiated(1, 5, true), 1000, nil)
+	if b := blocked(cfgBL); b == 0 {
+		t.Errorf("blocking run accounted no blocked time")
+	}
+}
+
+func TestObserverRecordsNetworkHistograms(t *testing.T) {
+	cfg, res := runObserved(t, 4, SenderInitiated(2, 5), 1000, nil)
+	rec := cfg.Obs.NetRecorder()
+	if rec.Latency.Count() != res.Net.Packets {
+		t.Errorf("latency observations %d != link-crossing packets %d",
+			rec.Latency.Count(), res.Net.Packets)
+	}
+	if rec.QueueDepth.Count() == 0 {
+		t.Errorf("no queue depths observed")
+	}
+	doc := ObsRun("test", "mp-des", "small", cfg, res)
+	if doc.Network == nil || doc.Network.Latency == nil {
+		t.Fatalf("ObsRun must carry the latency histogram")
+	}
+	if doc.Network.Packets != res.Net.Packets {
+		t.Errorf("network doc packets %d != result %d", doc.Network.Packets, res.Net.Packets)
+	}
+	if len(doc.Messages) == 0 {
+		t.Errorf("sender initiated run must report per-kind message counts")
+	}
+}
+
+func TestNoRuntimeSelfSends(t *testing.T) {
+	// The mesh now accounts from==to deliveries separately (SelfPackets);
+	// no protocol or runtime path should ever send to itself, so the
+	// self counters pin at zero across every configuration family.
+	cases := []struct {
+		name   string
+		st     Strategy
+		thresh int
+		mutate func(*Config)
+	}{
+		{"sender initiated", SenderInitiated(2, 5), 1000, nil},
+		{"receiver blocking", ReceiverInitiated(1, 5, true), 1000, nil},
+		{"dynamic wires", SenderInitiated(2, 5), 1000,
+			func(c *Config) { c.DynamicWires = true }},
+		{"wire-based packets", SenderInitiated(2, 5), 1000,
+			func(c *Config) { c.Packets = StructureWireBased }},
+		{"whole-region packets", SenderInitiated(2, 5), 1000,
+			func(c *Config) { c.Packets = StructureWholeRegion }},
+		{"strict ownership", Strategy{}, assign.ThresholdInfinity,
+			func(c *Config) { c.StrictOwnership = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, res := runObserved(t, 4, tc.st, tc.thresh, tc.mutate)
+			if res.Net.SelfPackets != 0 || res.Net.SelfBytes != 0 {
+				t.Errorf("runtime self-sent %d packets / %d bytes — these would have inflated link stats before the split",
+					res.Net.SelfPackets, res.Net.SelfBytes)
+			}
+		})
+	}
+}
+
+func TestLiveRunRecordsPhases(t *testing.T) {
+	c := smallCircuit(1)
+	cfg := DefaultConfig(SenderInitiated(2, 5))
+	cfg.Procs = 4
+	cfg.Router.Iterations = 2
+	cfg.Obs = obs.NewMP(cfg.Procs)
+	part, err := geom.NewPartition(c.Grid, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLive(c, assign.AssignThreshold(c, part, 1000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := cfg.Obs.PhaseDocs()
+	if len(phases) != 2 || phases[0].Name != "route" || phases[1].Name != "reduce" {
+		t.Fatalf("live phases = %+v, want route then reduce", phases)
+	}
+	doc := ObsRun("test", "mp-live", c.Name, cfg, res)
+	if len(doc.Phases) != 2 {
+		t.Errorf("ObsRun dropped the phases")
+	}
+}
+
+func TestSendRmtWireMarksOnlyOwnedRegion(t *testing.T) {
+	// Regression: a SendRmtWire run that strays outside the receiver's
+	// region must only mark the in-region part as own-dirty. Marking
+	// non-owned cells would make a later SendLocData broadcast push the
+	// receiver's (stale) values for cells it does not own as absolute
+	// data, corrupting neighbours' views.
+	f := newProtoFixture(t, SenderInitiated(2, 1))
+	p := f.ps[0]
+	p.Structure = StructureWireBased
+	own := f.part.Region(0)
+	// A horizontal run starting inside region 0 and continuing into the
+	// neighbouring region.
+	run := geom.Rect{X0: own.X1 - 2, Y0: own.Y0, X1: own.X1 + 2, Y1: own.Y0 + 1}
+	if run.Intersect(own).Empty() {
+		t.Fatalf("test run %v must overlap own region %v", run, own)
+	}
+	p.Handle(1, &msg.Message{Kind: msg.KindSendRmtWire, Region: run, Seq: msg.WireFlagRoute})
+	if p.ownDirty.Empty() {
+		t.Fatalf("the in-region part of the run must become own-dirty")
+	}
+	if got := p.ownDirty.Intersect(own); got != p.ownDirty {
+		t.Errorf("ownDirty %v leaks outside own region %v", p.ownDirty, own)
+	}
+	// Any broadcast the mark triggers must stay within the own region.
+	for _, o := range p.broadcastOwnRegion() {
+		if !own.ContainsRect(o.Msg.Region) {
+			t.Errorf("SendLocData region %v escapes own region %v", o.Msg.Region, own)
+		}
+	}
+}
+
+func TestSendRmtWireFullyRemoteRunMarksNothing(t *testing.T) {
+	// A run entirely outside the receiver's region updates the view but
+	// must not create own-dirty state.
+	f := newProtoFixture(t, SenderInitiated(2, 1))
+	p := f.ps[0]
+	p.Structure = StructureWireBased
+	remote := f.part.Region(3)
+	run := geom.Rect{X0: remote.X0, Y0: remote.Y0, X1: remote.X0 + 3, Y1: remote.Y0 + 1}
+	p.Handle(3, &msg.Message{Kind: msg.KindSendRmtWire, Region: run, Seq: msg.WireFlagRoute})
+	if !p.ownDirty.Empty() {
+		t.Errorf("fully remote run marked ownDirty %v", p.ownDirty)
+	}
+	if p.View().At(run.X0, run.Y0) != 1 {
+		t.Errorf("view must still apply the remote run")
+	}
+}

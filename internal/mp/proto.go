@@ -456,7 +456,15 @@ func (pr *Proto) Handle(from int, m *msg.Message) []Outbound {
 				pr.view.Add(x, y, d)
 			}
 		}
-		pr.markOwn(r)
+		// Only the part of the run inside our own region becomes own-dirty
+		// state to rebroadcast; marking cells we don't own would let a
+		// later SendLocData push stale non-owned values as absolute data.
+		// (recordWireOps splits runs per owner, so today the whole run is
+		// in-region; the intersection makes that a guarantee, not a habit
+		// of the sender.)
+		if own := r.Intersect(pr.Part.Region(pr.ID)); !own.Empty() {
+			pr.markOwn(own)
+		}
 		return nil
 	}
 	panic(fmt.Sprintf("mp: proto %d: unexpected kind %v", pr.ID, m.Kind))

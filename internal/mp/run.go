@@ -94,6 +94,8 @@ func Run(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Obs.Prepare(cfg.Procs)
+	net.SetRecorder(cfg.Obs.NetRecorder())
 	r := &runner{
 		cfg:           cfg,
 		circ:          circ,

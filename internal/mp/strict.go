@@ -7,6 +7,7 @@ import (
 	"locusroute/internal/geom"
 	"locusroute/internal/mesh"
 	"locusroute/internal/msg"
+	"locusroute/internal/obs"
 	"locusroute/internal/route"
 	"locusroute/internal/sim"
 )
@@ -44,6 +45,10 @@ type strictNode struct {
 	outstanding int                  // my initiated segments still routing somewhere
 
 	dones, continues int
+
+	// clock and inBarrier: observability time breakdown, as in node.
+	clock     *obs.NodeClock
+	inBarrier bool
 }
 
 func newStrictNode(id int, r *runner) *strictNode {
@@ -55,7 +60,19 @@ func newStrictNode(id int, r *runner) *strictNode {
 		wires:    r.asn.WiresOf(id),
 		scratch:  route.NewScratch(r.circ.Grid),
 		subPaths: make(map[int][]route.Path),
+		clock:    r.cfg.Obs.NodeClock(id),
 	}
+}
+
+// packTask encodes a task Seq; Config.Validate has already capped strict
+// runs at the encoding's wire and processor limits, so failure here is a
+// programming error.
+func packTask(wire, initiator int) uint16 {
+	seq, err := msg.PackTask(wire, initiator)
+	if err != nil {
+		panic(fmt.Sprintf("mp: %v", err))
+	}
+	return seq
 }
 
 // strictRouterParams restricts candidate routes to the region: both
@@ -102,6 +119,7 @@ func (n *strictNode) ripAll() {
 		delete(n.subPaths, wi)
 	}
 	n.p.Wait(n.r.cfg.Perf.WriteTime(cells))
+	n.clock.Account(n.p.Now(), obs.TimeCompute)
 }
 
 // launchWire decomposes a wire into two-pin segments and starts a task
@@ -122,7 +140,7 @@ func (n *strictNode) dispatch(cur, tgt geom.Point, wi, initiator int) {
 		n.send(owner, &msg.Message{
 			Kind:   msg.KindPassTask,
 			Region: geom.Rect{X0: cur.X, Y0: cur.Y, X1: tgt.X, Y1: tgt.Y},
-			Seq:    msg.PackTask(wi, initiator),
+			Seq:    packTask(wi, initiator),
 		})
 		return
 	}
@@ -136,6 +154,7 @@ func (n *strictNode) processTask(cur, tgt geom.Point, wi, initiator int) {
 
 	ev := n.scratch.RoutePair(route.ArrayView{A: n.arr}, cur, clamped, strictRouterParams(n.r.cfg.Router))
 	n.p.Wait(n.r.cfg.Perf.WireOverhead + n.r.cfg.Perf.EvalTime(ev.CellsExamined))
+	n.clock.Account(n.p.Now(), obs.TimeCompute)
 	var trueCost int64
 	for _, c := range ev.Path.Cells {
 		trueCost += int64(n.r.truth.At(c.X, c.Y))
@@ -145,6 +164,7 @@ func (n *strictNode) processTask(cur, tgt geom.Point, wi, initiator int) {
 		n.r.truth.Add(c.X, c.Y, 1)
 	}
 	n.p.Wait(n.r.cfg.Perf.WriteTime(ev.Path.Len()))
+	n.clock.Account(n.p.Now(), obs.TimeCompute)
 	n.subPaths[wi] = append(n.subPaths[wi], ev.Path)
 	n.r.lastCost[wi] += trueCost
 	n.r.cells += int64(ev.CellsExamined)
@@ -163,7 +183,7 @@ func (n *strictNode) completeSegment(wi, initiator int) {
 		n.outstanding--
 		return
 	}
-	n.send(initiator, &msg.Message{Kind: msg.KindSegDone, Seq: msg.PackTask(wi, initiator)})
+	n.send(initiator, &msg.Message{Kind: msg.KindSegDone, Seq: packTask(wi, initiator)})
 }
 
 // clampInto moves p to the nearest point inside the rectangle.
@@ -212,6 +232,11 @@ func (n *strictNode) drain() {
 
 func (n *strictNode) recvOne() {
 	item := n.r.net.Inbox(n.id).Recv(n.p)
+	cat := obs.TimeBlocked
+	if n.inBarrier {
+		cat = obs.TimeBarrier
+	}
+	n.clock.Account(n.p.Now(), cat)
 	n.handle(item.(*mesh.Packet))
 }
 
@@ -224,12 +249,14 @@ func (n *strictNode) send(to int, m *msg.Message) {
 	n.r.bytesByKind[m.Kind] += int64(len(buf))
 	n.r.packetsByKind[m.Kind]++
 	n.r.net.Send(n.p, n.id, to, buf, len(buf))
+	n.clock.Account(n.p.Now(), obs.TimePacket)
 }
 
 func (n *strictNode) handle(pkt *mesh.Packet) {
 	n.r.net.ChargeReceive(n.p)
 	buf := pkt.Payload.([]byte)
 	n.p.Wait(n.r.cfg.Perf.CopyTime(len(buf)))
+	n.clock.Account(n.p.Now(), obs.TimePacket)
 	m, err := msg.Decode(buf)
 	if err != nil {
 		panic(fmt.Sprintf("mp: strict node %d decoding: %v", n.id, err))
@@ -254,6 +281,8 @@ func (n *strictNode) handle(pkt *mesh.Packet) {
 // barrier mirrors the Proto runtime's barrier; node 0 additionally zeros
 // the per-wire occupancy accumulators for the next iteration.
 func (n *strictNode) barrier(iter int) {
+	n.inBarrier = true
+	defer func() { n.inBarrier = false }()
 	if n.id == 0 {
 		for n.dones < n.r.cfg.Procs-1 {
 			n.recvOne()

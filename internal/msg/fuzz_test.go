@@ -24,8 +24,8 @@ func FuzzDecode(f *testing.F) {
 		{Kind: KindReqWire},
 		{Kind: KindWireGrant, Seq: 321},
 		{Kind: KindSendRmtWire, Region: geom.R(4, 1, 9, 1), Seq: WireFlagRipUp},
-		{Kind: KindPassTask, Region: geom.Rect{X0: 9, Y0: 2, X1: 3, Y1: 1}, Seq: PackTask(17, 3)},
-		{Kind: KindSegDone, Seq: PackTask(99, 15)},
+		{Kind: KindPassTask, Region: geom.Rect{X0: 9, Y0: 2, X1: 3, Y1: 1}, Seq: mustPackTask(f, 17, 3)},
+		{Kind: KindSegDone, Seq: mustPackTask(f, 99, 15)},
 	}
 	for _, m := range seeds {
 		buf, err := m.Encode()
@@ -52,18 +52,30 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+func mustPackTask(f *testing.F, wire, initiator int) uint16 {
+	seq, err := PackTask(wire, initiator)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return seq
+}
+
 // FuzzPackTask checks the task Seq packing is a bijection over its
 // domain.
 func FuzzPackTask(f *testing.F) {
 	f.Add(uint16(0))
 	f.Add(uint16(0xffff))
-	f.Add(PackTask(4095, 15))
+	f.Add(mustPackTask(f, 4095, 15))
 	f.Fuzz(func(t *testing.T, seq uint16) {
 		wire, init := UnpackTask(seq)
 		if wire < 0 || wire > 4095 || init < 0 || init > 15 {
 			t.Fatalf("unpacked out of domain: wire=%d init=%d", wire, init)
 		}
-		if PackTask(wire, init) != seq {
+		packed, err := PackTask(wire, init)
+		if err != nil {
+			t.Fatalf("unpacked values rejected by PackTask: %v", err)
+		}
+		if packed != seq {
 			t.Fatalf("pack/unpack not bijective for %d", seq)
 		}
 	})

@@ -74,10 +74,30 @@ const (
 	KindSegDone
 )
 
-// PackTask packs a wire index (< 4096) and initiating processor (< 16)
-// into the Seq field of KindPassTask/KindSegDone messages.
-func PackTask(wire, initiator int) uint16 {
-	return uint16(wire) | uint16(initiator)<<12
+// TaskWireLimit and TaskInitiatorLimit bound what PackTask can encode:
+// the 16-bit Seq field holds a 12-bit wire index and a 4-bit initiating
+// processor.
+const (
+	TaskWireLimit      = 1 << 12
+	TaskInitiatorLimit = 1 << 4
+)
+
+// PackTask packs a wire index and initiating processor into the Seq
+// field of KindPassTask/KindSegDone messages. Values outside
+// [0, TaskWireLimit) and [0, TaskInitiatorLimit) do not fit the 16-bit
+// encoding and return an error rather than silently truncating — a
+// truncated task would route the wrong wire or report completion to the
+// wrong processor on circuits larger than the paper's presets.
+func PackTask(wire, initiator int) (uint16, error) {
+	if wire < 0 || wire >= TaskWireLimit {
+		return 0, fmt.Errorf("msg: wire index %d outside task encoding range [0, %d)",
+			wire, TaskWireLimit)
+	}
+	if initiator < 0 || initiator >= TaskInitiatorLimit {
+		return 0, fmt.Errorf("msg: initiator %d outside task encoding range [0, %d)",
+			initiator, TaskInitiatorLimit)
+	}
+	return uint16(wire) | uint16(initiator)<<12, nil
 }
 
 // UnpackTask reverses PackTask.

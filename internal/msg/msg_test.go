@@ -197,3 +197,39 @@ func TestDecodeRejectsCorruptKindByte(t *testing.T) {
 		t.Errorf("unknown kind must fail")
 	}
 }
+
+// TestPackTaskBoundaries pins the task encoding's exact domain: the
+// largest representable (wire, initiator) round-trips, and the first
+// value past each limit is rejected instead of silently truncated.
+func TestPackTaskBoundaries(t *testing.T) {
+	valid := []struct{ wire, initiator int }{
+		{0, 0},
+		{TaskWireLimit - 1, 0},
+		{0, TaskInitiatorLimit - 1},
+		{TaskWireLimit - 1, TaskInitiatorLimit - 1},
+	}
+	for _, c := range valid {
+		seq, err := PackTask(c.wire, c.initiator)
+		if err != nil {
+			t.Errorf("PackTask(%d, %d): unexpected error %v", c.wire, c.initiator, err)
+			continue
+		}
+		wire, init := UnpackTask(seq)
+		if wire != c.wire || init != c.initiator {
+			t.Errorf("PackTask(%d, %d) round-tripped to (%d, %d)",
+				c.wire, c.initiator, wire, init)
+		}
+	}
+	invalid := []struct{ wire, initiator int }{
+		{TaskWireLimit, 0},      // would alias (0, 1)
+		{0, TaskInitiatorLimit}, // would alias (0, 0)
+		{-1, 0},
+		{0, -1},
+		{1 << 20, 1 << 10},
+	}
+	for _, c := range invalid {
+		if seq, err := PackTask(c.wire, c.initiator); err == nil {
+			t.Errorf("PackTask(%d, %d) = %#x, want error", c.wire, c.initiator, seq)
+		}
+	}
+}

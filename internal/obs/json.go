@@ -1,0 +1,15 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// writeJSON marshals v as two-space-indented JSON with a trailing
+// newline. Every document type here is a struct (never a map), so
+// field order — and therefore the byte output — is deterministic.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

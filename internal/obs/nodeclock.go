@@ -1,0 +1,70 @@
+package obs
+
+import "locusroute/internal/sim"
+
+// TimeCategory names one of the four exhaustive charges a DES node's
+// simulated time is split into.
+type TimeCategory int
+
+const (
+	// TimeCompute is routing work: rip-up, candidate evaluation, commit.
+	TimeCompute TimeCategory = iota
+	// TimePacket is packet assembly/disassembly, region scans, and the
+	// send/receive processing charges of the network interface.
+	TimePacket
+	// TimeBlocked is time parked on an empty receive queue outside the
+	// inter-iteration barrier.
+	TimeBlocked
+	// TimeBarrier is time parked waiting for the inter-iteration barrier
+	// to release.
+	TimeBarrier
+
+	timeCategories
+)
+
+// NodeClock splits one DES node's simulated lifetime into the four
+// TimeCategory charges. Instrumentation stamps the clock at every point
+// where virtual time advances: Account(now, cat) charges the interval
+// since the previous stamp to cat and moves the stamp to now. Because
+// the DES runtime only advances a node's local time inside Wait and
+// Recv — each of which is bracketed by exactly one Account call — the
+// categories partition the node's whole life and sum to its finish
+// time exactly.
+//
+// A nil *NodeClock ignores all calls, so the disabled path costs one
+// pointer test.
+type NodeClock struct {
+	last sim.Time
+	cats [timeCategories]sim.Time
+}
+
+// Account charges now−last to cat and advances the stamp to now.
+func (c *NodeClock) Account(now sim.Time, cat TimeCategory) {
+	if c == nil {
+		return
+	}
+	c.cats[cat] += now - c.last
+	c.last = now
+}
+
+// Elapsed returns the total charged to cat so far.
+func (c *NodeClock) Elapsed(cat TimeCategory) sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.cats[cat]
+}
+
+// Times renders the clock for node id.
+func (c *NodeClock) Times(id int) NodeTimes {
+	t := NodeTimes{Node: id}
+	if c == nil {
+		return t
+	}
+	t.ComputeNs = int64(c.cats[TimeCompute])
+	t.PacketNs = int64(c.cats[TimePacket])
+	t.BlockedNs = int64(c.cats[TimeBlocked])
+	t.BarrierNs = int64(c.cats[TimeBarrier])
+	t.TotalNs = t.ComputeNs + t.PacketNs + t.BlockedNs + t.BarrierNs
+	return t
+}

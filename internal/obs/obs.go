@@ -1,0 +1,334 @@
+// Package obs is the run observability layer: zero-cost-when-disabled
+// collectors that the execution backends thread through their hot
+// paths, and the stable JSON document the commands emit under -json.
+//
+// Collectors are nil-safe: a nil *MP, *SM, *NodeClock, *NetRecorder,
+// *Histogram or *Collector ignores every call, so instrumented code
+// pays a single pointer test when observability is off and the paper
+// tables stay byte-identical.
+//
+// # Document schema (locusroute.obs/v1)
+//
+// A Snapshot is one JSON object per command invocation:
+//
+//	{
+//	  "schema":  "locusroute.obs/v1",
+//	  "command": "paper -all",       // the invocation that produced it
+//	  "runs": [ ...one Run per routing execution... ]
+//	}
+//
+// Each Run:
+//
+//	{
+//	  "name":    "SRD=2 SLD=10", // row label within the command
+//	  "backend": "mp-des",       // sequential | sm-live | sm-traced |
+//	                             // mp-des | mp-live | cache-replay
+//	  "circuit": "bnrE",
+//	  "procs":   16,
+//	  "quality": {"circuit_height": H, "occupancy": O},
+//	  "sim_time_ns": T,          // virtual time (DES/traced); wall clock for live
+//	  "nodes":   [...],          // MP DES: per-node simulated-time breakdown
+//	  "network": {...},          // interconnect counters and histograms
+//	  "messages": [{"kind": "SendLocData", "packets": P, "bytes": B}, ...],
+//	  "cache":   [...],          // SM: coherence bus traffic per line size
+//	  "trace":   {"reads": R, "writes": W, "refs": N},
+//	  "phases":  [{"name": "iteration 0", "wall_ns": W}, ...]  // live backends
+//	}
+//
+// The per-node breakdown (the paper's Section 5.1.3 lens) is exhaustive
+// by construction: every nanosecond of a node's simulated life is
+// charged to exactly one of the four categories, so
+//
+//	compute_ns + packet_ns + blocked_ns + barrier_ns == total_ns
+//
+// and total_ns is the virtual time at which the node finished its last
+// iteration. Histograms use power-of-two buckets: each bucket's "le" is
+// its inclusive upper bound and the next bucket starts at le+1.
+package obs
+
+import (
+	"io"
+	"sync"
+
+	"locusroute/internal/sim"
+)
+
+// SchemaVersion identifies the JSON document layout.
+const SchemaVersion = "locusroute.obs/v1"
+
+// Quality is the (circuit height, occupancy factor) pair every backend
+// reports.
+type Quality struct {
+	CircuitHeight int64 `json:"circuit_height"`
+	Occupancy     int64 `json:"occupancy"`
+}
+
+// NodeTimes is one node's simulated-time breakdown. The four categories
+// partition the node's whole life, so they sum to TotalNs exactly.
+type NodeTimes struct {
+	Node      int   `json:"node"`
+	ComputeNs int64 `json:"compute_ns"` // routing work: rip-up, evaluation, commit
+	PacketNs  int64 `json:"packet_ns"`  // packet assembly/disassembly, scans, network copies
+	BlockedNs int64 `json:"blocked_ns"` // blocked on receive outside the barrier
+	BarrierNs int64 `json:"barrier_ns"` // blocked at the inter-iteration barrier
+	TotalNs   int64 `json:"total_ns"`
+}
+
+// KindCount is the traffic of one protocol packet kind.
+type KindCount struct {
+	Kind    string `json:"kind"`
+	Packets int64  `json:"packets"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// NetworkDoc is the interconnect section of a run document.
+type NetworkDoc struct {
+	Bytes             int64         `json:"bytes"`
+	Packets           int64         `json:"packets"`
+	HopBytes          int64         `json:"hop_bytes,omitempty"`
+	SelfPackets       int64         `json:"self_packets,omitempty"`
+	SelfBytes         int64         `json:"self_bytes,omitempty"`
+	ContentionDelayNs int64         `json:"contention_delay_ns,omitempty"`
+	TotalLatencyNs    int64         `json:"total_latency_ns,omitempty"`
+	Latency           *HistogramDoc `json:"latency_ns,omitempty"`
+	LinkDelay         *HistogramDoc `json:"link_delay_ns,omitempty"`
+	QueueDepth        *HistogramDoc `json:"queue_depth,omitempty"`
+}
+
+// CacheDoc is the coherence-simulation traffic at one cache line size.
+type CacheDoc struct {
+	LineSize       int     `json:"line_size"`
+	Refs           int64   `json:"refs"`
+	Bytes          int64   `json:"bytes"`
+	FillBytes      int64   `json:"fill_bytes"`
+	WriteWordBytes int64   `json:"write_word_bytes"`
+	WritebackBytes int64   `json:"writeback_bytes"`
+	Fills          int64   `json:"fills"`
+	WriteWords     int64   `json:"write_words"`
+	Writebacks     int64   `json:"writebacks"`
+	Invalidations  int64   `json:"invalidations"`
+	RefetchBytes   int64   `json:"refetch_bytes,omitempty"`
+	WriteFraction  float64 `json:"write_fraction"`
+}
+
+// TraceDoc is the shared-reference trace length of a traced run.
+type TraceDoc struct {
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Refs   int64 `json:"refs"`
+}
+
+// PhaseDoc is one wall-clock phase of a live run.
+type PhaseDoc struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// Run is the observability document of one routing execution.
+type Run struct {
+	Name      string      `json:"name"`
+	Backend   string      `json:"backend"`
+	Circuit   string      `json:"circuit,omitempty"`
+	Procs     int         `json:"procs,omitempty"`
+	Quality   *Quality    `json:"quality,omitempty"`
+	SimTimeNs int64       `json:"sim_time_ns,omitempty"`
+	Nodes     []NodeTimes `json:"nodes,omitempty"`
+	Network   *NetworkDoc `json:"network,omitempty"`
+	Messages  []KindCount `json:"messages,omitempty"`
+	Cache     []CacheDoc  `json:"cache,omitempty"`
+	Trace     *TraceDoc   `json:"trace,omitempty"`
+	Phases    []PhaseDoc  `json:"phases,omitempty"`
+}
+
+// Snapshot is the complete document of one command invocation.
+type Snapshot struct {
+	Schema  string `json:"schema"`
+	Command string `json:"command,omitempty"`
+	Runs    []Run  `json:"runs"`
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing
+// newline. Field order follows the struct definitions, so the output is
+// stable across runs of the same configuration.
+func (s Snapshot) WriteJSON(w io.Writer) error { return writeJSON(w, s) }
+
+// Collector accumulates run documents across an invocation. A nil
+// Collector is the disabled state: Enabled reports false and Append
+// discards.
+type Collector struct {
+	mu   sync.Mutex
+	runs []*Run
+}
+
+// NewCollector returns an empty, enabled collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Enabled reports whether run documents should be produced at all.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Append stores a run document and returns a pointer to the stored
+// copy, so callers can attach late sections (e.g. cache replays that
+// happen after the routing run). Returns nil on a nil collector.
+func (c *Collector) Append(r Run) *Run {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stored := &r
+	c.runs = append(c.runs, stored)
+	return stored
+}
+
+// Snapshot assembles the document for the whole invocation.
+func (c *Collector) Snapshot(command string) Snapshot {
+	s := Snapshot{Schema: SchemaVersion, Command: command, Runs: []Run{}}
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.runs {
+		s.Runs = append(s.Runs, *r)
+	}
+	return s
+}
+
+// NetRecorder collects the interconnect histograms of one run. All
+// methods tolerate a nil receiver.
+type NetRecorder struct {
+	// Latency is the end-to-end packet latency (send to tail arrival) in
+	// simulated nanoseconds.
+	Latency Histogram
+	// LinkDelay is the head-blocking contention delay observed at every
+	// link traversal (zero when the link was free), in simulated
+	// nanoseconds.
+	LinkDelay Histogram
+	// QueueDepth is the receive-queue depth seen at every dequeue,
+	// counting the packet being taken.
+	QueueDepth Histogram
+}
+
+// ObserveLatency records one delivered packet's latency.
+func (r *NetRecorder) ObserveLatency(d sim.Time) {
+	if r != nil {
+		r.Latency.Observe(int64(d))
+	}
+}
+
+// ObserveLinkDelay records the contention delay of one link traversal.
+func (r *NetRecorder) ObserveLinkDelay(d sim.Time) {
+	if r != nil {
+		r.LinkDelay.Observe(int64(d))
+	}
+}
+
+// ObserveQueueDepth records the receive-queue depth at one dequeue.
+func (r *NetRecorder) ObserveQueueDepth(depth int) {
+	if r != nil {
+		r.QueueDepth.Observe(int64(depth))
+	}
+}
+
+// Doc renders the recorder's histograms into a network document.
+func (r *NetRecorder) Doc(doc *NetworkDoc) {
+	if r == nil || doc == nil {
+		return
+	}
+	doc.Latency = r.Latency.Doc()
+	doc.LinkDelay = r.LinkDelay.Doc()
+	doc.QueueDepth = r.QueueDepth.Doc()
+}
+
+// MP is the observer of one message passing run: per-node simulated
+// time clocks and interconnect histograms for the DES runtime,
+// wall-clock phases for the live runtime. A nil *MP disables all of it.
+type MP struct {
+	Nodes  []NodeClock
+	Net    NetRecorder
+	Phases PhaseTimer
+}
+
+// NewMP returns an observer sized for procs nodes.
+func NewMP(procs int) *MP { return &MP{Nodes: make([]NodeClock, procs)} }
+
+// Prepare resets the per-node clocks and network histograms for a run
+// of procs nodes; the DES runtime calls it at run start, so a zero-value
+// observer works for any processor count and an observer is never
+// polluted by a previous run.
+func (o *MP) Prepare(procs int) {
+	if o == nil {
+		return
+	}
+	o.Nodes = make([]NodeClock, procs)
+	o.Net = NetRecorder{}
+}
+
+// NodeClock returns node id's clock, or nil when disabled.
+func (o *MP) NodeClock(id int) *NodeClock {
+	if o == nil || id < 0 || id >= len(o.Nodes) {
+		return nil
+	}
+	return &o.Nodes[id]
+}
+
+// NetRecorder returns the interconnect recorder, or nil when disabled.
+func (o *MP) NetRecorder() *NetRecorder {
+	if o == nil {
+		return nil
+	}
+	return &o.Net
+}
+
+// Phase starts a named wall-clock phase and returns its stop function.
+func (o *MP) Phase(name string) func() {
+	if o == nil {
+		return func() {}
+	}
+	return o.Phases.Start(name)
+}
+
+// NodeTimes renders every node clock into documents.
+func (o *MP) NodeTimes() []NodeTimes {
+	if o == nil {
+		return nil
+	}
+	out := make([]NodeTimes, len(o.Nodes))
+	for i := range o.Nodes {
+		out[i] = o.Nodes[i].Times(i)
+	}
+	return out
+}
+
+// PhaseDocs returns the completed wall-clock phases.
+func (o *MP) PhaseDocs() []PhaseDoc {
+	if o == nil {
+		return nil
+	}
+	return o.Phases.Docs()
+}
+
+// SM is the observer of one shared memory run: wall-clock phases for
+// the live runtime (the traced runtime's counters ride its Result).
+type SM struct {
+	Phases PhaseTimer
+}
+
+// NewSM returns an empty shared memory observer.
+func NewSM() *SM { return &SM{} }
+
+// Phase starts a named wall-clock phase and returns its stop function.
+func (o *SM) Phase(name string) func() {
+	if o == nil {
+		return func() {}
+	}
+	return o.Phases.Start(name)
+}
+
+// PhaseDocs returns the completed wall-clock phases.
+func (o *SM) PhaseDocs() []PhaseDoc {
+	if o == nil {
+		return nil
+	}
+	return o.Phases.Docs()
+}

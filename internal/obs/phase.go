@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseTimer records named wall-clock phases of a live run. Start
+// returns the stop function for the phase; phases appear in the
+// document in completion order. The zero value is ready; a nil *MP/*SM
+// never reaches it, and the returned closures are safe to call once.
+type PhaseTimer struct {
+	mu     sync.Mutex
+	phases []PhaseDoc
+}
+
+// Start begins a named phase and returns the function that ends it.
+func (t *PhaseTimer) Start(name string) func() {
+	begin := time.Now()
+	return func() {
+		d := time.Since(begin)
+		t.mu.Lock()
+		t.phases = append(t.phases, PhaseDoc{Name: name, WallNs: d.Nanoseconds()})
+		t.mu.Unlock()
+	}
+}
+
+// Docs returns the completed phases.
+func (t *PhaseTimer) Docs() []PhaseDoc {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseDoc, len(t.phases))
+	copy(out, t.phases)
+	return out
+}

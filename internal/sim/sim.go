@@ -213,6 +213,11 @@ type Chan struct {
 	kernel  *Kernel
 	items   []any
 	waiters []*Process
+
+	// OnDequeue, when set, observes the queue depth at every successful
+	// dequeue (Recv or TryRecv), counting the item being taken. It runs
+	// before the item is removed and must not touch the channel.
+	OnDequeue func(depth int)
 }
 
 // NewChan returns an empty channel on k.
@@ -245,6 +250,9 @@ func (c *Chan) Recv(p *Process) any {
 		c.waiters = append(c.waiters, p)
 		p.park()
 	}
+	if c.OnDequeue != nil {
+		c.OnDequeue(len(c.items))
+	}
 	item := c.items[0]
 	c.items = c.items[1:]
 	return item
@@ -254,6 +262,9 @@ func (c *Chan) Recv(p *Process) any {
 func (c *Chan) TryRecv() (any, bool) {
 	if len(c.items) == 0 {
 		return nil, false
+	}
+	if c.OnDequeue != nil {
+		c.OnDequeue(len(c.items))
 	}
 	item := c.items[0]
 	c.items = c.items[1:]

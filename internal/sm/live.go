@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -84,6 +85,7 @@ func RunLive(circ *circuit.Circuit, cfg Config) (Result, error) {
 		iterations = 1
 	}
 	for iter := 0; iter < iterations; iter++ {
+		stopIter := cfg.Obs.Phase(fmt.Sprintf("iteration %d", iter))
 		var counter atomic.Int64
 		var wg sync.WaitGroup
 		for p := 0; p < cfg.Procs; p++ {
@@ -137,8 +139,11 @@ func RunLive(circ *circuit.Circuit, cfg Config) (Result, error) {
 			}(p)
 		}
 		wg.Wait() // the paper's barrier between iterations
+		stopIter()
 	}
 
+	stopReduce := cfg.Obs.Phase("reduce")
+	defer stopReduce()
 	var res Result
 	res.CircuitHeight = shared.Snapshot().CircuitHeight()
 	for _, c := range lastCost {

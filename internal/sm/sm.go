@@ -26,6 +26,7 @@ import (
 
 	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
+	"locusroute/internal/obs"
 	"locusroute/internal/perf"
 	"locusroute/internal/route"
 	"locusroute/internal/sim"
@@ -64,6 +65,10 @@ type Config struct {
 	Assignment *assign.Assignment
 	// Perf is the virtual-time cost model for the traced mode.
 	Perf perf.Model
+	// Obs, when non-nil, collects wall-clock phase timings of the live
+	// runtime (one phase per iteration plus the quality reduction). Nil
+	// disables collection; results are identical either way.
+	Obs *obs.SM
 }
 
 // DefaultConfig is the 16-process dynamic configuration of the paper's
