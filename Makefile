@@ -17,8 +17,10 @@ build:
 test:
 	$(GO) test ./...
 
+# Full race-detector pass over every package. Slower than the targeted
+# list in `verify`; CI runs it as its own job.
 race:
-	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/...
+	$(GO) test -race ./...
 
 # Routing-kernel allocation benchmarks; compare against BENCH_route.json.
 bench-route:

@@ -11,6 +11,7 @@
 package locusroute
 
 import (
+	"fmt"
 	"testing"
 
 	"locusroute/internal/assign"
@@ -21,6 +22,7 @@ import (
 	"locusroute/internal/mesh"
 	"locusroute/internal/mp"
 	"locusroute/internal/msg"
+	"locusroute/internal/par"
 	"locusroute/internal/route"
 	"locusroute/internal/sim"
 	"locusroute/internal/sm"
@@ -32,7 +34,7 @@ func BenchmarkTable1(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table1(c, s)
+		rows := must(experiments.Table1(c, s))(b)
 		reportBest(b, rows)
 	}
 }
@@ -43,7 +45,7 @@ func BenchmarkTable2(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table2(c, s)
+		rows := must(experiments.Table2(c, s))(b)
 		reportBest(b, rows)
 	}
 }
@@ -54,7 +56,7 @@ func BenchmarkBlockingVsNonBlocking(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Blocking(c, s)
+		rows := must(experiments.Blocking(c, s))(b)
 		// Report the blocking time penalty of the first schedule pair.
 		b.ReportMetric(rows[1].Seconds/rows[0].Seconds, "blocking-slowdown")
 	}
@@ -65,7 +67,7 @@ func BenchmarkMixed(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Mixed(c, s)
+		rows := must(experiments.Mixed(c, s))(b)
 		b.ReportMetric(float64(rows[2].Occupancy), "mixed-occupancy")
 	}
 }
@@ -76,7 +78,7 @@ func BenchmarkTable3(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table3(c, s)
+		rows := must(experiments.Table3(c, s))(b)
 		b.ReportMetric(rows[0].MBytes, "MB-line4")
 		b.ReportMetric(rows[len(rows)-1].MBytes, "MB-line32")
 	}
@@ -88,7 +90,7 @@ func BenchmarkTable4(b *testing.B) {
 	circuits := []*circuit.Circuit{experiments.BnrE(), experiments.MDC()}
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table4(circuits, s)
+		rows := must(experiments.Table4(circuits, s))(b)
 		b.ReportMetric(rows[0].MBytes, "MB-roundrobin")
 		b.ReportMetric(rows[3].MBytes, "MB-local")
 	}
@@ -100,7 +102,7 @@ func BenchmarkTable5(b *testing.B) {
 	circuits := []*circuit.Circuit{experiments.BnrE(), experiments.MDC()}
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table5(circuits, s)
+		rows := must(experiments.Table5(circuits, s))(b)
 		b.ReportMetric(rows[0].MBytes, "MB-roundrobin")
 		b.ReportMetric(rows[3].MBytes, "MB-local")
 	}
@@ -111,7 +113,7 @@ func BenchmarkTable6(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table6(c, s)
+		rows := must(experiments.Table6(c, s))(b)
 		b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-16p")
 	}
 }
@@ -122,7 +124,7 @@ func BenchmarkLocalityMeasure(b *testing.B) {
 	circuits := []*circuit.Circuit{experiments.BnrE(), experiments.MDC()}
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Locality(circuits, s)
+		rows := must(experiments.Locality(circuits, s))(b)
 		for _, r := range rows {
 			if r.Method == "ThresholdCost = inf." {
 				b.ReportMetric(r.Measure, "hops-"+r.Circuit)
@@ -137,9 +139,21 @@ func BenchmarkComparison(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Comparison(c, s)
+		rows := must(experiments.Comparison(c, s))(b)
 		b.ReportMetric(rows[0].MBytes/rows[1].MBytes, "SM-over-sender")
 		b.ReportMetric(rows[1].MBytes/rows[2].MBytes, "sender-over-receiver")
+	}
+}
+
+// must unwraps a driver result, failing the benchmark on error. Curried
+// so a multi-value driver call can feed it directly.
+func must[R any](rows []R, err error) func(testing.TB) []R {
+	return func(tb testing.TB) []R {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return rows
 	}
 }
 
@@ -153,6 +167,27 @@ func reportBest(b *testing.B, rows []experiments.MPRow) {
 	}
 	b.ReportMetric(float64(best.CktHt), "best-ckt-ht")
 	b.ReportMetric(best.MBytes, "best-row-MB")
+}
+
+// BenchmarkRenderSet measures the experiment driver end to end at
+// reduced scale: the same table set rendered serially (par1) and fanned
+// out (par4). The outputs are byte-identical — only the wall clock
+// differs, and only when real cores are available.
+func BenchmarkRenderSet(b *testing.B) {
+	c := circuit.MustGenerate(circuit.GenParams{
+		Name: "bench", Channels: 8, Grids: 96, Wires: 90, MeanSpan: 12, Seed: 3,
+	})
+	names := []string{"1", "blocking", "3", "comparison", "6"}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par%d", workers), func(b *testing.B) {
+			s := experiments.Setup{Procs: 4, Iterations: 2, Threshold: 1000, Pool: par.New(workers)}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RenderSet(names, c, c, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- micro-benchmarks of the primitives ----------------------------------
@@ -291,7 +326,7 @@ func BenchmarkPacketStructures(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.PacketStructures(c, s)
+		rows := must(experiments.PacketStructures(c, s))(b)
 		b.ReportMetric(rows[2].MBytes/rows[0].MBytes, "whole-region-over-bbox")
 	}
 }
@@ -302,7 +337,7 @@ func BenchmarkWireDistribution(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.WireDistribution(c, s)
+		rows := must(experiments.WireDistribution(c, s))(b)
 		b.ReportMetric(float64(rows[1].CktHt)/float64(rows[0].CktHt), "dynamic-quality-ratio")
 	}
 }
@@ -313,7 +348,7 @@ func BenchmarkCostArrayDistribution(b *testing.B) {
 	c := experiments.BnrE()
 	s := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.CostArrayDistribution(c, s)
+		rows := must(experiments.CostArrayDistribution(c, s))(b)
 		b.ReportMetric(float64(rows[1].Packets)/float64(rows[0].Packets), "strict-packet-ratio")
 	}
 }

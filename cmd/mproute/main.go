@@ -6,7 +6,12 @@
 //
 //	mproute [-bench bnrE|MDC] [-procs 16] [-iters N]
 //	        [-sld N] [-srd N] [-rld N] [-rrd N] [-blocking]
-//	        [-assign rr|threshold] [-threshold 1000]
+//	        [-assign rr|threshold] [-threshold 1000] [-par N]
+//
+// -par is accepted for interface uniformity with cmd/paper and
+// cmd/smtrace (scripted sweeps pass the same flags to all three); a
+// single mproute invocation is one simulation, so there is nothing to
+// fan out and the flag does not change the run.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"locusroute/internal/mp"
 	"locusroute/internal/msg"
 	"locusroute/internal/obs"
+	"locusroute/internal/par"
 	"locusroute/internal/route"
 )
 
@@ -45,6 +51,7 @@ func main() {
 		dynamic   = flag.Bool("dynamic", false, "dynamic wire assignment over the network (ablation)")
 		strict    = flag.Bool("strict", false, "strict region ownership, no replicated views (ablation)")
 		live      = flag.Bool("live", false, "run on real goroutines and channels instead of the DES")
+		parN      = flag.Int("par", 0, "accepted for interface uniformity; a single run has nothing to fan out")
 		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
 		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -123,7 +130,8 @@ func main() {
 	if *jsonPath != "" {
 		cfg.Obs = obs.NewMP(cfg.Procs)
 	}
-	res, err := run(c, asn, cfg)
+	var res mp.Result
+	par.New(*parN).Run(func() { res, err = run(c, asn, cfg) })
 	if err != nil {
 		log.Fatal(err)
 	}

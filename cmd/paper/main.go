@@ -4,11 +4,16 @@
 // Usage:
 //
 //	paper -all                 # every table (several minutes)
+//	paper -all -par 4          # same tables, four simulations at a time
 //	paper -table 1             # one table: 1, 2, 3, 4, 5, 6
 //	paper -table blocking      # Section 5.1.3 blocking comparison
 //	paper -table mixed         # Section 5.1.3 mixed schedules
 //	paper -table locality      # Section 5.3.3 locality measure
 //	paper -table comparison    # Section 5.2 SM vs MP
+//
+// Every independent simulation fans out across -par workers; results are
+// merged in submission order, so the output bytes are identical at every
+// -par value.
 package main
 
 import (
@@ -18,19 +23,20 @@ import (
 	"os"
 	"strings"
 
-	"locusroute/internal/circuit"
 	"locusroute/internal/experiments"
 	"locusroute/internal/obs"
+	"locusroute/internal/par"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper: ")
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network")
+		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network, ordering, topology, robustness")
 		all      = flag.Bool("all", false, "regenerate every table")
 		procs    = flag.Int("procs", 16, "processor count for tables that do not sweep it")
 		iters    = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
+		parN     = flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at every value")
 		jsonPath = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
 		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -45,63 +51,29 @@ func main() {
 	s := experiments.DefaultSetup()
 	s.Procs = *procs
 	s.Iterations = *iters
+	s.Pool = par.New(*parN)
 	if *jsonPath != "" {
 		s.Obs = obs.NewCollector()
 	}
 	bnrE := experiments.BnrE()
-	both := []*circuit.Circuit{bnrE, experiments.MDC()}
+	mdc := experiments.MDC()
 
-	run := func(name string) {
-		switch name {
-		case "1":
-			fmt.Println(experiments.RenderTable1(experiments.Table1(bnrE, s)))
-		case "2":
-			fmt.Println(experiments.RenderTable2(experiments.Table2(bnrE, s)))
-		case "3":
-			fmt.Println(experiments.RenderTable3(experiments.Table3(bnrE, s)))
-		case "4":
-			fmt.Println(experiments.RenderTable4(experiments.Table4(both, s)))
-		case "5":
-			fmt.Println(experiments.RenderTable5(experiments.Table5(both, s)))
-		case "6":
-			fmt.Println(experiments.RenderTable6(experiments.Table6(bnrE, s)))
-		case "blocking":
-			fmt.Println(experiments.RenderBlocking(experiments.Blocking(bnrE, s)))
-		case "mixed":
-			fmt.Println(experiments.RenderMixed(experiments.Mixed(bnrE, s)))
-		case "locality":
-			fmt.Println(experiments.RenderLocality(experiments.Locality(both, s)))
-		case "comparison":
-			fmt.Println(experiments.RenderComparison(experiments.Comparison(bnrE, s)))
-		case "packets":
-			fmt.Println(experiments.RenderPacketStructures(experiments.PacketStructures(bnrE, s)))
-		case "distribution":
-			fmt.Println(experiments.RenderWireDistribution(experiments.WireDistribution(bnrE, s)))
-		case "ownership":
-			fmt.Println(experiments.RenderCostArrayDistribution(experiments.CostArrayDistribution(bnrE, s)))
-		case "ordering":
-			fmt.Println(experiments.RenderWireOrdering(experiments.WireOrdering(bnrE, s)))
-		case "topology":
-			fmt.Println(experiments.RenderTopology(experiments.Topology(bnrE, s)))
-		case "network":
-			fmt.Println(experiments.RenderNetworkSensitivity(experiments.NetworkSensitivity(bnrE, s)))
-		case "robustness":
-			fmt.Println(experiments.RenderRobustness(
-				experiments.Robustness([]int64{1, 2, 3, 4, 5}, s)))
-		default:
-			log.Fatalf("unknown table %q", name)
-		}
-	}
-
+	var names []string
 	switch {
 	case *all:
-		for _, name := range []string{"1", "2", "blocking", "mixed", "3", "comparison", "4", "5", "6", "locality", "packets", "distribution", "ownership", "network", "ordering", "topology"} {
-			run(name)
-		}
+		names = experiments.TableNames()
 	case *table == "":
 		log.Fatal("pass -table <name> or -all (see -h)")
 	default:
-		run(*table)
+		names = []string{*table}
+	}
+
+	tables, err := experiments.RenderSet(names, bnrE, mdc, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, text := range tables {
+		fmt.Println(text)
 	}
 
 	if *jsonPath != "" {

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	smtrace [-bench bnrE|MDC] [-procs 16] [-iters N] [-lines 4,8,16,32]
-//	        [-assign dynamic|rr|threshold] [-threshold 1000]
+//	        [-assign dynamic|rr|threshold] [-threshold 1000] [-par N]
+//
+// The per-line-size replays are independent and fan out across -par
+// workers; the printed breakdown (and any -json document) is identical
+// at every -par value because results merge in line-size order.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
 	"locusroute/internal/obs"
+	"locusroute/internal/par"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
 	"locusroute/internal/trace"
@@ -41,6 +46,7 @@ func main() {
 		dump      = flag.String("dump", "", "write the shared reference trace to this file and exit")
 		replay    = flag.String("replay", "", "skip tracing; replay this trace file instead")
 		capLines  = flag.Int("cache-lines", 0, "finite cache capacity in lines (0 = infinite, the paper's assumption)")
+		parN      = flag.Int("par", 0, "concurrent cache replays (0 = GOMAXPROCS); output is identical at every value")
 		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
 		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -52,8 +58,10 @@ func main() {
 	}
 	defer stopProfile()
 
+	pool := par.New(*parN)
+
 	if *replay != "" {
-		replayFile(*replay, *lines, *capLines, *jsonPath)
+		replayFile(pool, *replay, *lines, *capLines, *jsonPath)
 		return
 	}
 
@@ -127,7 +135,7 @@ func main() {
 	fmt.Printf("virtual makespan: %v\n", res.Span)
 	fmt.Printf("shared refs:      %d reads, %d writes\n\n", res.Reads, res.Writes)
 
-	replayTrace(tr, *procs, *lines, *capLines, runDoc)
+	replayTrace(pool, tr, *procs, *lines, *capLines, runDoc)
 	writeSnapshot(col, *jsonPath)
 }
 
@@ -142,45 +150,63 @@ func writeSnapshot(col *obs.Collector, jsonPath string) {
 	}
 }
 
-// replayTrace runs the coherence simulation at each line size and prints
-// the traffic breakdown. When runDoc is non-nil, each infinite-cache
-// replay appends its traffic document to it (the finite-capacity
-// extension is print-only).
-func replayTrace(tr *trace.Trace, procs int, lines string, capLines int, runDoc *obs.Run) {
+// replayTrace runs the coherence simulation at each line size — the
+// replays are independent and run concurrently, bounded by pool — and
+// prints the traffic breakdowns in line-size order. When runDoc is
+// non-nil, each infinite-cache replay appends its traffic document to it
+// in the same order (the finite-capacity extension is print-only).
+func replayTrace(pool *par.Pool, tr *trace.Trace, procs int, lines string, capLines int, runDoc *obs.Run) {
+	var sizes []int
 	for _, field := range strings.Split(lines, ",") {
 		ls, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
 			log.Fatalf("bad line size %q: %v", field, err)
 		}
+		sizes = append(sizes, ls)
+	}
+	type replay struct {
+		text string
+		sim  *cache.Simulator // nil for finite-capacity replays
+	}
+	out, err := par.Gather(sizes, func(_ int, ls int) (replay, error) {
 		if capLines > 0 {
-			t, err := cache.ReplayFinite(tr, procs, ls, capLines)
+			var t cache.Traffic
+			var err error
+			pool.Run(func() { t, err = cache.ReplayFinite(tr, procs, ls, capLines) })
 			if err != nil {
-				log.Fatal(err)
+				return replay{}, err
 			}
-			fmt.Printf("line %2dB (cache %d lines): %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB)\n",
+			return replay{text: fmt.Sprintf("line %2dB (cache %d lines): %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB)\n",
 				ls, capLines, t.MBytes(), float64(t.FillBytes)/1e6,
-				float64(t.WriteWordBytes)/1e6, float64(t.WritebackBytes)/1e6)
-			continue
+				float64(t.WriteWordBytes)/1e6, float64(t.WritebackBytes)/1e6)}, nil
 		}
 		simr, err := cache.New(procs, ls)
 		if err != nil {
-			log.Fatal(err)
+			return replay{}, err
 		}
-		for _, ref := range tr.Refs {
-			simr.Access(ref)
-		}
-		if runDoc != nil {
-			runDoc.Cache = append(runDoc.Cache, simr.Doc())
-		}
+		pool.Run(func() {
+			for _, ref := range tr.Refs {
+				simr.Access(ref)
+			}
+		})
 		t := simr.Traffic()
-		fmt.Printf("line %2dB: %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB; %d invalidations; %.0f%% write-caused)\n",
+		return replay{sim: simr, text: fmt.Sprintf("line %2dB: %7.3f MBytes  (fills %.3f, word writes %.3f, writebacks %.3f MB; %d invalidations; %.0f%% write-caused)\n",
 			ls, t.MBytes(), float64(t.FillBytes)/1e6, float64(t.WriteWordBytes)/1e6,
-			float64(t.WritebackBytes)/1e6, t.Invalidations, simr.AttributedWriteFraction()*100)
+			float64(t.WritebackBytes)/1e6, t.Invalidations, simr.AttributedWriteFraction()*100)}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out {
+		if runDoc != nil && r.sim != nil {
+			runDoc.Cache = append(runDoc.Cache, r.sim.Doc())
+		}
+		fmt.Print(r.text)
 	}
 }
 
 // replayFile loads a dumped trace and replays it.
-func replayFile(path, lines string, capLines int, jsonPath string) {
+func replayFile(pool *par.Pool, path, lines string, capLines int, jsonPath string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -197,6 +223,6 @@ func replayFile(path, lines string, capLines int, jsonPath string) {
 		runDoc = col.Append(obs.Run{Name: path, Backend: "cache-replay", Procs: procs})
 	}
 	fmt.Printf("replaying %d references from %d processes (%s)\n", tr.Len(), procs, path)
-	replayTrace(tr, procs, lines, capLines, runDoc)
+	replayTrace(pool, tr, procs, lines, capLines, runDoc)
 	writeSnapshot(col, jsonPath)
 }

@@ -25,25 +25,31 @@ type PacketRow struct {
 // packets (no rip-up/reroute cancellation) and whole-region packets
 // (bytes for unchanged cells). Run with the standard sender initiated
 // schedule.
-func PacketStructures(c *circuit.Circuit, s Setup) []PacketRow {
-	var rows []PacketRow
-	for _, structure := range []mp.PacketStructure{
+func PacketStructures(c *circuit.Circuit, s Setup) ([]PacketRow, error) {
+	structures := []mp.PacketStructure{
 		mp.StructureBbox, mp.StructureWireBased, mp.StructureWholeRegion,
-	} {
+	}
+	return cells(s, structures, func(structure mp.PacketStructure, sub Setup) (PacketRow, error) {
 		cfg := mp.DefaultConfig(Table4Strategy())
-		cfg.Procs = s.Procs
-		cfg.Router = s.routerParams()
+		cfg.Procs = sub.Procs
+		cfg.Router = sub.routerParams()
 		cfg.Packets = structure
-		res := runConfigured(c, s, cfg, s.assignment(c), "packets/"+structure.String())
-		rows = append(rows, PacketRow{
+		asn, err := sub.assignment(c)
+		if err != nil {
+			return PacketRow{}, err
+		}
+		res, err := runConfigured(c, sub, cfg, asn, "packets/"+structure.String())
+		if err != nil {
+			return PacketRow{}, err
+		}
+		return PacketRow{
 			Structure: structure.String(),
 			CktHt:     res.CircuitHeight,
 			MBytes:    res.MBytes(),
 			Packets:   res.Net.Packets,
 			Seconds:   res.Time.Seconds(),
-		})
-	}
-	return rows
+		}, nil
+	})
 }
 
 // RenderPacketStructures renders the packet structure ablation.
@@ -71,26 +77,31 @@ type DistributionRow struct {
 // the dynamic request/grant scheme it rejects for its distribution
 // latency (wire requests are only serviced when the assignment processor
 // checks its queue between wires).
-func WireDistribution(c *circuit.Circuit, s Setup) []DistributionRow {
-	var rows []DistributionRow
-	for _, dynamic := range []bool{false, true} {
+func WireDistribution(c *circuit.Circuit, s Setup) ([]DistributionRow, error) {
+	return cells(s, []bool{false, true}, func(dynamic bool, sub Setup) (DistributionRow, error) {
 		cfg := mp.DefaultConfig(Table4Strategy())
-		cfg.Procs = s.Procs
-		cfg.Router = s.routerParams()
+		cfg.Procs = sub.Procs
+		cfg.Router = sub.routerParams()
 		cfg.DynamicWires = dynamic
 		label := "static (ThresholdCost)"
 		if dynamic {
 			label = "dynamic (request/grant)"
 		}
-		res := runConfigured(c, s, cfg, s.assignment(c), "distribution/"+label)
-		rows = append(rows, DistributionRow{
+		asn, err := sub.assignment(c)
+		if err != nil {
+			return DistributionRow{}, err
+		}
+		res, err := runConfigured(c, sub, cfg, asn, "distribution/"+label)
+		if err != nil {
+			return DistributionRow{}, err
+		}
+		return DistributionRow{
 			Method:  label,
 			CktHt:   res.CircuitHeight,
 			MBytes:  res.MBytes(),
 			Seconds: res.Time.Seconds(),
-		})
-	}
-	return rows
+		}, nil
+	})
 }
 
 // RenderWireDistribution renders the wire distribution ablation.
@@ -119,29 +130,48 @@ type OwnershipRow struct {
 // design against the strict region ownership scheme it rejects: no
 // update traffic at all, but per-region greedy routing, task-passing
 // messages, and the load imbalance of region-bound work.
-func CostArrayDistribution(c *circuit.Circuit, s Setup) []OwnershipRow {
-	var rows []OwnershipRow
-
-	chosen := mp.DefaultConfig(Table4Strategy())
-	chosen.Procs = s.Procs
-	chosen.Router = s.routerParams()
-	res := runConfigured(c, s, chosen, s.assignment(c), "ownership/replicated views")
-	rows = append(rows, OwnershipRow{
-		Scheme: "replicated views + updates", CktHt: res.CircuitHeight,
-		MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
+func CostArrayDistribution(c *circuit.Circuit, s Setup) ([]OwnershipRow, error) {
+	schemes := []func(Setup) (OwnershipRow, error){
+		func(sub Setup) (OwnershipRow, error) {
+			chosen := mp.DefaultConfig(Table4Strategy())
+			chosen.Procs = sub.Procs
+			chosen.Router = sub.routerParams()
+			asn, err := sub.assignment(c)
+			if err != nil {
+				return OwnershipRow{}, err
+			}
+			res, err := runConfigured(c, sub, chosen, asn, "ownership/replicated views")
+			if err != nil {
+				return OwnershipRow{}, err
+			}
+			return OwnershipRow{
+				Scheme: "replicated views + updates", CktHt: res.CircuitHeight,
+				MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
+			}, nil
+		},
+		func(sub Setup) (OwnershipRow, error) {
+			strict := mp.DefaultConfig(mp.Strategy{})
+			strict.Procs = sub.Procs
+			strict.Router = sub.routerParams()
+			strict.StrictOwnership = true
+			part, err := sub.partition(c)
+			if err != nil {
+				return OwnershipRow{}, err
+			}
+			asn := assign.AssignThreshold(c, part, assign.ThresholdInfinity)
+			res, err := runConfigured(c, sub, strict, asn, "ownership/strict")
+			if err != nil {
+				return OwnershipRow{}, err
+			}
+			return OwnershipRow{
+				Scheme: "strict region ownership", CktHt: res.CircuitHeight,
+				MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
+			}, nil
+		},
+	}
+	return cells(s, schemes, func(fn func(Setup) (OwnershipRow, error), sub Setup) (OwnershipRow, error) {
+		return fn(sub)
 	})
-
-	strict := mp.DefaultConfig(mp.Strategy{})
-	strict.Procs = s.Procs
-	strict.Router = s.routerParams()
-	strict.StrictOwnership = true
-	asn := assign.AssignThreshold(c, s.partition(c), assign.ThresholdInfinity)
-	res = runConfigured(c, s, strict, asn, "ownership/strict")
-	rows = append(rows, OwnershipRow{
-		Scheme: "strict region ownership", CktHt: res.CircuitHeight,
-		MBytes: res.MBytes(), Packets: res.Net.Packets, Seconds: res.Time.Seconds(),
-	})
-	return rows
 }
 
 // RenderCostArrayDistribution renders the ownership ablation.
@@ -169,19 +199,24 @@ type OrderRow struct {
 // assigned wires. The paper routes in circuit order; longest-first is
 // the classic router heuristic (place the hard wires while the array is
 // empty), shortest-first the adversarial baseline.
-func WireOrdering(c *circuit.Circuit, s Setup) []OrderRow {
-	var rows []OrderRow
-	for _, order := range []assign.WireOrder{
+func WireOrdering(c *circuit.Circuit, s Setup) ([]OrderRow, error) {
+	orders := []assign.WireOrder{
 		assign.NaturalOrder, assign.LongestFirst, assign.ShortestFirst,
-	} {
-		asn := s.assignment(c)
-		asn.Order = order
-		r := runMPAssigned(c, s, Table4Strategy(), asn, order.String())
-		rows = append(rows, OrderRow{
-			Order: order.String(), CktHt: r.CktHt, MBytes: r.MBytes, Seconds: r.Seconds,
-		})
 	}
-	return rows
+	return cells(s, orders, func(order assign.WireOrder, sub Setup) (OrderRow, error) {
+		asn, err := sub.assignment(c)
+		if err != nil {
+			return OrderRow{}, err
+		}
+		asn.Order = order
+		r, err := runMPAssigned(c, sub, Table4Strategy(), asn, order.String())
+		if err != nil {
+			return OrderRow{}, err
+		}
+		return OrderRow{
+			Order: order.String(), CktHt: r.CktHt, MBytes: r.MBytes, Seconds: r.Seconds,
+		}, nil
+	})
 }
 
 // RenderWireOrdering renders the wire ordering ablation.

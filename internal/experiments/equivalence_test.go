@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 
 	"locusroute/internal/assign"
@@ -62,89 +63,97 @@ func equivCircuit(seed int64) *circuit.Circuit {
 
 // TestCrossBackendEquivalence routes the same seeded circuits through
 // sequential, shared memory (live and traced), and message passing (DES
-// and live) and checks each against its golden quality values.
+// and live) and checks each against its golden quality values. Each
+// seed is an independent unit of work and runs as a parallel subtest.
 func TestCrossBackendEquivalence(t *testing.T) {
 	for seed, golden := range equivalenceGolden {
-		c := equivCircuit(seed)
-		params := route.DefaultParams()
-		params.Iterations = 2
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			testCrossBackendEquivalence(t, seed, golden)
+		})
+	}
+}
 
-		got := make(map[string]quality)
+func testCrossBackendEquivalence(t *testing.T, seed int64, golden map[string]quality) {
+	c := equivCircuit(seed)
+	params := route.DefaultParams()
+	params.Iterations = 2
 
-		seq, _ := route.Sequential(c, params)
-		got["sequential"] = quality{seq.CircuitHeight, seq.Occupancy}
+	got := make(map[string]quality)
 
-		smLive, err := sm.RunLive(c, sm.Config{Procs: 1, Router: params})
+	seq, _ := route.Sequential(c, params)
+	got["sequential"] = quality{seq.CircuitHeight, seq.Occupancy}
+
+	smLive, err := sm.RunLive(c, sm.Config{Procs: 1, Router: params})
+	if err != nil {
+		t.Fatalf("seed %d: sm.RunLive: %v", seed, err)
+	}
+	got["sm-live-1p"] = quality{smLive.CircuitHeight, smLive.Occupancy}
+
+	smTr, _, err := sm.RunTraced(c, sm.Config{Procs: 4, Router: params})
+	if err != nil {
+		t.Fatalf("seed %d: sm.RunTraced: %v", seed, err)
+	}
+	got["sm-traced-4p"] = quality{smTr.CircuitHeight, smTr.Occupancy}
+
+	part4, err := geom.NewPartition(c.Grid, 2, 2)
+	if err != nil {
+		t.Fatalf("seed %d: partition: %v", seed, err)
+	}
+	cfg4 := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+	cfg4.Procs = 4
+	cfg4.Router = params
+	des, err := mp.Run(c, assign.AssignThreshold(c, part4, 1000), cfg4)
+	if err != nil {
+		t.Fatalf("seed %d: mp.Run: %v", seed, err)
+	}
+	got["mp-des-4p"] = quality{des.CircuitHeight, des.Occupancy}
+
+	// The packet-structure ablations ride the same DES runtime and
+	// protocol; pinning them here catches changes that perturb only
+	// the wire-based or whole-region update paths.
+	for name, structure := range map[string]mp.PacketStructure{
+		"mp-des-4p-wire":   mp.StructureWireBased,
+		"mp-des-4p-region": mp.StructureWholeRegion,
+	} {
+		cfgS := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+		cfgS.Procs = 4
+		cfgS.Router = params
+		cfgS.Packets = structure
+		res, err := mp.Run(c, assign.AssignThreshold(c, part4, 1000), cfgS)
 		if err != nil {
-			t.Fatalf("seed %d: sm.RunLive: %v", seed, err)
+			t.Fatalf("seed %d: mp.Run %s: %v", seed, name, err)
 		}
-		got["sm-live-1p"] = quality{smLive.CircuitHeight, smLive.Occupancy}
+		got[name] = quality{res.CircuitHeight, res.Occupancy}
+	}
 
-		smTr, _, err := sm.RunTraced(c, sm.Config{Procs: 4, Router: params})
-		if err != nil {
-			t.Fatalf("seed %d: sm.RunTraced: %v", seed, err)
-		}
-		got["sm-traced-4p"] = quality{smTr.CircuitHeight, smTr.Occupancy}
+	part1, err := geom.NewPartition(c.Grid, 1, 1)
+	if err != nil {
+		t.Fatalf("seed %d: partition 1x1: %v", seed, err)
+	}
+	cfg1 := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+	cfg1.Procs = 1
+	cfg1.Router = params
+	live, err := mp.RunLive(c, assign.AssignThreshold(c, part1, 1000), cfg1)
+	if err != nil {
+		t.Fatalf("seed %d: mp.RunLive: %v", seed, err)
+	}
+	got["mp-live-1p"] = quality{live.CircuitHeight, live.Occupancy}
 
-		part4, err := geom.NewPartition(c.Grid, 2, 2)
-		if err != nil {
-			t.Fatalf("seed %d: partition: %v", seed, err)
+	for backend, want := range golden {
+		if got[backend] != want {
+			t.Errorf("seed %d %s: (height, occupancy) = %v, golden %v",
+				seed, backend, got[backend], want)
 		}
-		cfg4 := mp.DefaultConfig(mp.SenderInitiated(2, 10))
-		cfg4.Procs = 4
-		cfg4.Router = params
-		des, err := mp.Run(c, assign.AssignThreshold(c, part4, 1000), cfg4)
-		if err != nil {
-			t.Fatalf("seed %d: mp.Run: %v", seed, err)
-		}
-		got["mp-des-4p"] = quality{des.CircuitHeight, des.Occupancy}
+	}
 
-		// The packet-structure ablations ride the same DES runtime and
-		// protocol; pinning them here catches changes that perturb only
-		// the wire-based or whole-region update paths.
-		for name, structure := range map[string]mp.PacketStructure{
-			"mp-des-4p-wire":   mp.StructureWireBased,
-			"mp-des-4p-region": mp.StructureWholeRegion,
-		} {
-			cfgS := mp.DefaultConfig(mp.SenderInitiated(2, 10))
-			cfgS.Procs = 4
-			cfgS.Router = params
-			cfgS.Packets = structure
-			res, err := mp.Run(c, assign.AssignThreshold(c, part4, 1000), cfgS)
-			if err != nil {
-				t.Fatalf("seed %d: mp.Run %s: %v", seed, name, err)
-			}
-			got[name] = quality{res.CircuitHeight, res.Occupancy}
-		}
-
-		part1, err := geom.NewPartition(c.Grid, 1, 1)
-		if err != nil {
-			t.Fatalf("seed %d: partition 1x1: %v", seed, err)
-		}
-		cfg1 := mp.DefaultConfig(mp.SenderInitiated(2, 10))
-		cfg1.Procs = 1
-		cfg1.Router = params
-		live, err := mp.RunLive(c, assign.AssignThreshold(c, part1, 1000), cfg1)
-		if err != nil {
-			t.Fatalf("seed %d: mp.RunLive: %v", seed, err)
-		}
-		got["mp-live-1p"] = quality{live.CircuitHeight, live.Occupancy}
-
-		for backend, want := range golden {
-			if got[backend] != want {
-				t.Errorf("seed %d %s: (height, occupancy) = %v, golden %v",
-					seed, backend, got[backend], want)
-			}
-		}
-
-		// A single worker removes all interference, so the live backends
-		// must reproduce the sequential reference exactly — the strongest
-		// statement that all four backends share one kernel.
-		for _, backend := range []string{"sm-live-1p", "mp-live-1p"} {
-			if got[backend] != got["sequential"] {
-				t.Errorf("seed %d: %s %v != sequential %v",
-					seed, backend, got[backend], got["sequential"])
-			}
+	// A single worker removes all interference, so the live backends
+	// must reproduce the sequential reference exactly — the strongest
+	// statement that all four backends share one kernel.
+	for _, backend := range []string{"sm-live-1p", "mp-live-1p"} {
+		if got[backend] != got["sequential"] {
+			t.Errorf("seed %d: %s %v != sequential %v",
+				seed, backend, got[backend], got["sequential"])
 		}
 	}
 }

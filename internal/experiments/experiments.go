@@ -9,6 +9,16 @@
 // numbers therefore differ from the paper, but the comparative shapes the
 // paper's conclusions rest on are reproduced (EXPERIMENTS.md records
 // paper-vs-measured for every row).
+//
+// # Parallel driver
+//
+// Every independent unit of work — each cell of a schedule sweep, each
+// cache replay, each ablation point, each robustness seed×check pair —
+// fans out through cells/par.Gather against a forked Setup, bounded by
+// Setup.Pool at the leaf simulations only. Results and observability
+// documents are merged in submission order, never completion order, so a
+// driver's output (rows, rendered tables, and -json documents) is a pure
+// function of its inputs regardless of the pool's capacity.
 package experiments
 
 import (
@@ -20,8 +30,10 @@ import (
 	"locusroute/internal/metrics"
 	"locusroute/internal/mp"
 	"locusroute/internal/obs"
+	"locusroute/internal/par"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
+	"locusroute/internal/trace"
 )
 
 // DefaultSeed fixes the benchmark circuit generation.
@@ -47,11 +59,72 @@ type Setup struct {
 	// run the drivers perform (cmd/paper -json). Nil disables collection;
 	// the rendered tables are identical either way.
 	Obs *obs.Collector
+	// Pool bounds how many leaf simulations (DES runs, traced routings,
+	// cache replays) execute concurrently. Nil leaves the fan-out
+	// unbounded; par.New(1) is the serial mode. Results are merged in
+	// submission order, so output never depends on the pool's capacity.
+	Pool *par.Pool
 }
 
 // DefaultSetup returns the 16-processor configuration most tables use.
 func DefaultSetup() Setup {
 	return Setup{Procs: 16, Iterations: route.DefaultParams().Iterations, Threshold: 1000}
+}
+
+// Fork returns a copy of s whose collector (when recording) is a fresh
+// private one, plus a drain function returning the documents the forked
+// copy accumulated. The parallel drivers run each independent cell on a
+// forked setup and Adopt the drained documents in submission order, which
+// keeps -json output byte-identical at every pool capacity.
+func (s Setup) Fork() (Setup, func() []*obs.Run) {
+	if !s.Obs.Enabled() {
+		return s, func() []*obs.Run { return nil }
+	}
+	sub := s
+	sub.Obs = obs.NewCollector()
+	return sub, sub.Obs.Take
+}
+
+// cells is the drivers' fan-out primitive: fn runs for every item on its
+// own goroutine against a forked setup, and once all cells finish, their
+// results and observability documents are stitched together in item
+// order. Heavy work inside fn must gate itself with the setup's pool
+// (runConfigured, smQuality and traceHandle.simulate do).
+func cells[T, R any](s Setup, items []T, fn func(T, Setup) (R, error)) ([]R, error) {
+	type cell struct {
+		out  R
+		runs []*obs.Run
+	}
+	cs, err := par.Gather(items, func(_ int, item T) (cell, error) {
+		sub, drain := s.Fork()
+		out, err := fn(item, sub)
+		return cell{out: out, runs: drain()}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]R, len(cs))
+	for i, c := range cs {
+		out[i] = c.out
+		s.Obs.Adopt(c.runs)
+	}
+	return out, nil
+}
+
+// gatedCells is cells with an admission gate sized to the pool: at most
+// pool-many cells are in flight at once. Use it when each cell pins
+// heavy intermediate state for its whole lifetime — a reference trace, a
+// coherence simulator, a nested table — so that peak memory stays a
+// rolling window of pool-many cells rather than the sum over all of
+// them. The gate is private to the call, so nested fan-outs each gate
+// their own level and cannot deadlock on each other (see par.Gate).
+func gatedCells[T, R any](s Setup, items []T, fn func(T, Setup) (R, error)) ([]R, error) {
+	gate := par.NewGate(s.Pool.Workers())
+	return cells(s, items, func(item T, sub Setup) (R, error) {
+		gate.Enter()
+		defer gate.Leave()
+		return fn(item, sub)
+	})
 }
 
 func (s Setup) routerParams() route.Params {
@@ -60,17 +133,21 @@ func (s Setup) routerParams() route.Params {
 	return p
 }
 
-func (s Setup) partition(c *circuit.Circuit) geom.Partition {
+func (s Setup) partition(c *circuit.Circuit) (geom.Partition, error) {
 	px, py := geom.SquarestFactors(s.Procs)
 	part, err := geom.NewPartition(c.Grid, px, py)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: partition %d procs on %q: %v", s.Procs, c.Name, err))
+		return geom.Partition{}, fmt.Errorf("experiments: partition %d procs on %q: %w", s.Procs, c.Name, err)
 	}
-	return part
+	return part, nil
 }
 
-func (s Setup) assignment(c *circuit.Circuit) *assign.Assignment {
-	return assign.AssignThreshold(c, s.partition(c), s.Threshold)
+func (s Setup) assignment(c *circuit.Circuit) (*assign.Assignment, error) {
+	part, err := s.partition(c)
+	if err != nil {
+		return nil, err
+	}
+	return assign.AssignThreshold(c, part, s.Threshold), nil
 }
 
 // MPRow is one message passing run in the units of the paper's tables.
@@ -85,15 +162,22 @@ type MPRow struct {
 
 // runMP executes one message passing cell with the setup's standard
 // assignment.
-func runMP(c *circuit.Circuit, s Setup, st mp.Strategy, label string) MPRow {
-	return runMPAssigned(c, s, st, s.assignment(c), label)
+func runMP(c *circuit.Circuit, s Setup, st mp.Strategy, label string) (MPRow, error) {
+	asn, err := s.assignment(c)
+	if err != nil {
+		return MPRow{}, err
+	}
+	return runMPAssigned(c, s, st, asn, label)
 }
 
-func runMPAssigned(c *circuit.Circuit, s Setup, st mp.Strategy, asn *assign.Assignment, label string) MPRow {
+func runMPAssigned(c *circuit.Circuit, s Setup, st mp.Strategy, asn *assign.Assignment, label string) (MPRow, error) {
 	cfg := mp.DefaultConfig(st)
 	cfg.Procs = s.Procs
 	cfg.Router = s.routerParams()
-	res := runConfigured(c, s, cfg, asn, label)
+	res, err := runConfigured(c, s, cfg, asn, label)
+	if err != nil {
+		return MPRow{}, err
+	}
 	return MPRow{
 		Label:     label,
 		Strategy:  st,
@@ -101,46 +185,55 @@ func runMPAssigned(c *circuit.Circuit, s Setup, st mp.Strategy, asn *assign.Assi
 		Occupancy: res.Occupancy,
 		MBytes:    res.MBytes(),
 		Seconds:   res.Time.Seconds(),
-	}
+	}, nil
 }
 
 // runConfigured executes one message passing run from a fully prepared
-// config (callers set ablation knobs before handing it over). When the
-// setup carries a collector, an observer is attached for the run and
-// its document recorded under label.
-func runConfigured(c *circuit.Circuit, s Setup, cfg mp.Config, asn *assign.Assignment, label string) mp.Result {
+// config (callers set ablation knobs before handing it over). The DES run
+// holds a pool slot — it is a leaf computation. When the setup carries a
+// collector, an observer is attached for the run and its document
+// recorded under label.
+func runConfigured(c *circuit.Circuit, s Setup, cfg mp.Config, asn *assign.Assignment, label string) (mp.Result, error) {
 	if s.Obs.Enabled() {
 		cfg.Obs = obs.NewMP(cfg.Procs)
 	}
-	res, err := mp.Run(c, asn, cfg)
+	var res mp.Result
+	var err error
+	s.Pool.Run(func() { res, err = mp.Run(c, asn, cfg) })
 	if err != nil {
-		panic(fmt.Sprintf("experiments: mp run %q: %v", label, err))
+		return mp.Result{}, fmt.Errorf("experiments: mp run %q: %w", label, err)
 	}
 	if s.Obs.Enabled() {
 		s.Obs.Append(mp.ObsRun(label, "mp-des", c.Name, cfg, res))
 	}
-	return res
+	return res, nil
 }
 
 // smQuality runs the traced shared memory router and returns its result
 // plus the reference trace (callers replay it through the cache
 // simulator at the line sizes they need; replays attach their traffic to
-// the run's document when a collector is recording).
-func smQuality(c *circuit.Circuit, s Setup, order sm.Order, asn *assign.Assignment, label string) (sm.Result, *traceHandle) {
+// the run's document when a collector is recording). The traced routing
+// holds a pool slot.
+func smQuality(c *circuit.Circuit, s Setup, order sm.Order, asn *assign.Assignment, label string) (sm.Result, *traceHandle, error) {
 	cfg := sm.DefaultConfig()
 	cfg.Procs = s.Procs
 	cfg.Router = s.routerParams()
 	cfg.Order = order
 	cfg.Assignment = asn
-	res, tr, err := sm.RunTraced(c, cfg)
+	var (
+		res sm.Result
+		tr  *trace.Trace
+		err error
+	)
+	s.Pool.Run(func() { res, tr, err = sm.RunTraced(c, cfg) })
 	if err != nil {
-		panic(fmt.Sprintf("experiments: sm run: %v", err))
+		return sm.Result{}, nil, fmt.Errorf("experiments: sm run %q: %w", label, err)
 	}
 	h := &traceHandle{tr: tr, procs: s.Procs}
 	if s.Obs.Enabled() {
 		h.run = s.Obs.Append(sm.ObsRun(label, "sm-traced", c.Name, cfg, res))
 	}
-	return res, h
+	return res, h, nil
 }
 
 // renderMPTable renders MP rows with the paper's column names.

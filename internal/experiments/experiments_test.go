@@ -20,8 +20,20 @@ func smallCircuit() *circuit.Circuit {
 	})
 }
 
+// must unwraps a driver result, failing the test on error. Curried so a
+// multi-value driver call can feed it directly: must(Table1(c, s))(t).
+func must[R any](rows []R, err error) func(testing.TB) []R {
+	return func(tb testing.TB) []R {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return rows
+	}
+}
+
 func TestTable1ShapeSmall(t *testing.T) {
-	rows := Table1(smallCircuit(), smallSetup())
+	rows := must(Table1(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 12 {
 		t.Fatalf("Table 1 must have 12 rows, got %d", len(rows))
 	}
@@ -47,7 +59,7 @@ func TestTable1ShapeSmall(t *testing.T) {
 }
 
 func TestTable2ShapeSmall(t *testing.T) {
-	rows := Table2(smallCircuit(), smallSetup())
+	rows := must(Table2(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 9 {
 		t.Fatalf("Table 2 must have 9 rows, got %d", len(rows))
 	}
@@ -63,8 +75,8 @@ func TestTable2ShapeSmall(t *testing.T) {
 func TestSenderReceiverTrafficOrdering(t *testing.T) {
 	c := smallCircuit()
 	s := smallSetup()
-	t1 := Table1(c, s)
-	t2 := Table2(c, s)
+	t1 := must(Table1(c, s))(t)
+	t2 := must(Table2(c, s))(t)
 	var maxReceiver, minSender float64
 	minSender = 1e18
 	for _, r := range t1 {
@@ -89,7 +101,7 @@ func TestSenderReceiverTrafficOrdering(t *testing.T) {
 }
 
 func TestBlockingShapeSmall(t *testing.T) {
-	rows := Blocking(smallCircuit(), smallSetup())
+	rows := must(Blocking(smallCircuit(), smallSetup()))(t)
 	if len(rows)%2 != 0 {
 		t.Fatalf("blocking rows must pair up")
 	}
@@ -108,7 +120,7 @@ func TestBlockingShapeSmall(t *testing.T) {
 }
 
 func TestMixedShapeSmall(t *testing.T) {
-	rows := Mixed(smallCircuit(), smallSetup())
+	rows := must(Mixed(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 3 {
 		t.Fatalf("mixed comparison must have 3 rows")
 	}
@@ -128,7 +140,7 @@ func TestMixedShapeSmall(t *testing.T) {
 }
 
 func TestTable3ShapeSmall(t *testing.T) {
-	rows := Table3(smallCircuit(), smallSetup())
+	rows := must(Table3(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 4 {
 		t.Fatalf("Table 3 must have 4 rows")
 	}
@@ -153,7 +165,7 @@ func TestTable3ShapeSmall(t *testing.T) {
 
 func TestTable4ShapeSmall(t *testing.T) {
 	c := smallCircuit()
-	rows := Table4([]*circuit.Circuit{c}, smallSetup())
+	rows := must(Table4([]*circuit.Circuit{c}, smallSetup()))(t)
 	if len(rows) != 4 {
 		t.Fatalf("Table 4 must have 4 rows per circuit")
 	}
@@ -179,7 +191,7 @@ func TestTable4ShapeSmall(t *testing.T) {
 
 func TestTable6ShapeSmall(t *testing.T) {
 	s := smallSetup()
-	rows := Table6(smallCircuit(), s)
+	rows := must(Table6(smallCircuit(), s))(t)
 	if len(rows) != 4 {
 		t.Fatalf("Table 6 must have 4 rows")
 	}
@@ -204,7 +216,7 @@ func TestTable6ShapeSmall(t *testing.T) {
 
 func TestLocalityShapeSmall(t *testing.T) {
 	c := smallCircuit()
-	rows := Locality([]*circuit.Circuit{c}, smallSetup())
+	rows := must(Locality([]*circuit.Circuit{c}, smallSetup()))(t)
 	byMethod := map[string]float64{}
 	for _, r := range rows {
 		byMethod[r.Method] = r.Measure
@@ -216,7 +228,7 @@ func TestLocalityShapeSmall(t *testing.T) {
 }
 
 func TestComparisonShapeSmall(t *testing.T) {
-	rows := Comparison(smallCircuit(), smallSetup())
+	rows := must(Comparison(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 3 {
 		t.Fatalf("comparison must have 3 rows")
 	}
@@ -235,16 +247,16 @@ func TestRenderersProduceTables(t *testing.T) {
 	c := smallCircuit()
 	s := smallSetup()
 	outs := []string{
-		RenderTable1(Table1(c, s)[:2]),
-		RenderTable2(Table2(c, s)[:2]),
-		RenderTable3(Table3(c, s)),
-		RenderTable4(Table4([]*circuit.Circuit{c}, s)),
-		RenderTable5(Table5([]*circuit.Circuit{c}, s)),
-		RenderTable6(Table6(c, s)),
-		RenderBlocking(Blocking(c, s)),
-		RenderMixed(Mixed(c, s)),
-		RenderLocality(Locality([]*circuit.Circuit{c}, s)),
-		RenderComparison(Comparison(c, s)),
+		RenderTable1(must(Table1(c, s))(t)[:2]),
+		RenderTable2(must(Table2(c, s))(t)[:2]),
+		RenderTable3(must(Table3(c, s))(t)),
+		RenderTable4(must(Table4([]*circuit.Circuit{c}, s))(t)),
+		RenderTable5(must(Table5([]*circuit.Circuit{c}, s))(t)),
+		RenderTable6(must(Table6(c, s))(t)),
+		RenderBlocking(must(Blocking(c, s))(t)),
+		RenderMixed(must(Mixed(c, s))(t)),
+		RenderLocality(must(Locality([]*circuit.Circuit{c}, s))(t)),
+		RenderComparison(must(Comparison(c, s))(t)),
 	}
 	for i, out := range outs {
 		if !strings.Contains(out, "\n---") && !strings.Contains(out, "--") {
@@ -269,7 +281,7 @@ func TestBenchmarkCircuitsMatchPaperDimensions(t *testing.T) {
 
 func TestTable5ShapeSmall(t *testing.T) {
 	c := smallCircuit()
-	rows := Table5([]*circuit.Circuit{c}, smallSetup())
+	rows := must(Table5([]*circuit.Circuit{c}, smallSetup()))(t)
 	if len(rows) != 4 {
 		t.Fatalf("Table 5 must have 4 rows per circuit")
 	}
@@ -288,7 +300,7 @@ func TestRobustnessSweepSmall(t *testing.T) {
 	// A single-seed sweep exercises the plumbing; the full sweep runs in
 	// cmd/paper -table robustness.
 	s := smallSetup()
-	rows := Robustness([]int64{2}, s)
+	rows := must(Robustness([]int64{2}, s))(t)
 	if len(rows) != 5 {
 		t.Fatalf("want 5 claims, got %d", len(rows))
 	}
@@ -310,7 +322,7 @@ func TestAblationsSmall(t *testing.T) {
 	c := smallCircuit()
 	s := smallSetup()
 
-	packets := PacketStructures(c, s)
+	packets := must(PacketStructures(c, s))(t)
 	if len(packets) != 3 {
 		t.Fatalf("want 3 packet structures")
 	}
@@ -327,12 +339,12 @@ func TestAblationsSmall(t *testing.T) {
 		t.Errorf("whole-region traffic %.3f must exceed bbox %.3f", whole.MBytes, bbox.MBytes)
 	}
 
-	dist := WireDistribution(c, s)
+	dist := must(WireDistribution(c, s))(t)
 	if len(dist) != 2 {
 		t.Fatalf("want 2 distribution rows")
 	}
 
-	own := CostArrayDistribution(c, s)
+	own := must(CostArrayDistribution(c, s))(t)
 	if len(own) != 2 {
 		t.Fatalf("want 2 ownership rows")
 	}
@@ -353,7 +365,7 @@ func TestAblationsSmall(t *testing.T) {
 }
 
 func TestNetworkSensitivitySmall(t *testing.T) {
-	rows := NetworkSensitivity(smallCircuit(), smallSetup())
+	rows := must(NetworkSensitivity(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 5 {
 		t.Fatalf("want 5 rows, got %d", len(rows))
 	}
@@ -374,7 +386,7 @@ func TestNetworkSensitivitySmall(t *testing.T) {
 }
 
 func TestWireOrderingSmall(t *testing.T) {
-	rows := WireOrdering(smallCircuit(), smallSetup())
+	rows := must(WireOrdering(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 3 {
 		t.Fatalf("want 3 orderings")
 	}
@@ -389,7 +401,7 @@ func TestWireOrderingSmall(t *testing.T) {
 }
 
 func TestTopologySmall(t *testing.T) {
-	rows := Topology(smallCircuit(), smallSetup())
+	rows := must(Topology(smallCircuit(), smallSetup()))(t)
 	if len(rows) != 3 {
 		t.Fatalf("want 3 topologies")
 	}

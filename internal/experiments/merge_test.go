@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/obs"
+	"locusroute/internal/par"
+)
+
+// TestRenderSetIdenticalAcrossPoolSizes is the parallel driver's
+// determinism contract: the rendered tables AND the observability JSON
+// document must be byte-identical whether one simulation runs at a time
+// or eight do. The name list covers every merge shape: a plain MP sweep
+// (1), paired cells (blocking, network), a traced SM run with concurrent
+// cache replays (3), heterogeneous cells (comparison), post-processed
+// rows (6), and a two-circuit compute-only table (locality).
+func TestRenderSetIdenticalAcrossPoolSizes(t *testing.T) {
+	names := []string{"1", "blocking", "3", "comparison", "6", "network", "locality"}
+	bnrE := smallCircuit()
+	mdc := circuit.MustGenerate(circuit.GenParams{
+		Name: "small2", Channels: 8, Grids: 96, Wires: 90, MeanSpan: 12,
+		LongFrac: 0.1, Seed: 6,
+	})
+	render := func(workers int) (string, []byte) {
+		t.Helper()
+		s := smallSetup()
+		s.Pool = par.New(workers)
+		s.Obs = obs.NewCollector()
+		tables, err := RenderSet(names, bnrE, mdc, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text bytes.Buffer
+		for _, tb := range tables {
+			text.WriteString(tb)
+			text.WriteByte('\n')
+		}
+		var doc bytes.Buffer
+		if err := s.Obs.Snapshot("test").WriteJSON(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), doc.Bytes()
+	}
+	text1, doc1 := render(1)
+	text8, doc8 := render(8)
+	if text1 != text8 {
+		t.Errorf("rendered tables differ between -par 1 and -par 8:\n--- par 1 ---\n%s\n--- par 8 ---\n%s", text1, text8)
+	}
+	if !bytes.Equal(doc1, doc8) {
+		t.Errorf("observability documents differ between -par 1 and -par 8 (%d vs %d bytes)", len(doc1), len(doc8))
+	}
+}
+
+// TestRenderUnknownTable checks the driver reports bad names as errors
+// (the commands exit non-zero on them rather than panicking).
+func TestRenderUnknownTable(t *testing.T) {
+	if _, err := Render("no-such-table", smallCircuit(), smallCircuit(), smallSetup()); err == nil {
+		t.Fatal("want an error for an unknown table name")
+	}
+}

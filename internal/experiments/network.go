@@ -30,7 +30,10 @@ type NetworkRow struct {
 // not by transit. The "better heuristic" — requesting updates further in
 // advance — is what closes the gap: with enough lookahead the responses
 // are already home when the blocking check runs.
-func NetworkSensitivity(c *circuit.Circuit, s Setup) []NetworkRow {
+//
+// Each (configuration, blocking mode) pair is an independent cell; rows
+// are assembled from the pairs after the fan-out.
+func NetworkSensitivity(c *circuit.Circuit, s Setup) ([]NetworkRow, error) {
 	type cfgRow struct {
 		label string
 		ahead int
@@ -45,23 +48,40 @@ func NetworkSensitivity(c *circuit.Circuit, s Setup) []NetworkRow {
 		{"ahead=20, Ametek network", 20, ametek},
 		{"ahead=60, Ametek network", 60, ametek},
 	}
-	var out []NetworkRow
+	type task struct {
+		row      cfgRow
+		blocking bool
+	}
+	var tasks []task
 	for _, row := range rows {
-		run := func(blocking bool) float64 {
-			cfg := mp.DefaultConfig(mp.ReceiverInitiated(1, 5, blocking))
-			cfg.Procs = s.Procs
-			cfg.Router = s.routerParams()
-			cfg.Net = row.net
-			cfg.RequestAhead = row.ahead
-			mode := "non-blocking"
-			if blocking {
-				mode = "blocking"
-			}
-			label := fmt.Sprintf("network/%s, %s", row.label, mode)
-			res := runConfigured(c, s, cfg, s.assignment(c), label)
-			return res.Time.Seconds()
+		tasks = append(tasks, task{row, false}, task{row, true})
+	}
+	secs, err := cells(s, tasks, func(t task, sub Setup) (float64, error) {
+		cfg := mp.DefaultConfig(mp.ReceiverInitiated(1, 5, t.blocking))
+		cfg.Procs = sub.Procs
+		cfg.Router = sub.routerParams()
+		cfg.Net = t.row.net
+		cfg.RequestAhead = t.row.ahead
+		mode := "non-blocking"
+		if t.blocking {
+			mode = "blocking"
 		}
-		nb, bl := run(false), run(true)
+		asn, err := sub.assignment(c)
+		if err != nil {
+			return 0, err
+		}
+		res, err := runConfigured(c, sub, cfg, asn, fmt.Sprintf("network/%s, %s", t.row.label, mode))
+		if err != nil {
+			return 0, err
+		}
+		return res.Time.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []NetworkRow
+	for i, row := range rows {
+		nb, bl := secs[2*i], secs[2*i+1]
 		out = append(out, NetworkRow{
 			Label:       row.label,
 			NonBlockSec: nb,
@@ -69,7 +89,7 @@ func NetworkSensitivity(c *circuit.Circuit, s Setup) []NetworkRow {
 			Penalty:     bl / nb,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // RenderNetworkSensitivity renders the blocking-penalty sweep.
@@ -98,11 +118,12 @@ type TopologyRow struct {
 // the protocol's behaviour) is identical; only transport latency and
 // contention change. The hypercube's shorter diameter and extra links
 // reduce contention; the ring concentrates everything on few links.
-func Topology(c *circuit.Circuit, s Setup) []TopologyRow {
-	shapes := []struct {
+func Topology(c *circuit.Circuit, s Setup) ([]TopologyRow, error) {
+	type shape struct {
 		label string
 		dims  []int
-	}{
+	}
+	shapes := []shape{
 		{"2-D mesh (paper)", nil}, // default squarest 2-D network
 		{"ring", []int{s.Procs}},
 	}
@@ -113,27 +134,29 @@ func Topology(c *circuit.Circuit, s Setup) []TopologyRow {
 		for n := s.Procs; n > 1; n /= 2 {
 			dims = append(dims, 2)
 		}
-		shapes = append(shapes, struct {
-			label string
-			dims  []int
-		}{"binary hypercube", dims})
+		shapes = append(shapes, shape{"binary hypercube", dims})
 	}
-	var rows []TopologyRow
-	for _, sh := range shapes {
+	return cells(s, shapes, func(sh shape, sub Setup) (TopologyRow, error) {
 		cfg := mp.DefaultConfig(Table4Strategy())
-		cfg.Procs = s.Procs
-		cfg.Router = s.routerParams()
+		cfg.Procs = sub.Procs
+		cfg.Router = sub.routerParams()
 		cfg.Topology = sh.dims
-		res := runConfigured(c, s, cfg, s.assignment(c), "topology/"+sh.label)
-		rows = append(rows, TopologyRow{
+		asn, err := sub.assignment(c)
+		if err != nil {
+			return TopologyRow{}, err
+		}
+		res, err := runConfigured(c, sub, cfg, asn, "topology/"+sh.label)
+		if err != nil {
+			return TopologyRow{}, err
+		}
+		return TopologyRow{
 			Label:      sh.label,
 			CktHt:      res.CircuitHeight,
 			MBytes:     res.MBytes(),
 			Seconds:    res.Time.Seconds(),
 			Contention: res.Net.ContentionDelay.Seconds(),
-		})
-	}
-	return rows
+		}, nil
+	})
 }
 
 // RenderTopology renders the interconnect-shape sweep.

@@ -9,6 +9,7 @@ import (
 	"locusroute/internal/metrics"
 	"locusroute/internal/mp"
 	"locusroute/internal/obs"
+	"locusroute/internal/par"
 	"locusroute/internal/sm"
 	"locusroute/internal/trace"
 )
@@ -23,20 +24,39 @@ type traceHandle struct {
 	run *obs.Run
 }
 
-// replay runs the coherence simulator at the given line size and returns
-// it (callers read Traffic or the attributed write fraction off it).
-func (h *traceHandle) replay(lineSize int) *cache.Simulator {
+// simulate replays the trace through a fresh coherence simulator at the
+// given line size, holding a pool slot for the replay. Concurrent calls
+// are safe: the trace is read-only and each call owns its simulator.
+func (h *traceHandle) simulate(pool *par.Pool, lineSize int) (*cache.Simulator, error) {
 	sim, err := cache.New(h.procs, lineSize)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: cache replay: %v", err))
+		return nil, fmt.Errorf("experiments: cache replay: %w", err)
 	}
-	for _, ref := range h.tr.Refs {
-		sim.Access(ref)
-	}
+	pool.Run(func() {
+		for _, ref := range h.tr.Refs {
+			sim.Access(ref)
+		}
+	})
+	return sim, nil
+}
+
+// record attaches a finished replay's traffic to the traced run's
+// document. Callers that simulate concurrently must record in line-size
+// order so the document is deterministic.
+func (h *traceHandle) record(sim *cache.Simulator) {
 	if h.run != nil {
 		h.run.Cache = append(h.run.Cache, sim.Doc())
 	}
-	return sim
+}
+
+// replay is simulate plus record, for callers with a single replay.
+func (h *traceHandle) replay(pool *par.Pool, lineSize int) (*cache.Simulator, error) {
+	sim, err := h.simulate(pool, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	h.record(sim)
+	return sim, nil
 }
 
 // --- Table 1: network traffic using sender initiated updates ------------
@@ -52,14 +72,19 @@ func Table1Schedules() []mp.Strategy {
 	return out
 }
 
+// mpSweep routes one cell per strategy concurrently and merges the rows
+// in schedule order.
+func mpSweep(c *circuit.Circuit, s Setup, schedules []mp.Strategy, label func(mp.Strategy) string) ([]MPRow, error) {
+	return cells(s, schedules, func(st mp.Strategy, sub Setup) (MPRow, error) {
+		return runMP(c, sub, st, label(st))
+	})
+}
+
 // Table1 sweeps the sender initiated update frequencies on circuit c.
-func Table1(c *circuit.Circuit, s Setup) []MPRow {
-	var rows []MPRow
-	for _, st := range Table1Schedules() {
-		label := fmt.Sprintf("SRD=%d SLD=%d", st.SendRmtData, st.SendLocData)
-		rows = append(rows, runMP(c, s, st, label))
-	}
-	return rows
+func Table1(c *circuit.Circuit, s Setup) ([]MPRow, error) {
+	return mpSweep(c, s, Table1Schedules(), func(st mp.Strategy) string {
+		return fmt.Sprintf("SRD=%d SLD=%d", st.SendRmtData, st.SendLocData)
+	})
 }
 
 // RenderTable1 renders Table 1.
@@ -81,13 +106,10 @@ func Table2Schedules() []mp.Strategy {
 }
 
 // Table2 sweeps the non-blocking receiver initiated update frequencies.
-func Table2(c *circuit.Circuit, s Setup) []MPRow {
-	var rows []MPRow
-	for _, st := range Table2Schedules() {
-		label := fmt.Sprintf("RLD=%d RRD=%d", st.ReqLocData, st.ReqRmtData)
-		rows = append(rows, runMP(c, s, st, label))
-	}
-	return rows
+func Table2(c *circuit.Circuit, s Setup) ([]MPRow, error) {
+	return mpSweep(c, s, Table2Schedules(), func(st mp.Strategy) string {
+		return fmt.Sprintf("RLD=%d RRD=%d", st.ReqLocData, st.ReqRmtData)
+	})
 }
 
 // RenderTable2 renders Table 2.
@@ -100,16 +122,20 @@ func RenderTable2(rows []MPRow) string {
 // Blocking compares blocking against non-blocking receiver initiated
 // runs on the same schedules: quality is expected to be about the same
 // while blocking execution time is substantially larger.
-func Blocking(c *circuit.Circuit, s Setup) []MPRow {
-	var rows []MPRow
-	for _, rrd := range []int{5, 10} {
-		nb := mp.ReceiverInitiated(1, rrd, false)
-		bl := mp.ReceiverInitiated(1, rrd, true)
-		rows = append(rows,
-			runMP(c, s, nb, fmt.Sprintf("RRD=%d non-blocking", rrd)),
-			runMP(c, s, bl, fmt.Sprintf("RRD=%d blocking", rrd)))
+func Blocking(c *circuit.Circuit, s Setup) ([]MPRow, error) {
+	type task struct {
+		st    mp.Strategy
+		label string
 	}
-	return rows
+	var tasks []task
+	for _, rrd := range []int{5, 10} {
+		tasks = append(tasks,
+			task{mp.ReceiverInitiated(1, rrd, false), fmt.Sprintf("RRD=%d non-blocking", rrd)},
+			task{mp.ReceiverInitiated(1, rrd, true), fmt.Sprintf("RRD=%d blocking", rrd)})
+	}
+	return cells(s, tasks, func(t task, sub Setup) (MPRow, error) {
+		return runMP(c, sub, t.st, t.label)
+	})
 }
 
 // RenderBlocking renders the blocking comparison.
@@ -127,12 +153,19 @@ func MixedSchedule() mp.Strategy {
 // compared against in Section 5.1.3: the most frequent sender initiated
 // schedule (whose traffic it roughly halves) and the matching receiver
 // initiated schedule.
-func Mixed(c *circuit.Circuit, s Setup) []MPRow {
-	return []MPRow{
-		runMP(c, s, mp.SenderInitiated(2, 1), "pure sender SRD=2 SLD=1"),
-		runMP(c, s, mp.ReceiverInitiated(1, 5, false), "pure receiver RLD=1 RRD=5"),
-		runMP(c, s, MixedSchedule(), "mixed SLD=5 SRD=2 RLD=1 RRD=5"),
+func Mixed(c *circuit.Circuit, s Setup) ([]MPRow, error) {
+	type task struct {
+		st    mp.Strategy
+		label string
 	}
+	tasks := []task{
+		{mp.SenderInitiated(2, 1), "pure sender SRD=2 SLD=1"},
+		{mp.ReceiverInitiated(1, 5, false), "pure receiver RLD=1 RRD=5"},
+		{MixedSchedule(), "mixed SLD=5 SRD=2 RLD=1 RRD=5"},
+	}
+	return cells(s, tasks, func(t task, sub Setup) (MPRow, error) {
+		return runMP(c, sub, t.st, t.label)
+	})
 }
 
 // RenderMixed renders the mixed-schedule comparison.
@@ -158,22 +191,33 @@ type Table3Row struct {
 func Table3LineSizes() []int { return []int{4, 8, 16, 32} }
 
 // Table3 measures shared memory bus traffic at each line size, using the
-// paper's default dynamic (distributed loop) wire distribution.
-func Table3(c *circuit.Circuit, s Setup) []Table3Row {
-	res, h := smQuality(c, s, sm.Dynamic, nil, "table3")
+// paper's default dynamic (distributed loop) wire distribution. One
+// traced routing feeds all replays, which run concurrently and record in
+// line-size order.
+func Table3(c *circuit.Circuit, s Setup) ([]Table3Row, error) {
+	res, h, err := smQuality(c, s, sm.Dynamic, nil, "table3")
+	if err != nil {
+		return nil, err
+	}
+	sims, err := par.Gather(Table3LineSizes(), func(_ int, ls int) (*cache.Simulator, error) {
+		return h.simulate(s.Pool, ls)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
-	for _, ls := range Table3LineSizes() {
-		sim := h.replay(ls)
+	for i, sim := range sims {
+		h.record(sim)
 		tr := sim.Traffic()
 		rows = append(rows, Table3Row{
 			Circuit:       c.Name,
-			LineSize:      ls,
+			LineSize:      Table3LineSizes()[i],
 			MBytes:        tr.MBytes(),
 			CktHt:         res.CircuitHeight,
 			WriteFraction: sim.AttributedWriteFraction(),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderTable3 renders Table 3.
@@ -205,12 +249,32 @@ func LocalityMethods() []AssignmentMethod {
 	}
 }
 
-func (m AssignmentMethod) build(c *circuit.Circuit, s Setup) *assign.Assignment {
-	part := s.partition(c)
-	if m.Threshold < 0 {
-		return assign.AssignRoundRobin(c, part)
+func (m AssignmentMethod) build(c *circuit.Circuit, s Setup) (*assign.Assignment, error) {
+	part, err := s.partition(c)
+	if err != nil {
+		return nil, err
 	}
-	return assign.AssignThreshold(c, part, m.Threshold)
+	if m.Threshold < 0 {
+		return assign.AssignRoundRobin(c, part), nil
+	}
+	return assign.AssignThreshold(c, part, m.Threshold), nil
+}
+
+// localityCell is one circuit×method cell of Tables 4, 5 and the
+// locality measure.
+type localityCell struct {
+	c *circuit.Circuit
+	m AssignmentMethod
+}
+
+func localityCells(circuits []*circuit.Circuit) []localityCell {
+	var out []localityCell
+	for _, c := range circuits {
+		for _, m := range LocalityMethods() {
+			out = append(out, localityCell{c: c, m: m})
+		}
+	}
+	return out
 }
 
 // Table4Row is one message passing locality measurement.
@@ -229,18 +293,23 @@ func Table4Strategy() mp.Strategy { return mp.SenderInitiated(2, 10) }
 
 // Table4 measures the effect of wire assignment locality on the message
 // passing version (sender initiated).
-func Table4(circuits []*circuit.Circuit, s Setup) []Table4Row {
-	var rows []Table4Row
-	for _, c := range circuits {
-		for _, m := range LocalityMethods() {
-			r := runMPAssigned(c, s, Table4Strategy(), m.build(c, s), m.Label)
-			rows = append(rows, Table4Row{
-				Circuit: c.Name, Method: m.Label,
-				CktHt: r.CktHt, MBytes: r.MBytes, Seconds: r.Seconds,
-			})
+func Table4(circuits []*circuit.Circuit, s Setup) ([]Table4Row, error) {
+	// Plain cells: an MP cell holds no reference trace, so there is
+	// nothing heavy to gate (contrast Table5).
+	return cells(s, localityCells(circuits), func(t localityCell, sub Setup) (Table4Row, error) {
+		asn, err := t.m.build(t.c, sub)
+		if err != nil {
+			return Table4Row{}, err
 		}
-	}
-	return rows
+		r, err := runMPAssigned(t.c, sub, Table4Strategy(), asn, t.m.Label)
+		if err != nil {
+			return Table4Row{}, err
+		}
+		return Table4Row{
+			Circuit: t.c.Name, Method: t.m.Label,
+			CktHt: r.CktHt, MBytes: r.MBytes, Seconds: r.Seconds,
+		}, nil
+	})
 }
 
 // RenderTable4 renders Table 4.
@@ -268,19 +337,28 @@ const Table5LineSize = 8
 // Table5 measures the effect of wire assignment locality on the shared
 // memory version: static assignments replace the distributed loop, and
 // traffic comes from the coherence simulator at 8-byte lines.
-func Table5(circuits []*circuit.Circuit, s Setup) []Table5Row {
-	var rows []Table5Row
-	for _, c := range circuits {
-		for _, m := range LocalityMethods() {
-			res, h := smQuality(c, s, sm.Static, m.build(c, s), "table5/"+m.Label)
-			rows = append(rows, Table5Row{
-				Circuit: c.Name, Method: m.Label,
-				CktHt:  res.CircuitHeight,
-				MBytes: h.replay(Table5LineSize).Traffic().MBytes(),
-			})
+func Table5(circuits []*circuit.Circuit, s Setup) ([]Table5Row, error) {
+	// Each cell pins a full reference trace between its traced run and
+	// its replay, so admission is gated to pool width.
+	return gatedCells(s, localityCells(circuits), func(t localityCell, sub Setup) (Table5Row, error) {
+		asn, err := t.m.build(t.c, sub)
+		if err != nil {
+			return Table5Row{}, err
 		}
-	}
-	return rows
+		res, h, err := smQuality(t.c, sub, sm.Static, asn, "table5/"+t.m.Label)
+		if err != nil {
+			return Table5Row{}, err
+		}
+		sim, err := h.replay(sub.Pool, Table5LineSize)
+		if err != nil {
+			return Table5Row{}, err
+		}
+		return Table5Row{
+			Circuit: t.c.Name, Method: t.m.Label,
+			CktHt:  res.CircuitHeight,
+			MBytes: sim.Traffic().MBytes(),
+		}, nil
+	})
 }
 
 // RenderTable5 renders Table 5.
@@ -313,27 +391,33 @@ func Table6Procs() []int { return []int{2, 4, 9, 16} }
 
 // Table6 measures quality, traffic and time as the processor count grows
 // (sender initiated schedule, locality assignment rebuilt per count).
-func Table6(c *circuit.Circuit, s Setup) []Table6Row {
-	var rows []Table6Row
-	var base float64
-	for _, procs := range Table6Procs() {
-		sp := s
-		sp.Procs = procs
-		r := runMP(c, sp, Table4Strategy(), fmt.Sprintf("%d procs", procs))
-		row := Table6Row{
+// Speedups are derived after the fan-out from the two-processor row.
+func Table6(c *circuit.Circuit, s Setup) ([]Table6Row, error) {
+	rows, err := cells(s, Table6Procs(), func(procs int, sub Setup) (Table6Row, error) {
+		sub.Procs = procs
+		r, err := runMP(c, sub, Table4Strategy(), fmt.Sprintf("%d procs", procs))
+		if err != nil {
+			return Table6Row{}, err
+		}
+		return Table6Row{
 			Circuit: c.Name, Procs: procs,
 			CktHt: r.CktHt, Occupancy: r.Occupancy,
 			MBytes: r.MBytes, Seconds: r.Seconds,
-		}
-		if procs == 2 {
-			base = r.Seconds
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	for i := range rows {
+		if rows[i].Procs == 2 {
+			base = rows[i].Seconds
 		}
 		if base > 0 {
-			row.Speedup = base / r.Seconds * 2
+			rows[i].Speedup = base / rows[i].Seconds * 2
 		}
-		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderTable6 renders Table 6.
@@ -359,18 +443,21 @@ type LocalityRow struct {
 
 // Locality computes the paper's locality measure (average hops between
 // routing processor and owning processor) for each assignment method.
-func Locality(circuits []*circuit.Circuit, s Setup) []LocalityRow {
-	var rows []LocalityRow
-	for _, c := range circuits {
-		part := s.partition(c)
-		for _, m := range LocalityMethods() {
-			rows = append(rows, LocalityRow{
-				Circuit: c.Name, Method: m.Label,
-				Measure: assign.LocalityMeasure(c, part, m.build(c, s)),
-			})
+func Locality(circuits []*circuit.Circuit, s Setup) ([]LocalityRow, error) {
+	return cells(s, localityCells(circuits), func(t localityCell, sub Setup) (LocalityRow, error) {
+		part, err := sub.partition(t.c)
+		if err != nil {
+			return LocalityRow{}, err
 		}
-	}
-	return rows
+		asn, err := t.m.build(t.c, sub)
+		if err != nil {
+			return LocalityRow{}, err
+		}
+		return LocalityRow{
+			Circuit: t.c.Name, Method: t.m.Label,
+			Measure: assign.LocalityMeasure(t.c, part, asn),
+		}, nil
+	})
 }
 
 // RenderLocality renders the locality measure table.
@@ -394,21 +481,43 @@ type ComparisonRow struct {
 
 // Comparison reproduces the Section 5.2 traffic/quality comparison:
 // shared memory (8-byte lines) vs the best sender initiated and receiver
-// initiated message passing schedules.
-func Comparison(c *circuit.Circuit, s Setup) []ComparisonRow {
-	res, h := smQuality(c, s, sm.Dynamic, nil, "comparison/shared memory")
-	rows := []ComparisonRow{{
-		Variant: "shared memory (8B lines)",
-		CktHt:   res.CircuitHeight,
-		MBytes:  h.replay(Table5LineSize).Traffic().MBytes(),
-	}}
-	snd := runMP(c, s, mp.SenderInitiated(2, 5), "sender")
-	rcv := runMP(c, s, mp.ReceiverInitiated(1, 5, false), "receiver")
-	rows = append(rows,
-		ComparisonRow{Variant: "MP sender initiated (SRD=2 SLD=5)", CktHt: snd.CktHt, MBytes: snd.MBytes},
-		ComparisonRow{Variant: "MP receiver initiated (RLD=1 RRD=5)", CktHt: rcv.CktHt, MBytes: rcv.MBytes},
-	)
-	return rows
+// initiated message passing schedules. The three variants run
+// concurrently as heterogeneous cells.
+func Comparison(c *circuit.Circuit, s Setup) ([]ComparisonRow, error) {
+	variants := []func(Setup) (ComparisonRow, error){
+		func(sub Setup) (ComparisonRow, error) {
+			res, h, err := smQuality(c, sub, sm.Dynamic, nil, "comparison/shared memory")
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			sim, err := h.replay(sub.Pool, Table5LineSize)
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			return ComparisonRow{
+				Variant: "shared memory (8B lines)",
+				CktHt:   res.CircuitHeight,
+				MBytes:  sim.Traffic().MBytes(),
+			}, nil
+		},
+		func(sub Setup) (ComparisonRow, error) {
+			r, err := runMP(c, sub, mp.SenderInitiated(2, 5), "sender")
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			return ComparisonRow{Variant: "MP sender initiated (SRD=2 SLD=5)", CktHt: r.CktHt, MBytes: r.MBytes}, nil
+		},
+		func(sub Setup) (ComparisonRow, error) {
+			r, err := runMP(c, sub, mp.ReceiverInitiated(1, 5, false), "receiver")
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			return ComparisonRow{Variant: "MP receiver initiated (RLD=1 RRD=5)", CktHt: r.CktHt, MBytes: r.MBytes}, nil
+		},
+	}
+	return cells(s, variants, func(fn func(Setup) (ComparisonRow, error), sub Setup) (ComparisonRow, error) {
+		return fn(sub)
+	})
 }
 
 // RenderComparison renders the cross-paradigm comparison.

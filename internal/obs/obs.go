@@ -180,6 +180,35 @@ func (c *Collector) Append(r Run) *Run {
 	return stored
 }
 
+// Take returns the collector's stored run documents in append order and
+// leaves the collector empty. The parallel experiment driver runs each
+// independent cell against a private forked collector, then Takes the
+// fork and Adopts its documents into the invocation's collector in
+// submission order — never completion order — so a -json document is
+// byte-identical at every worker count. Returns nil on a nil collector.
+func (c *Collector) Take() []*Run {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	runs := c.runs
+	c.runs = nil
+	return runs
+}
+
+// Adopt appends already-assembled run documents, preserving pointer
+// identity so sections attached late through Append's returned pointer
+// (e.g. cache replays) stay visible. A nil collector discards.
+func (c *Collector) Adopt(runs []*Run) {
+	if c == nil || len(runs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs = append(c.runs, runs...)
+}
+
 // Snapshot assembles the document for the whole invocation.
 func (c *Collector) Snapshot(command string) Snapshot {
 	s := Snapshot{Schema: SchemaVersion, Command: command, Runs: []Run{}}

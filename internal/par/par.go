@@ -1,0 +1,127 @@
+// Package par is the parallel experiment driver's concurrency substrate:
+// a bounded worker pool plus a submission-ordered fan-out primitive.
+//
+// The design separates structure from capacity. Gather expresses the
+// shape of a fan-out — one goroutine per independent unit of work, with
+// results merged in submission order, never completion order — and is
+// deliberately unbounded: structural goroutines are cheap and may nest
+// (a table fans out rows; a robustness sweep fans out seeds that fan out
+// tables). Pool bounds how many heavy leaf computations (DES runs,
+// traced routings, cache replays) execute at once; only leaves acquire
+// slots, so nested fan-outs cannot deadlock on a full pool.
+//
+// Determinism: because Gather writes result i from exactly one goroutine
+// into slot i and reports the smallest-index error, a fan-out's outcome
+// is a pure function of its inputs regardless of the pool's capacity or
+// the scheduler's interleaving. This is what keeps `paper -all` byte-
+// identical between -par 1 and -par N.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of concurrently executing heavy tasks. A nil
+// *Pool applies no bound (every Run executes immediately), which callers
+// use for "unlimited" rather than as a serial mode: serial execution is
+// New(1).
+type Pool struct {
+	sem chan struct{}
+}
+
+// New returns a pool allowing n concurrent tasks; n < 1 means
+// GOMAXPROCS.
+func New(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Workers returns the pool's capacity (0 for a nil pool: unbounded).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.sem)
+}
+
+// Run executes fn while holding one worker slot, blocking until one is
+// free. Only leaf computations may call Run: holding a slot while
+// waiting on another Run (directly or through a Gather of gated tasks)
+// can deadlock a full pool.
+func (p *Pool) Run(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// A Gate bounds how many branches of a structural fan-out are in flight
+// at once. It exists for memory, not CPU: Gather goroutines are cheap,
+// but a branch that has *started* pins its intermediate state (reference
+// traces, cache simulators, partially gathered rows) until it finishes.
+// When every branch starts immediately and a small pool interleaves
+// their leaves, no branch finishes until near the end of the run, and
+// peak live heap becomes the sum over all branches rather than a rolling
+// window of pool-many. Entering heavy branches through a Gate sized to
+// the pool restores the rolling window.
+//
+// Acquisition must be strictly hierarchical: each fan-out level uses its
+// own Gate, taken once around the whole branch. Nesting distinct Gates
+// is fine; re-entering the same Gate from inside a held branch can
+// deadlock, exactly like Pool.Run.
+type Gate chan struct{}
+
+// NewGate returns a gate admitting n concurrent branches. n < 1 returns
+// a nil gate, which admits everything — the right behaviour when the
+// pool itself is nil/unbounded.
+func NewGate(n int) Gate {
+	if n < 1 {
+		return nil
+	}
+	return make(Gate, n)
+}
+
+// Enter blocks until the gate admits another branch.
+func (g Gate) Enter() {
+	if g != nil {
+		g <- struct{}{}
+	}
+}
+
+// Leave releases a branch admitted by Enter.
+func (g Gate) Leave() {
+	if g != nil {
+		<-g
+	}
+}
+
+// Gather runs fn(i, items[i]) for every item on its own goroutine and
+// returns the results in item order. All tasks run to completion even
+// when some fail; the returned error is the one with the smallest index,
+// so error selection is as deterministic as the results. Gather itself
+// is unbounded — bound the heavy inner work with Pool.Run.
+func Gather[T, R any](items []T, fn func(int, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = fn(i, items[i])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

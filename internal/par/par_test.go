@@ -1,0 +1,149 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGatherPreservesSubmissionOrder checks results land in item order no
+// matter how the scheduler interleaves the tasks.
+func TestGatherPreservesSubmissionOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for trial := 0; trial < 10; trial++ {
+		out, err := Gather(items, func(i, v int) (string, error) {
+			return fmt.Sprintf("%d*2=%d", v, v*2), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range out {
+			if want := fmt.Sprintf("%d*2=%d", i, i*2); s != want {
+				t.Fatalf("trial %d slot %d = %q, want %q", trial, i, s, want)
+			}
+		}
+	}
+}
+
+// TestGatherReturnsSmallestIndexError checks error selection is
+// deterministic: the error of the smallest failing index wins, not the
+// first to complete.
+func TestGatherReturnsSmallestIndexError(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	var completed atomic.Int32
+	_, err := Gather(make([]struct{}, 10), func(i int, _ struct{}) (int, error) {
+		defer completed.Add(1)
+		switch i {
+		case 3:
+			return 0, e3
+		case 7:
+			return 0, e7
+		}
+		return i, nil
+	})
+	if err != e3 {
+		t.Errorf("err = %v, want the smallest-index error %v", err, e3)
+	}
+	if completed.Load() != 10 {
+		t.Errorf("only %d tasks completed; all must run even when some fail", completed.Load())
+	}
+}
+
+// TestPoolBoundsConcurrency checks no more than Workers() gated tasks run
+// at once.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const limit, tasks = 3, 50
+	p := New(limit)
+	if p.Workers() != limit {
+		t.Fatalf("Workers = %d, want %d", p.Workers(), limit)
+	}
+	var running, peak atomic.Int32
+	_, err := Gather(make([]struct{}, tasks), func(i int, _ struct{}) (struct{}, error) {
+		p.Run(func() {
+			now := running.Add(1)
+			for {
+				old := peak.Load()
+				if now <= old || peak.CompareAndSwap(old, now) {
+					break
+				}
+			}
+			running.Add(-1)
+		})
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > limit {
+		t.Errorf("peak concurrency %d exceeds pool limit %d", got, limit)
+	}
+}
+
+// TestNilPoolRunsUnbounded checks a nil pool executes without gating.
+func TestNilPoolRunsUnbounded(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 0 {
+		t.Errorf("nil pool Workers = %d, want 0", p.Workers())
+	}
+	ran := false
+	p.Run(func() { ran = true })
+	if !ran {
+		t.Errorf("nil pool must still run the task")
+	}
+}
+
+// TestNewDefaultsToGOMAXPROCS checks the n<1 default.
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Errorf("New(0) must default to at least one worker")
+	}
+	if New(-5).Workers() < 1 {
+		t.Errorf("New(-5) must default to at least one worker")
+	}
+}
+
+// TestGateBoundsBranches checks no more than n entered branches are in
+// flight, and that a nil gate (n < 1) admits everything.
+func TestGateBoundsBranches(t *testing.T) {
+	const limit, branches = 2, 40
+	g := NewGate(limit)
+	var inFlight, peak atomic.Int32
+	_, err := Gather(make([]struct{}, branches), func(i int, _ struct{}) (struct{}, error) {
+		g.Enter()
+		defer g.Leave()
+		now := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if now <= old || peak.CompareAndSwap(old, now) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > limit {
+		t.Errorf("peak in-flight branches %d exceeds gate limit %d", got, limit)
+	}
+
+	nilGate := NewGate(0)
+	if nilGate != nil {
+		t.Errorf("NewGate(0) = %v, want nil (unbounded)", nilGate)
+	}
+	nilGate.Enter() // must not block or panic
+	nilGate.Leave()
+}
+
+// TestGatherEmpty checks the degenerate fan-out.
+func TestGatherEmpty(t *testing.T) {
+	out, err := Gather(nil, func(i int, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty gather = %v, %v", out, err)
+	}
+}

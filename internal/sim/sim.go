@@ -9,12 +9,27 @@
 // are broken by schedule order, so a simulation is a pure function of its
 // inputs. This package plays the role CBS played for the paper: the
 // substrate on which the message passing LocusRoute executes.
+//
+// # Hot path
+//
+// The kernel dispatches one event per Wait, per channel wake, and per
+// scheduled callback, so event dispatch dominates a routing simulation's
+// wall clock. Three structural choices keep it cheap:
+//
+//   - events are pooled on a free list, and process resumes are a
+//     dedicated event flavour (a *Process field instead of a closure), so
+//     the steady state allocates nothing per event;
+//   - events scheduled for the current instant bypass the time-ordered
+//     heap into a FIFO: a new event always carries a larger seq than
+//     everything already queued, so within the current instant append
+//     order is exactly (time, seq) order and a plain list preserves the
+//     heap's semantics at O(1) — this is the channel-wake fast path;
+//   - Chan.Send wakes exactly one blocked receiver per item instead of
+//     all of them, removing the O(waiters) spurious wake/re-park baton
+//     round trips per item that a wake-all loop costs.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in nanoseconds.
 type Time int64
@@ -34,39 +49,86 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a scheduled callback.
+// event is a scheduled callback or process resume. proc-events resume
+// the process directly, avoiding a closure allocation per Wait; next
+// links events on the kernel's immediate FIFO and free list.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: schedule order
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break: schedule order
+	fn   func()
+	proc *Process
+	next *event
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether e runs before f: earlier time, or same time and
+// scheduled earlier.
+func (e *event) before(f *event) bool {
+	if e.at != f.at {
+		return e.at < f.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < f.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// replaces container/heap to keep push/pop free of interface conversions
+// on the kernel's hottest path.
+type eventHeap []*event
+
+func (h *eventHeap) push(e *event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q[l].before(q[least]) {
+			least = l
+		}
+		if r < n && q[r].before(q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return top
 }
 
 // Kernel is the simulation engine. The zero value is not usable; call
 // NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
+	now   Time
+	seq   uint64
+	queue eventHeap
+
+	// immHead/immTail are the FIFO of events scheduled for the current
+	// instant: each was appended with a seq larger than every event
+	// already queued, so list order is (time, seq) order.
+	immHead, immTail *event
+
+	free *event // recycled events
+
 	yield  chan struct{} // a running process signals it has blocked/finished
 	procs  []*Process
 	closed bool
@@ -80,20 +142,74 @@ func NewKernel() *Kernel {
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run in kernel context at time t (clamped to now).
-func (k *Kernel) At(t Time, fn func()) {
+// newEvent takes an event off the free list (or allocates) and stamps it.
+func (k *Kernel) newEvent(at Time, fn func(), proc *Process) *event {
+	e := k.free
+	if e != nil {
+		k.free = e.next
+		e.next = nil
+	} else {
+		e = &event{}
+	}
+	k.seq++
+	e.at, e.seq, e.fn, e.proc = at, k.seq, fn, proc
+	return e
+}
+
+// release returns an executed event to the free list.
+func (k *Kernel) release(e *event) {
+	e.fn, e.proc = nil, nil
+	e.next = k.free
+	k.free = e
+}
+
+// schedule enqueues an event at time t (clamped to now). Events for the
+// current instant go to the FIFO; future events go to the heap.
+func (k *Kernel) schedule(t Time, fn func(), proc *Process) {
 	if k.closed {
 		return
 	}
-	if t < k.now {
-		t = k.now
+	if t <= k.now {
+		e := k.newEvent(k.now, fn, proc)
+		if k.immTail != nil {
+			k.immTail.next = e
+		} else {
+			k.immHead = e
+		}
+		k.immTail = e
+		return
 	}
-	k.seq++
-	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+	k.queue.push(k.newEvent(t, fn, proc))
 }
+
+// At schedules fn to run in kernel context at time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, fn, nil) }
 
 // After schedules fn to run d after the current time.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// next pops the globally earliest event by (time, seq), or nil when both
+// queues are empty. A FIFO event runs before the heap top unless the heap
+// top is strictly earlier — possible only for same-time events pushed to
+// the heap before time advanced onto them, which carry smaller seqs.
+func (k *Kernel) next() *event {
+	if k.immHead != nil {
+		if len(k.queue) > 0 && k.queue[0].before(k.immHead) {
+			return k.queue.pop()
+		}
+		e := k.immHead
+		k.immHead = e.next
+		if k.immHead == nil {
+			k.immTail = nil
+		}
+		e.next = nil
+		return e
+	}
+	if len(k.queue) > 0 {
+		return k.queue.pop()
+	}
+	return nil
+}
 
 // killed is the panic sentinel used to unwind parked processes at
 // shutdown.
@@ -130,7 +246,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Process)) *Process {
 		<-p.resume // wait for the start event
 		fn(p)
 	}()
-	k.At(k.now, func() { k.runProcess(p) })
+	k.schedule(k.now, nil, p)
 	return p
 }
 
@@ -152,10 +268,20 @@ func (k *Kernel) runProcess(p *Process) {
 // considered blocked forever; Run unwinds them (their deferred functions
 // run) and returns. The kernel cannot be reused after Run.
 func (k *Kernel) Run() Time {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*event)
+	for {
+		e := k.next()
+		if e == nil {
+			break
+		}
 		k.now = e.at
-		e.fn()
+		if p := e.proc; p != nil {
+			k.release(e)
+			k.runProcess(p)
+		} else {
+			fn := e.fn
+			k.release(e)
+			fn()
+		}
 	}
 	k.closed = true
 	// Unwind any parked processes so goroutines are not leaked.
@@ -197,7 +323,7 @@ func (p *Process) Wait(d Time) {
 		return
 	}
 	k := p.kernel
-	k.At(k.now+d, func() { k.runProcess(p) })
+	k.schedule(k.now+d, nil, p)
 	p.park()
 }
 
@@ -226,19 +352,22 @@ func NewChan(k *Kernel) *Chan { return &Chan{kernel: k} }
 // Len returns the number of queued items.
 func (c *Chan) Len() int { return len(c.items) }
 
-// Send enqueues item and wakes any blocked receivers. It may be called
-// from process context or from a kernel event.
+// Send enqueues item and, when receivers are blocked, wakes exactly one —
+// the longest-waiting. One item can satisfy only one Recv, so waking the
+// rest would buy nothing but a spurious wake/re-park round trip each;
+// FIFO wake order keeps delivery deterministic and matches the order the
+// wake-all loop delivered in. Send may be called from process context or
+// from a kernel event. Recv still re-checks after waking (TryRecv can
+// drain the item first), so the one-wake policy cannot lose items.
 func (c *Chan) Send(item any) {
 	c.items = append(c.items, item)
 	if len(c.waiters) > 0 {
-		ws := c.waiters
-		c.waiters = nil
-		for _, w := range ws {
-			w := w
-			// Wake via an event so the currently running process keeps
-			// the baton until it parks.
-			c.kernel.At(c.kernel.now, func() { c.kernel.runProcess(w) })
-		}
+		w := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		// Wake via an event so the currently running process keeps the
+		// baton until it parks.
+		c.kernel.schedule(c.kernel.now, nil, w)
 	}
 }
 
