@@ -7,6 +7,14 @@
 //	mproute [-bench bnrE|MDC] [-procs 16] [-iters N]
 //	        [-sld N] [-srd N] [-rld N] [-rrd N] [-blocking]
 //	        [-assign rr|threshold] [-threshold 1000] [-par N]
+//	        [-trace out.json]
+//
+// -trace records an event-level timeline of the simulated run and writes
+// it as a Chrome trace-event document (open it at ui.perfetto.dev: one
+// track per node, flow arrows for packets). It also prints the run's
+// critical path — the chain of dependent events that sets the simulated
+// time — with a per-category breakdown of time on the path. Tracing
+// records simulated time, so -trace and -live are mutually exclusive.
 //
 // -par is accepted for interface uniformity with cmd/paper and
 // cmd/smtrace (scripted sweeps pass the same flags to all three); a
@@ -30,6 +38,7 @@ import (
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
 	"locusroute/internal/route"
+	"locusroute/internal/tracev"
 )
 
 func main() {
@@ -52,6 +61,7 @@ func main() {
 		strict    = flag.Bool("strict", false, "strict region ownership, no replicated views (ablation)")
 		live      = flag.Bool("live", false, "run on real goroutines and channels instead of the DES")
 		parN      = flag.Int("par", 0, "accepted for interface uniformity; a single run has nothing to fan out")
+		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (DES only)")
 		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
 		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -127,6 +137,12 @@ func main() {
 	if *live {
 		run, backend = mp.RunLive, "mp-live"
 	}
+	if *traceOut != "" {
+		if *live {
+			log.Fatal("-trace records simulated time; it cannot be combined with -live")
+		}
+		cfg.Trace = tracev.New(0)
+	}
 	if *jsonPath != "" {
 		cfg.Obs = obs.NewMP(cfg.Procs)
 	}
@@ -165,5 +181,61 @@ func main() {
 	for _, k := range kinds {
 		fmt.Printf("  %-12s %8d bytes in %d packets\n",
 			k, res.BytesByKind[k], res.PacketsByKind[k])
+	}
+
+	if *traceOut != "" {
+		writeTrace(*traceOut, cfg, c.Name, *procs)
+	}
+}
+
+// writeTrace exports the run's event timeline as a Chrome trace-event
+// document and prints its critical path: the chain of dependent events
+// that sets the simulated time, with each wait resolved to the packet
+// (and sender) that ended it.
+func writeTrace(path string, cfg mp.Config, circuitName string, procs int) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cfg.Trace.WriteChrome(f, mp.ChromeOptions(circuitName, procs))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := tracev.Analyze(cfg.Trace.Events())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trace:            wrote %s (open at https://ui.perfetto.dev)\n", path)
+	if dropped := cfg.Trace.Dropped(); dropped > 0 {
+		fmt.Printf("trace:            ring overflowed, oldest %d events dropped (early time reads as untraced)\n", dropped)
+	}
+	fmt.Printf("critical path:    %.3fs ending on node %d, %d packet hops, %d steps\n",
+		float64(cp.TotalNs)/1e9, cp.EndTrack, cp.Hops, len(cp.Steps))
+	fmt.Printf("  on path:        compute %.3fs, packet %.3fs, blocked %.3fs, barrier %.3fs, network %.3fs, untraced %.3fs\n",
+		cp.Seconds(tracev.CatCompute), cp.Seconds(tracev.CatPacket),
+		cp.Seconds(tracev.CatBlocked), cp.Seconds(tracev.CatBarrier),
+		cp.Seconds(tracev.CatNetwork), cp.Seconds(tracev.CatUntraced))
+
+	steps := append([]tracev.Step(nil), cp.Steps...)
+	sort.Slice(steps, func(i, j int) bool { return steps[i].DurNs() > steps[j].DurNs() })
+	if len(steps) > 8 {
+		steps = steps[:8]
+	}
+	fmt.Println("  longest steps:")
+	for _, st := range steps {
+		detail := ""
+		switch {
+		case st.Flow != 0:
+			detail = fmt.Sprintf("  ended by %d-byte packet from node %d", st.Bytes, st.FromTrack)
+		case st.Wire >= 0:
+			detail = fmt.Sprintf("  wire %d", st.Wire)
+		}
+		fmt.Printf("    node %-3d %-9s %9.6fs  [%.6fs, %.6fs]%s\n",
+			st.Track, st.Cat, float64(st.DurNs())/1e9,
+			float64(st.FromNs)/1e9, float64(st.ToNs)/1e9, detail)
 	}
 }

@@ -10,10 +10,14 @@
 //	paper -table mixed         # Section 5.1.3 mixed schedules
 //	paper -table locality      # Section 5.3.3 locality measure
 //	paper -table comparison    # Section 5.2 SM vs MP
+//	paper -table critpath      # critical-path attribution (traced runs)
+//	paper -trace out.json      # Perfetto trace of the standard schedule
 //
 // Every independent simulation fans out across -par workers; results are
 // merged in submission order, so the output bytes are identical at every
-// -par value.
+// -par value. -trace requires -par 1: the trace file captures one run's
+// event timeline, and refusing the combination is how the tool
+// guarantees it never writes an interleaved document.
 package main
 
 import (
@@ -26,21 +30,30 @@ import (
 	"locusroute/internal/experiments"
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
+	"locusroute/internal/tracev"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper: ")
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network, ordering, topology, robustness")
+		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network, ordering, topology, robustness, critpath")
 		all      = flag.Bool("all", false, "regenerate every table")
 		procs    = flag.Int("procs", 16, "processor count for tables that do not sweep it")
 		iters    = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
 		parN     = flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at every value")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the standard schedule to this file (requires -par 1)")
 		jsonPath = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
 		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *traceOut != "" && *parN != 1 {
+		// An event trace captures a single run's timeline; refusing the
+		// parallel pool outright is what guarantees the file can never
+		// interleave concurrent runs.
+		log.Fatal("-trace requires -par 1 (a trace file records one run's event timeline)")
+	}
 
 	stopProfile, err := obs.StartCPUProfile(*profile)
 	if err != nil {
@@ -62,10 +75,10 @@ func main() {
 	switch {
 	case *all:
 		names = experiments.TableNames()
-	case *table == "":
-		log.Fatal("pass -table <name> or -all (see -h)")
-	default:
+	case *table != "":
 		names = []string{*table}
+	case *traceOut == "":
+		log.Fatal("pass -table <name>, -all, or -trace <file> (see -h)")
 	}
 
 	tables, err := experiments.RenderSet(names, bnrE, mdc, s)
@@ -74,6 +87,27 @@ func main() {
 	}
 	for _, text := range tables {
 		fmt.Println(text)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp, err := experiments.WriteTrace(bnrE, s, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (open at https://ui.perfetto.dev)\n", *traceOut)
+		fmt.Printf("trace: critical path %.3fs ending on node %d, %d hops, %d steps\n",
+			float64(cp.TotalNs)/1e9, cp.EndTrack, cp.Hops, len(cp.Steps))
+		fmt.Printf("trace: on path: compute %.3fs, packet %.3fs, blocked %.3fs, barrier %.3fs, network %.3fs\n",
+			cp.Seconds(tracev.CatCompute), cp.Seconds(tracev.CatPacket),
+			cp.Seconds(tracev.CatBlocked), cp.Seconds(tracev.CatBarrier),
+			cp.Seconds(tracev.CatNetwork))
 	}
 
 	if *jsonPath != "" {

@@ -8,7 +8,10 @@ import (
 
 // TableNames returns the tables `paper -all` regenerates, in print
 // order. The robustness sweep is not included (it is far slower than
-// everything else combined); request it by name.
+// everything else combined), and neither is the traced critical-path
+// comparison (its rows come from event-traced runs; keeping it out of
+// -all keeps the golden output byte-identical with tracing off);
+// request either by name.
 func TableNames() []string {
 	return []string{
 		"1", "2", "blocking", "mixed", "3", "comparison", "4", "5", "6",
@@ -21,8 +24,8 @@ func TableNames() []string {
 // table sweeps.
 func RobustnessSeeds() []int64 { return []int64{1, 2, 3, 4, 5} }
 
-// Render regenerates one named table (a TableNames entry or
-// "robustness") and returns its rendered text. bnrE is the primary
+// Render regenerates one named table (a TableNames entry, "robustness",
+// or "critpath") and returns its rendered text. bnrE is the primary
 // benchmark circuit; mdc joins it for the two-circuit locality tables.
 func Render(name string, bnrE, mdc *circuit.Circuit, s Setup) (string, error) {
 	both := []*circuit.Circuit{bnrE, mdc}
@@ -78,6 +81,9 @@ func Render(name string, bnrE, mdc *circuit.Circuit, s Setup) (string, error) {
 	case "robustness":
 		rows, err := Robustness(RobustnessSeeds(), s)
 		return render(RenderRobustness, rows, err)
+	case "critpath":
+		rows, err := CritPath(bnrE, s)
+		return render(RenderCritPath, rows, err)
 	default:
 		return "", fmt.Errorf("experiments: unknown table %q", name)
 	}

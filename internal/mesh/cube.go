@@ -5,6 +5,7 @@ import (
 
 	"locusroute/internal/obs"
 	"locusroute/internal/sim"
+	"locusroute/internal/tracev"
 )
 
 // CBS simulated a general k-ary n-dimensional machine; the paper's
@@ -24,6 +25,7 @@ type Cube struct {
 	inbox    []*sim.Chan
 	stats    Stats
 	rec      *obs.NetRecorder
+	tracer   *tracev.Tracer
 }
 
 // NewCube builds a network whose shape is the given dimension list
@@ -68,6 +70,9 @@ func (c *Cube) SetRecorder(rec *obs.NetRecorder) {
 	hookInboxes(c.inbox, rec)
 }
 
+// SetTracer attaches (or with nil detaches) an event tracer.
+func (c *Cube) SetTracer(tr *tracev.Tracer) { c.tracer = tr }
+
 // Inbox returns the receive queue of node id.
 func (c *Cube) Inbox(id int) *sim.Chan { return c.inbox[id] }
 
@@ -110,6 +115,10 @@ func (c *Cube) Send(p *sim.Process, from, to int, payload any, size int) {
 		size = 1
 	}
 	pkt := &Packet{From: from, To: to, Payload: payload, Size: size, SentAt: p.Now()}
+	if tr := c.tracer; tr != nil {
+		pkt.Flow = tr.NewFlow()
+		tr.FlowBegin(int32(from), int64(pkt.SentAt), pkt.Flow, int64(size))
+	}
 	p.Wait(c.params.ProcessTime)
 
 	cursor := p.Now()
@@ -148,6 +157,13 @@ func (c *Cube) Send(p *sim.Process, from, to int, payload any, size int) {
 	}
 
 	inbox := c.inbox[to]
+	if tr := c.tracer; tr != nil {
+		c.kernel.At(arrive, func() {
+			tr.Instant(int32(to), int64(arrive), tracev.KindDeliver, int64(size))
+			inbox.Send(pkt)
+		})
+		return
+	}
 	c.kernel.At(arrive, func() { inbox.Send(pkt) })
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"locusroute/internal/obs"
 	"locusroute/internal/sim"
+	"locusroute/internal/tracev"
 )
 
 // Params holds the network timing constants.
@@ -47,6 +48,9 @@ type Packet struct {
 	Size     int // bytes on the wire
 	SentAt   sim.Time
 	ArriveAt sim.Time
+	// Flow is the trace flow id joining this packet's injection to its
+	// dequeue; 0 when tracing is off.
+	Flow uint64
 }
 
 // Stats accumulates network-level accounting for a run. Packets and
@@ -89,6 +93,11 @@ type Interconnect interface {
 	// packet latencies, per-link contention delays, and receive-queue
 	// depths at dequeue. A nil recorder detaches (the default).
 	SetRecorder(rec *obs.NetRecorder)
+	// SetTracer attaches an event tracer: every packet (self-sends
+	// included) gets a flow id, a flow-begin at injection on the
+	// sender's track, and a delivery instant on the receiver's track
+	// when the tail arrives. A nil tracer detaches (the default).
+	SetTracer(tr *tracev.Tracer)
 }
 
 var (
@@ -107,6 +116,7 @@ type Network struct {
 	inbox    []*sim.Chan
 	stats    Stats
 	rec      *obs.NetRecorder
+	tracer   *tracev.Tracer
 }
 
 // New builds a network of px x py nodes on kernel k.
@@ -140,6 +150,9 @@ func (n *Network) SetRecorder(rec *obs.NetRecorder) {
 	n.rec = rec
 	hookInboxes(n.inbox, rec)
 }
+
+// SetTracer attaches (or with nil detaches) an event tracer.
+func (n *Network) SetTracer(tr *tracev.Tracer) { n.tracer = tr }
 
 // hookInboxes points every inbox's OnDequeue at the recorder's
 // queue-depth histogram (or unhooks on a nil recorder).
@@ -179,6 +192,10 @@ func (n *Network) Send(p *sim.Process, from, to int, payload any, size int) {
 		size = 1
 	}
 	pkt := &Packet{From: from, To: to, Payload: payload, Size: size, SentAt: p.Now()}
+	if tr := n.tracer; tr != nil {
+		pkt.Flow = tr.NewFlow()
+		tr.FlowBegin(int32(from), int64(pkt.SentAt), pkt.Flow, int64(size))
+	}
 
 	// Sender busy copying the message onto the network.
 	p.Wait(n.params.ProcessTime)
@@ -230,6 +247,13 @@ func (n *Network) Send(p *sim.Process, from, to int, payload any, size int) {
 	}
 
 	inbox := n.inbox[to]
+	if tr := n.tracer; tr != nil {
+		n.kernel.At(arrive, func() {
+			tr.Instant(int32(to), int64(arrive), tracev.KindDeliver, int64(size))
+			inbox.Send(pkt)
+		})
+		return
+	}
 	n.kernel.At(arrive, func() { inbox.Send(pkt) })
 }
 

@@ -34,6 +34,7 @@ import (
 	"locusroute/internal/perf"
 	"locusroute/internal/route"
 	"locusroute/internal/sim"
+	"locusroute/internal/tracev"
 )
 
 // Strategy selects which update mechanisms run and how often. A zero
@@ -120,6 +121,16 @@ type Config struct {
 	// default) disables all collection; the run is byte-identical either
 	// way.
 	Obs *obs.MP
+	// Trace, when non-nil, records an event-level timeline of the run:
+	// spans for wire routing, packet sends/handling, blocking waits and
+	// barriers; flow arrows joining each packet's injection to its
+	// dequeue; and Account stamps tiling each node's simulated time.
+	// Consumers export it as Chrome trace-event JSON (tracev.WriteChrome)
+	// or extract the simulated-time critical path (tracev.Analyze). DES
+	// runtime only. A tracer is confined to one run — never share one
+	// across concurrent simulations. Nil (the default) disables tracing;
+	// the run is byte-identical either way.
+	Trace *tracev.Tracer
 	// StrictOwnership enables the strict region ownership ablation
 	// (Section 4.1): no replicated views, no update traffic — routing
 	// tasks are passed across region boundaries instead. DES runtime

@@ -38,6 +38,9 @@ func RunLive(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result,
 	if cfg.StrictOwnership {
 		return Result{}, fmt.Errorf("mp: strict ownership is a DES-only ablation")
 	}
+	if cfg.Trace != nil {
+		return Result{}, fmt.Errorf("mp: event tracing records simulated time; DES runtime only")
+	}
 	px, py := geom.SquarestFactors(cfg.Procs)
 	part, err := geom.NewPartition(circ.Grid, px, py)
 	if err != nil {

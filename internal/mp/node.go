@@ -7,6 +7,7 @@ import (
 	"locusroute/internal/msg"
 	"locusroute/internal/obs"
 	"locusroute/internal/sim"
+	"locusroute/internal/tracev"
 )
 
 // node is one simulated processor of the message passing router: the
@@ -42,6 +43,11 @@ type node struct {
 	// between the blocked and barrier categories.
 	clock     *obs.NodeClock
 	inBarrier bool
+
+	// tr is the event tracer (nil when tracing is off); track is this
+	// node's trace track id.
+	tr    *tracev.Tracer
+	track int32
 }
 
 func newNode(id int, r *runner) *node {
@@ -57,13 +63,24 @@ func newNode(id int, r *runner) *node {
 		proto: proto,
 		wires: r.asn.WiresOf(id),
 		clock: r.cfg.Obs.NodeClock(id),
+		tr:    r.cfg.Trace,
+		track: int32(id),
 	}
+}
+
+// account stamps the interval ending now to cat on the obs clock and, in
+// lockstep, on the trace — the invariant both consumers rely on.
+func (n *node) account(cat obs.TimeCategory) {
+	now := n.p.Now()
+	n.clock.Account(now, cat)
+	n.tr.Account(n.track, int64(now), traceCat(cat))
 }
 
 // run is the node's process body: Iterations rounds of routing all
 // assigned wires with a global barrier between rounds.
 func (n *node) run(p *sim.Process) {
 	n.p = p
+	p.Track = n.track
 	if n.r.cfg.DynamicWires {
 		n.runDynamic()
 		return
@@ -71,6 +88,7 @@ func (n *node) run(p *sim.Process) {
 	st := n.r.cfg.Strategy
 	ahead := n.r.cfg.RequestAhead
 	for iter := 0; iter < n.r.cfg.Router.Iterations; iter++ {
+		n.tr.Begin(n.track, int64(p.Now()), tracev.KindIteration, int64(iter))
 		// Prefill the receiver initiated lookahead window.
 		if st.ReqRmtData > 0 {
 			for k := 0; k < ahead && k < len(n.wires); k++ {
@@ -82,15 +100,18 @@ func (n *node) run(p *sim.Process) {
 			if st.ReqRmtData > 0 && i+ahead < len(n.wires) {
 				n.transmit(n.proto.NoteUpcoming(n.wires[i+ahead]))
 			}
-			if st.Blocking {
+			if st.Blocking && n.proto.Outstanding > 0 {
+				n.tr.Begin(n.track, int64(p.Now()), tracev.KindBlocked, int64(n.proto.Outstanding))
 				for n.proto.Outstanding > 0 {
 					n.recvOne()
 				}
+				n.tr.End(n.track, int64(p.Now()), tracev.KindBlocked, 0)
 			}
 			n.routeWire(wi, iter)
 			n.transmit(n.proto.AfterWire())
 		}
 		n.barrier(iter)
+		n.tr.End(n.track, int64(p.Now()), tracev.KindIteration, int64(iter))
 	}
 	n.r.finish[n.id] = p.Now()
 	n.r.routeTime += n.routeTime
@@ -103,6 +124,7 @@ func (n *node) run(p *sim.Process) {
 // which is exactly the latency problem the paper describes.
 func (n *node) runDynamic() {
 	for iter := 0; iter < n.r.cfg.Router.Iterations; iter++ {
+		n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindIteration, int64(iter))
 		for {
 			n.drain()
 			wi := n.fetchDynamicWire()
@@ -113,6 +135,7 @@ func (n *node) runDynamic() {
 			n.transmit(n.proto.AfterWire())
 		}
 		n.barrier(iter)
+		n.tr.End(n.track, int64(n.p.Now()), tracev.KindIteration, int64(iter))
 	}
 	n.r.finish[n.id] = n.p.Now()
 	n.r.routeTime += n.routeTime
@@ -126,8 +149,12 @@ func (n *node) fetchDynamicWire() int {
 		return n.r.takeWire()
 	}
 	n.send(0, &msg.Message{Kind: msg.KindReqWire})
-	for !n.granted {
-		n.recvOne()
+	if !n.granted {
+		n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindBlocked, 1)
+		for !n.granted {
+			n.recvOne()
+		}
+		n.tr.End(n.track, int64(n.p.Now()), tracev.KindBlocked, 0)
 	}
 	n.granted = false
 	if n.grant == msg.WireGrantDone {
@@ -141,6 +168,7 @@ func (n *node) fetchDynamicWire() int {
 // occupancy contribution is measured — at the virtual time the routing
 // computation completes.
 func (n *node) routeWire(wi, iter int) {
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindRouteWire, int64(wi))
 	perf := n.r.cfg.Perf
 	ripped := n.proto.RipUpWire(wi, iter)
 	n.waitRoute(perf.WriteTime(ripped))
@@ -149,20 +177,21 @@ func (n *node) routeWire(wi, iter int) {
 	n.r.lastCost[wi] = n.proto.CommitWire(wi, pw)
 	n.waitRoute(perf.WriteTime(pw.Path.Len()))
 	n.r.cells += int64(pw.CellsExamined)
+	n.tr.End(n.track, int64(n.p.Now()), tracev.KindRouteWire, int64(wi))
 }
 
 // waitRoute charges d as routing work.
 func (n *node) waitRoute(d sim.Time) {
 	n.routeTime += d
 	n.p.Wait(d)
-	n.clock.Account(n.p.Now(), obs.TimeCompute)
+	n.account(obs.TimeCompute)
 }
 
 // waitMsg charges d as update machinery work.
 func (n *node) waitMsg(d sim.Time) {
 	n.msgTime += d
 	n.p.Wait(d)
-	n.clock.Account(n.p.Now(), obs.TimePacket)
+	n.account(obs.TimePacket)
 }
 
 // transmit charges scan and assembly time and sends each outbound packet.
@@ -193,7 +222,7 @@ func (n *node) recvOne() {
 	if n.inBarrier {
 		cat = obs.TimeBarrier
 	}
-	n.clock.Account(n.p.Now(), cat)
+	n.account(cat)
 	n.handle(item.(*mesh.Packet))
 }
 
@@ -204,21 +233,25 @@ func (n *node) send(to int, m *msg.Message) {
 	if err != nil {
 		panic(fmt.Sprintf("mp: node %d encoding %v: %v", n.id, m.Kind, err))
 	}
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindSendPacket, int64(m.Kind))
 	n.waitMsg(n.r.cfg.Perf.CopyTime(len(buf)))
 	n.r.bytesByKind[m.Kind] += int64(len(buf))
 	n.r.packetsByKind[m.Kind]++
 	n.msgTime += n.r.cfg.Net.ProcessTime // the network copy inside Send
 	n.r.net.Send(n.p, n.id, to, buf, len(buf))
-	n.clock.Account(n.p.Now(), obs.TimePacket)
+	n.account(obs.TimePacket)
+	n.tr.End(n.track, int64(n.p.Now()), tracev.KindSendPacket, int64(m.Kind))
 }
 
 // handle dispatches one received packet: barrier kinds are the runtime's
 // own; everything else goes to the protocol, whose responses are sent
 // back out. Reception, disassembly and application costs are charged.
 func (n *node) handle(pkt *mesh.Packet) {
+	n.tr.FlowEnd(n.track, int64(n.p.Now()), pkt.Flow, int64(pkt.Size))
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindHandlePacket, int64(pkt.Size))
 	n.msgTime += n.r.cfg.Net.ProcessTime
 	n.r.net.ChargeReceive(n.p)
-	n.clock.Account(n.p.Now(), obs.TimePacket)
+	n.account(obs.TimePacket)
 	buf := pkt.Payload.([]byte)
 	n.waitMsg(n.r.cfg.Perf.CopyTime(len(buf)))
 	m, err := msg.Decode(buf)
@@ -249,6 +282,7 @@ func (n *node) handle(pkt *mesh.Packet) {
 		}
 		n.transmit(outs)
 	}
+	n.tr.End(n.track, int64(n.p.Now()), tracev.KindHandlePacket, int64(pkt.Size))
 }
 
 // barrier synchronises all nodes between iterations: everyone reports
@@ -256,7 +290,11 @@ func (n *node) handle(pkt *mesh.Packet) {
 // servicing requests so no processor deadlocks behind the barrier.
 func (n *node) barrier(iter int) {
 	n.inBarrier = true
-	defer func() { n.inBarrier = false }()
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindBarrier, int64(iter))
+	defer func() {
+		n.inBarrier = false
+		n.tr.End(n.track, int64(n.p.Now()), tracev.KindBarrier, int64(iter))
+	}()
 	if n.id == 0 {
 		for n.dones < n.r.cfg.Procs-1 {
 			n.recvOne()

@@ -3,6 +3,7 @@ package mp
 import (
 	"locusroute/internal/msg"
 	"locusroute/internal/obs"
+	"locusroute/internal/tracev"
 )
 
 // ObsRun renders a finished run into its observability document. The
@@ -32,6 +33,11 @@ func ObsRun(name, backend, circuitName string, cfg Config, res Result) obs.Run {
 	}
 	cfg.Obs.NetRecorder().Doc(net)
 	r.Network = net
+	if cfg.Trace != nil {
+		if cp, err := tracev.Analyze(cfg.Trace.Events()); err == nil {
+			r.CritPath = CritPathDoc(cp)
+		}
+	}
 	return r
 }
 

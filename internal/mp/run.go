@@ -96,6 +96,10 @@ func Run(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result, err
 	}
 	cfg.Obs.Prepare(cfg.Procs)
 	net.SetRecorder(cfg.Obs.NetRecorder())
+	if cfg.Trace != nil {
+		kernel.SetTracer(cfg.Trace)
+		net.SetTracer(cfg.Trace)
+	}
 	r := &runner{
 		cfg:           cfg,
 		circ:          circ,

@@ -10,6 +10,7 @@ import (
 	"locusroute/internal/obs"
 	"locusroute/internal/route"
 	"locusroute/internal/sim"
+	"locusroute/internal/tracev"
 )
 
 // Strict region ownership is the first cost array distribution the paper
@@ -49,6 +50,10 @@ type strictNode struct {
 	// clock and inBarrier: observability time breakdown, as in node.
 	clock     *obs.NodeClock
 	inBarrier bool
+
+	// tr and track: event tracing, as in node.
+	tr    *tracev.Tracer
+	track int32
 }
 
 func newStrictNode(id int, r *runner) *strictNode {
@@ -61,7 +66,17 @@ func newStrictNode(id int, r *runner) *strictNode {
 		scratch:  route.NewScratch(r.circ.Grid),
 		subPaths: make(map[int][]route.Path),
 		clock:    r.cfg.Obs.NodeClock(id),
+		tr:       r.cfg.Trace,
+		track:    int32(id),
 	}
+}
+
+// account stamps the interval ending now to cat on the obs clock and the
+// trace, as node.account does.
+func (n *strictNode) account(cat obs.TimeCategory) {
+	now := n.p.Now()
+	n.clock.Account(now, cat)
+	n.tr.Account(n.track, int64(now), traceCat(cat))
 }
 
 // packTask encodes a task Seq; Config.Validate has already capped strict
@@ -86,7 +101,9 @@ func strictRouterParams(base route.Params) route.Params {
 
 func (n *strictNode) run(p *sim.Process) {
 	n.p = p
+	p.Track = n.track
 	for iter := 0; iter < n.r.cfg.Router.Iterations; iter++ {
+		n.tr.Begin(n.track, int64(p.Now()), tracev.KindIteration, int64(iter))
 		if iter > 0 {
 			n.ripAll()
 		}
@@ -94,10 +111,15 @@ func (n *strictNode) run(p *sim.Process) {
 			n.drain()
 			n.launchWire(wi)
 		}
-		for n.outstanding > 0 {
-			n.recvOne()
+		if n.outstanding > 0 {
+			n.tr.Begin(n.track, int64(p.Now()), tracev.KindBlocked, int64(n.outstanding))
+			for n.outstanding > 0 {
+				n.recvOne()
+			}
+			n.tr.End(n.track, int64(p.Now()), tracev.KindBlocked, 0)
 		}
 		n.barrier(iter)
+		n.tr.End(n.track, int64(p.Now()), tracev.KindIteration, int64(iter))
 	}
 	n.r.finish[n.id] = p.Now()
 }
@@ -119,7 +141,7 @@ func (n *strictNode) ripAll() {
 		delete(n.subPaths, wi)
 	}
 	n.p.Wait(n.r.cfg.Perf.WriteTime(cells))
-	n.clock.Account(n.p.Now(), obs.TimeCompute)
+	n.account(obs.TimeCompute)
 }
 
 // launchWire decomposes a wire into two-pin segments and starts a task
@@ -152,9 +174,10 @@ func (n *strictNode) dispatch(cur, tgt geom.Point, wi, initiator int) {
 func (n *strictNode) processTask(cur, tgt geom.Point, wi, initiator int) {
 	clamped := clampInto(n.region, tgt)
 
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindRouteWire, int64(wi))
 	ev := n.scratch.RoutePair(route.ArrayView{A: n.arr}, cur, clamped, strictRouterParams(n.r.cfg.Router))
 	n.p.Wait(n.r.cfg.Perf.WireOverhead + n.r.cfg.Perf.EvalTime(ev.CellsExamined))
-	n.clock.Account(n.p.Now(), obs.TimeCompute)
+	n.account(obs.TimeCompute)
 	var trueCost int64
 	for _, c := range ev.Path.Cells {
 		trueCost += int64(n.r.truth.At(c.X, c.Y))
@@ -164,7 +187,8 @@ func (n *strictNode) processTask(cur, tgt geom.Point, wi, initiator int) {
 		n.r.truth.Add(c.X, c.Y, 1)
 	}
 	n.p.Wait(n.r.cfg.Perf.WriteTime(ev.Path.Len()))
-	n.clock.Account(n.p.Now(), obs.TimeCompute)
+	n.account(obs.TimeCompute)
+	n.tr.End(n.track, int64(n.p.Now()), tracev.KindRouteWire, int64(wi))
 	n.subPaths[wi] = append(n.subPaths[wi], ev.Path)
 	n.r.lastCost[wi] += trueCost
 	n.r.cells += int64(ev.CellsExamined)
@@ -236,7 +260,7 @@ func (n *strictNode) recvOne() {
 	if n.inBarrier {
 		cat = obs.TimeBarrier
 	}
-	n.clock.Account(n.p.Now(), cat)
+	n.account(cat)
 	n.handle(item.(*mesh.Packet))
 }
 
@@ -245,18 +269,22 @@ func (n *strictNode) send(to int, m *msg.Message) {
 	if err != nil {
 		panic(fmt.Sprintf("mp: strict node %d encoding %v: %v", n.id, m.Kind, err))
 	}
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindSendPacket, int64(m.Kind))
 	n.p.Wait(n.r.cfg.Perf.CopyTime(len(buf)))
 	n.r.bytesByKind[m.Kind] += int64(len(buf))
 	n.r.packetsByKind[m.Kind]++
 	n.r.net.Send(n.p, n.id, to, buf, len(buf))
-	n.clock.Account(n.p.Now(), obs.TimePacket)
+	n.account(obs.TimePacket)
+	n.tr.End(n.track, int64(n.p.Now()), tracev.KindSendPacket, int64(m.Kind))
 }
 
 func (n *strictNode) handle(pkt *mesh.Packet) {
+	n.tr.FlowEnd(n.track, int64(n.p.Now()), pkt.Flow, int64(pkt.Size))
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindHandlePacket, int64(pkt.Size))
 	n.r.net.ChargeReceive(n.p)
 	buf := pkt.Payload.([]byte)
 	n.p.Wait(n.r.cfg.Perf.CopyTime(len(buf)))
-	n.clock.Account(n.p.Now(), obs.TimePacket)
+	n.account(obs.TimePacket)
 	m, err := msg.Decode(buf)
 	if err != nil {
 		panic(fmt.Sprintf("mp: strict node %d decoding: %v", n.id, err))
@@ -276,13 +304,18 @@ func (n *strictNode) handle(pkt *mesh.Packet) {
 	default:
 		panic(fmt.Sprintf("mp: strict node %d: unexpected kind %v", n.id, m.Kind))
 	}
+	n.tr.End(n.track, int64(n.p.Now()), tracev.KindHandlePacket, int64(pkt.Size))
 }
 
 // barrier mirrors the Proto runtime's barrier; node 0 additionally zeros
 // the per-wire occupancy accumulators for the next iteration.
 func (n *strictNode) barrier(iter int) {
 	n.inBarrier = true
-	defer func() { n.inBarrier = false }()
+	n.tr.Begin(n.track, int64(n.p.Now()), tracev.KindBarrier, int64(iter))
+	defer func() {
+		n.inBarrier = false
+		n.tr.End(n.track, int64(n.p.Now()), tracev.KindBarrier, int64(iter))
+	}()
 	if n.id == 0 {
 		for n.dones < n.r.cfg.Procs-1 {
 			n.recvOne()

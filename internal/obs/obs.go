@@ -7,12 +7,17 @@
 // pays a single pointer test when observability is off and the paper
 // tables stay byte-identical.
 //
-// # Document schema (locusroute.obs/v1)
+// # Document schema (locusroute.obs/v2)
+//
+// v2 is additive over v1: it introduces the optional per-run
+// "crit_path" section (the simulated-time critical path extracted from
+// an event trace); every v1 field is unchanged, so v1 consumers can
+// read v2 documents by ignoring the new section.
 //
 // A Snapshot is one JSON object per command invocation:
 //
 //	{
-//	  "schema":  "locusroute.obs/v1",
+//	  "schema":  "locusroute.obs/v2",
 //	  "command": "paper -all",       // the invocation that produced it
 //	  "runs": [ ...one Run per routing execution... ]
 //	}
@@ -32,7 +37,8 @@
 //	  "messages": [{"kind": "SendLocData", "packets": P, "bytes": B}, ...],
 //	  "cache":   [...],          // SM: coherence bus traffic per line size
 //	  "trace":   {"reads": R, "writes": W, "refs": N},
-//	  "phases":  [{"name": "iteration 0", "wall_ns": W}, ...]  // live backends
+//	  "phases":  [{"name": "iteration 0", "wall_ns": W}, ...], // live backends
+//	  "crit_path": {...}         // MP DES with tracing: critical-path breakdown
 //	}
 //
 // The per-node breakdown (the paper's Section 5.1.3 lens) is exhaustive
@@ -54,7 +60,7 @@ import (
 )
 
 // SchemaVersion identifies the JSON document layout.
-const SchemaVersion = "locusroute.obs/v1"
+const SchemaVersion = "locusroute.obs/v2"
 
 // Quality is the (circuit height, occupancy factor) pair every backend
 // reports.
@@ -124,20 +130,56 @@ type PhaseDoc struct {
 	WallNs int64  `json:"wall_ns"`
 }
 
+// CritPathStep is one interval of a run's simulated-time critical path.
+type CritPathStep struct {
+	Node     int    `json:"node"`
+	Category string `json:"category"`
+	FromNs   int64  `json:"from_ns"`
+	ToNs     int64  `json:"to_ns"`
+	// Wire is the wire being routed during a compute step (-1 otherwise).
+	Wire int64 `json:"wire"`
+	// FromNode is the sender of the packet that ended a wait step (-1
+	// when the step is not a packet hop); Bytes is that packet's size.
+	FromNode int   `json:"from_node"`
+	Bytes    int64 `json:"bytes,omitempty"`
+}
+
+// CritPathDoc is the critical path extracted from a run's event trace
+// (schema v2). The six category sums partition TotalNs exactly, the same
+// way a NodeTimes entry partitions one node's life — but here the
+// nanoseconds are only those on the chain of dependent events that set
+// the run's simulated time.
+type CritPathDoc struct {
+	TotalNs    int64 `json:"total_ns"`
+	ComputeNs  int64 `json:"compute_ns"`
+	PacketNs   int64 `json:"packet_ns"`
+	BlockedNs  int64 `json:"blocked_ns"`
+	BarrierNs  int64 `json:"barrier_ns"`
+	NetworkNs  int64 `json:"network_ns"`
+	UntracedNs int64 `json:"untraced_ns"`
+	// Hops counts the cross-node jumps (waits ended by another node's
+	// packet); EndNode is the last-finishing node the walk started from.
+	Hops    int `json:"hops"`
+	EndNode int `json:"end_node"`
+	// Steps is the full chain in forward time order.
+	Steps []CritPathStep `json:"steps,omitempty"`
+}
+
 // Run is the observability document of one routing execution.
 type Run struct {
-	Name      string      `json:"name"`
-	Backend   string      `json:"backend"`
-	Circuit   string      `json:"circuit,omitempty"`
-	Procs     int         `json:"procs,omitempty"`
-	Quality   *Quality    `json:"quality,omitempty"`
-	SimTimeNs int64       `json:"sim_time_ns,omitempty"`
-	Nodes     []NodeTimes `json:"nodes,omitempty"`
-	Network   *NetworkDoc `json:"network,omitempty"`
-	Messages  []KindCount `json:"messages,omitempty"`
-	Cache     []CacheDoc  `json:"cache,omitempty"`
-	Trace     *TraceDoc   `json:"trace,omitempty"`
-	Phases    []PhaseDoc  `json:"phases,omitempty"`
+	Name      string       `json:"name"`
+	Backend   string       `json:"backend"`
+	Circuit   string       `json:"circuit,omitempty"`
+	Procs     int          `json:"procs,omitempty"`
+	Quality   *Quality     `json:"quality,omitempty"`
+	SimTimeNs int64        `json:"sim_time_ns,omitempty"`
+	Nodes     []NodeTimes  `json:"nodes,omitempty"`
+	Network   *NetworkDoc  `json:"network,omitempty"`
+	Messages  []KindCount  `json:"messages,omitempty"`
+	Cache     []CacheDoc   `json:"cache,omitempty"`
+	Trace     *TraceDoc    `json:"trace,omitempty"`
+	Phases    []PhaseDoc   `json:"phases,omitempty"`
+	CritPath  *CritPathDoc `json:"crit_path,omitempty"`
 }
 
 // Snapshot is the complete document of one command invocation.

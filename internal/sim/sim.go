@@ -29,7 +29,11 @@
 //     round trips per item that a wake-all loop costs.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"locusroute/internal/tracev"
+)
 
 // Time is simulated time in nanoseconds.
 type Time int64
@@ -132,6 +136,8 @@ type Kernel struct {
 	yield  chan struct{} // a running process signals it has blocked/finished
 	procs  []*Process
 	closed bool
+
+	tracer *tracev.Tracer // nil: tracing disabled
 }
 
 // NewKernel returns an empty simulation.
@@ -141,6 +147,14 @@ func NewKernel() *Kernel {
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetTracer attaches an event tracer (nil detaches). The kernel counts
+// event dispatches on it and channels record block/wake instants; a nil
+// tracer costs one pointer test per site.
+func (k *Kernel) SetTracer(tr *tracev.Tracer) { k.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (k *Kernel) Tracer() *tracev.Tracer { return k.tracer }
 
 // newEvent takes an event off the free list (or allocates) and stamps it.
 func (k *Kernel) newEvent(at Time, fn func(), proc *Process) *event {
@@ -218,7 +232,10 @@ type killed struct{}
 // Process is a simulated thread of control. Its methods must only be
 // called from within the process's own body function.
 type Process struct {
-	Name     string
+	Name string
+	// Track is the trace track the process's events land on; runtimes
+	// that trace set it to their node id. Defaults to tracev.TrackKernel.
+	Track    int32
 	kernel   *Kernel
 	resume   chan struct{}
 	dead     bool
@@ -229,7 +246,7 @@ type Process struct {
 // parked; it first runs when the kernel reaches its start event (time
 // Now). Spawn may be called before Run or from within a running process.
 func (k *Kernel) Spawn(name string, fn func(p *Process)) *Process {
-	p := &Process{Name: name, kernel: k, resume: make(chan struct{})}
+	p := &Process{Name: name, Track: tracev.TrackKernel, kernel: k, resume: make(chan struct{})}
 	k.procs = append(k.procs, p)
 	go func() {
 		defer func() {
@@ -273,6 +290,7 @@ func (k *Kernel) Run() Time {
 		if e == nil {
 			break
 		}
+		k.tracer.CountDispatch()
 		k.now = e.at
 		if p := e.proc; p != nil {
 			k.release(e)
@@ -376,8 +394,14 @@ func (c *Chan) Send(item any) {
 // re-checks and re-parks.
 func (c *Chan) Recv(p *Process) any {
 	for len(c.items) == 0 {
+		if tr := c.kernel.tracer; tr != nil {
+			tr.Instant(p.Track, int64(c.kernel.now), tracev.KindChanBlock, 0)
+		}
 		c.waiters = append(c.waiters, p)
 		p.park()
+		if tr := c.kernel.tracer; tr != nil {
+			tr.Instant(p.Track, int64(c.kernel.now), tracev.KindChanWake, int64(len(c.items)))
+		}
 	}
 	if c.OnDequeue != nil {
 		c.OnDequeue(len(c.items))

@@ -1,0 +1,166 @@
+package tracev
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ChromeOptions configures WriteChrome. The zero value is usable.
+type ChromeOptions struct {
+	// Process names the single trace process (e.g. "mp-des bnrE x16");
+	// empty defaults to "simulation".
+	Process string
+	// TrackName names a track for the thread list (e.g. "node 3"); nil
+	// or an empty result falls back to "node N" / "kernel".
+	TrackName func(track int32) string
+	// ArgName renders an event's Arg as a human label attached to the
+	// event's args (e.g. msg.Kind names for KindSendPacket). Nil or an
+	// empty result omits the label.
+	ArgName func(k Kind, arg int64) string
+}
+
+// chromeCat groups kinds into Perfetto filter categories.
+func chromeCat(k Kind) string {
+	switch k {
+	case KindRouteWire, KindIteration:
+		return "route"
+	case KindSendPacket, KindHandlePacket, KindPacketFlow, KindDeliver:
+		return "net"
+	case KindBlocked, KindBarrier, KindChanBlock, KindChanWake:
+		return "sync"
+	}
+	return "meta"
+}
+
+// argKey names the Arg field per kind in the exported args object.
+func argKey(k Kind) string {
+	switch k {
+	case KindRouteWire:
+		return "wire"
+	case KindSendPacket:
+		return "msg_kind"
+	case KindHandlePacket, KindPacketFlow, KindDeliver:
+		return "bytes"
+	case KindBlocked:
+		return "outstanding"
+	case KindBarrier, KindIteration:
+		return "iteration"
+	case KindChanWake:
+		return "queue_depth"
+	case KindAccount:
+		return "category"
+	}
+	return "arg"
+}
+
+// WriteChrome renders the retained events as a Chrome trace-event JSON
+// document (the format ui.perfetto.dev and chrome://tracing open): one
+// thread per track, B/E spans, thread-scoped instants, and s/f flow
+// arrows joining packet injection to packet dequeue. Timestamps are
+// simulated nanoseconds rendered as the format's microsecond doubles
+// with three decimals, so the document is byte-stable for a given
+// trace. Account stamps are exported as instants on their track; the
+// heavyweight consumers of those are Analyze and the obs document, but
+// keeping them in the export makes every analyzer input auditable in
+// the UI.
+func (t *Tracer) WriteChrome(w io.Writer, opts ChromeOptions) error {
+	bw := bufio.NewWriter(w)
+	events := t.Events()
+
+	process := opts.Process
+	if process == "" {
+		process = "simulation"
+	}
+
+	// Collect the tracks present, in first-appearance order of their
+	// ids, so thread metadata is stable.
+	present := map[int32]bool{}
+	var tracks []int32
+	for _, e := range events {
+		if !present[e.Track] {
+			present[e.Track] = true
+			tracks = append(tracks, e.Track)
+		}
+	}
+	for i := 1; i < len(tracks); i++ {
+		for j := i; j > 0 && tracks[j] < tracks[j-1]; j-- {
+			tracks[j], tracks[j-1] = tracks[j-1], tracks[j]
+		}
+	}
+	// The kernel track (-1) renders after every node track.
+	tid := func(track int32) int32 {
+		if track == TrackKernel {
+			maxTrack := int32(0)
+			if n := len(tracks); n > 0 {
+				maxTrack = tracks[n-1]
+			}
+			return maxTrack + 1
+		}
+		return track
+	}
+	name := func(track int32) string {
+		if opts.TrackName != nil {
+			if n := opts.TrackName(track); n != "" {
+				return n
+			}
+		}
+		if track == TrackKernel {
+			return "kernel"
+		}
+		return fmt.Sprintf("node %d", track)
+	}
+
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dispatches\":%d,\"droppedEvents\":%d},\"traceEvents\":[\n",
+		t.Dispatches(), t.Dropped())
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":%s}}", strconv.Quote(process))
+	for _, track := range tracks {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}",
+			tid(track), strconv.Quote(name(track)))
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+			tid(track), tid(track))
+	}
+
+	for _, e := range events {
+		ts := formatTS(e.At)
+		switch e.Type {
+		case TypeBegin, TypeInstant:
+			ph := "B"
+			scope := ""
+			if e.Type == TypeInstant {
+				ph = "i"
+				scope = ",\"s\":\"t\""
+			}
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":%s,\"ph\":%q,\"ts\":%s,\"pid\":0,\"tid\":%d%s,\"args\":{%q:%d",
+				strconv.Quote(e.Kind.String()), strconv.Quote(chromeCat(e.Kind)), ph, ts, tid(e.Track), scope, argKey(e.Kind), e.Arg)
+			if opts.ArgName != nil {
+				if label := opts.ArgName(e.Kind, e.Arg); label != "" {
+					fmt.Fprintf(bw, ",\"label\":%s", strconv.Quote(label))
+				}
+			}
+			fmt.Fprint(bw, "}}")
+		case TypeEnd:
+			fmt.Fprintf(bw, ",\n{\"ph\":\"E\",\"ts\":%s,\"pid\":0,\"tid\":%d}", ts, tid(e.Track))
+		case TypeFlowBegin:
+			fmt.Fprintf(bw, ",\n{\"name\":\"packet\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%d,\"ts\":%s,\"pid\":0,\"tid\":%d}",
+				e.Flow, ts, tid(e.Track))
+		case TypeFlowEnd:
+			fmt.Fprintf(bw, ",\n{\"name\":\"packet\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%s,\"pid\":0,\"tid\":%d}",
+				e.Flow, ts, tid(e.Track))
+		}
+	}
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// formatTS renders simulated nanoseconds as the Chrome format's
+// microsecond timestamp with exact nanosecond precision (three
+// decimals), avoiding floating-point drift entirely.
+func formatTS(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

@@ -1,0 +1,166 @@
+package tracev
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeDoc mirrors the JSON layout for decoding in tests.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		Dispatches    int64  `json:"dispatches"`
+		DroppedEvents uint64 `json:"droppedEvents"`
+	} `json:"otherData"`
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+func writeAndParse(t *testing.T, tr *Tracer, opts ChromeOptions) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome document is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestWriteChromeStructure(t *testing.T) {
+	tr := New(64)
+	tr.CountDispatch()
+	tr.Begin(0, 1000, KindRouteWire, 5)
+	tr.End(0, 3000, KindRouteWire, 5)
+	f := tr.NewFlow()
+	tr.FlowBegin(0, 3000, f, 16)
+	tr.Instant(1, 4000, KindDeliver, 16)
+	tr.FlowEnd(1, 4000, f, 16)
+	tr.Account(1, 4500, CatPacket)
+	tr.Instant(TrackKernel, 100, KindChanBlock, 0)
+
+	doc := writeAndParse(t, tr, ChromeOptions{Process: "test run"})
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData.Dispatches != 1 {
+		t.Errorf("dispatches = %d", doc.OtherData.Dispatches)
+	}
+
+	var begins, ends, flowS, flowF int
+	var procName string
+	kernelTid := -1.0
+	maxNodeTid := -1.0
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+			if e["bp"] != "e" {
+				t.Error("flow-end event missing bp:e (arrow would bind to enclosing slice start)")
+			}
+		case "M":
+			if e["name"] == "process_name" {
+				procName = e["args"].(map[string]any)["name"].(string)
+			}
+			if e["name"] == "thread_name" {
+				args := e["args"].(map[string]any)
+				tid := e["tid"].(float64)
+				if args["name"] == "kernel" {
+					kernelTid = tid
+				} else if tid > maxNodeTid {
+					maxNodeTid = tid
+				}
+			}
+		}
+	}
+	if begins != ends {
+		t.Errorf("unbalanced spans: %d B vs %d E", begins, ends)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("flow events: %d s, %d f", flowS, flowF)
+	}
+	if procName != "test run" {
+		t.Errorf("process name = %q", procName)
+	}
+	if kernelTid <= maxNodeTid {
+		t.Errorf("kernel tid %v does not sort after node tids (max %v)", kernelTid, maxNodeTid)
+	}
+}
+
+func TestWriteChromeArgAndTrackNames(t *testing.T) {
+	tr := New(16)
+	tr.Begin(2, 0, KindSendPacket, 3)
+	tr.End(2, 10, KindSendPacket, 3)
+	var buf bytes.Buffer
+	err := tr.WriteChrome(&buf, ChromeOptions{
+		TrackName: func(track int32) string { return "proc-2" },
+		ArgName: func(k Kind, arg int64) string {
+			if k == KindSendPacket {
+				return "ReqRmtData"
+			}
+			return ""
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"proc-2"`) {
+		t.Error("custom track name missing")
+	}
+	if !strings.Contains(out, `"label":"ReqRmtData"`) {
+		t.Error("arg label missing")
+	}
+	if !strings.Contains(out, `"msg_kind":3`) {
+		t.Error("per-kind arg key missing")
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(64)
+		tr.Begin(0, 1234567, KindRouteWire, 1)
+		tr.End(0, 2345678, KindRouteWire, 1)
+		tr.Account(0, 2345678, CatCompute)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChrome(&a, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChrome(&b, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same trace produced different documents")
+	}
+	// Timestamps are exact microsecond strings, never floats.
+	if !strings.Contains(a.String(), `"ts":1234.567`) {
+		t.Errorf("timestamp formatting drifted:\n%s", a.String())
+	}
+}
+
+func TestFormatTS(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0.000",
+		999:        "0.999",
+		1000:       "1.000",
+		1234567:    "1234.567",
+		-1500:      "-1.500",
+		1000000000: "1000000.000",
+	}
+	for ns, want := range cases {
+		if got := formatTS(ns); got != want {
+			t.Errorf("formatTS(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package tracev
+
+import "testing"
+
+// stamp builds the Account event the runtimes record.
+func stamp(track int32, at int64, cat Category) Event {
+	return Event{At: at, Arg: int64(cat), Track: track, Type: TypeInstant, Kind: KindAccount}
+}
+
+func sumByCat(p *CriticalPath) int64 {
+	var total int64
+	for _, ns := range p.ByCat {
+		total += ns
+	}
+	return total
+}
+
+func TestAnalyzeSingleTrack(t *testing.T) {
+	// One node: compute to 100, packet work to 130, compute to 200.
+	events := []Event{
+		stamp(0, 100, CatCompute),
+		stamp(0, 130, CatPacket),
+		stamp(0, 200, CatCompute),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalNs != 200 {
+		t.Fatalf("total = %d, want 200", p.TotalNs)
+	}
+	if p.ByCat[CatCompute] != 170 || p.ByCat[CatPacket] != 30 {
+		t.Fatalf("breakdown = %v", p.ByCat)
+	}
+	if sumByCat(p) != p.TotalNs {
+		t.Fatalf("categories sum to %d, want %d", sumByCat(p), p.TotalNs)
+	}
+	if p.Hops != 0 || p.EndTrack != 0 {
+		t.Fatalf("hops = %d endTrack = %d", p.Hops, p.EndTrack)
+	}
+}
+
+func TestAnalyzeJumpsToSenderAcrossFlow(t *testing.T) {
+	// Node 1 computes to 50, then blocks until 150 waiting for a packet
+	// node 0 injected at 60 (node 0 computed to 60). The path must be:
+	// node 0 compute [0,60] → wait on node 1 [60,150] → node 1 compute
+	// [150,200].
+	events := []Event{
+		stamp(1, 50, CatCompute),
+		stamp(0, 60, CatCompute),
+		{At: 60, Arg: 16, Flow: 7, Track: 0, Type: TypeFlowBegin, Kind: KindPacketFlow},
+		{At: 150, Arg: 16, Flow: 7, Track: 1, Type: TypeFlowEnd, Kind: KindPacketFlow},
+		stamp(1, 150, CatBlocked),
+		stamp(1, 200, CatCompute),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalNs != 200 {
+		t.Fatalf("total = %d", p.TotalNs)
+	}
+	if p.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", p.Hops)
+	}
+	// Blocked on path: 150-60 = 90; compute: 60 (node 0) + 50 (node 1) = 110.
+	if p.ByCat[CatBlocked] != 90 {
+		t.Fatalf("blocked = %d, want 90", p.ByCat[CatBlocked])
+	}
+	if p.ByCat[CatCompute] != 110 {
+		t.Fatalf("compute = %d, want 110", p.ByCat[CatCompute])
+	}
+	if sumByCat(p) != p.TotalNs {
+		t.Fatalf("categories sum to %d, want %d", sumByCat(p), p.TotalNs)
+	}
+	// First step must be node 0's compute, last node 1's compute.
+	if len(p.Steps) < 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if first := p.Steps[0]; first.Track != 0 || first.Cat != CatCompute {
+		t.Fatalf("first step = %+v", first)
+	}
+	if last := p.Steps[len(p.Steps)-1]; last.Track != 1 || last.Cat != CatCompute {
+		t.Fatalf("last step = %+v", last)
+	}
+	// The wait step names its causal sender.
+	var hop *Step
+	for i := range p.Steps {
+		if p.Steps[i].Flow != 0 {
+			hop = &p.Steps[i]
+		}
+	}
+	if hop == nil || hop.FromTrack != 0 || hop.Bytes != 16 {
+		t.Fatalf("hop step = %+v", hop)
+	}
+}
+
+func TestAnalyzeChargesPreWaitFlightToNetwork(t *testing.T) {
+	// The packet was injected at 20 while node 1 was still computing
+	// (until 100): flight [20,100] is network time on the path, the wait
+	// [100,150] is blocked time, and the walk lands on node 0 at 20.
+	events := []Event{
+		stamp(0, 20, CatCompute),
+		{At: 20, Arg: 8, Flow: 3, Track: 0, Type: TypeFlowBegin, Kind: KindPacketFlow},
+		stamp(1, 100, CatCompute),
+		{At: 150, Arg: 8, Flow: 3, Track: 1, Type: TypeFlowEnd, Kind: KindPacketFlow},
+		stamp(1, 150, CatBlocked),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalNs != 150 {
+		t.Fatalf("total = %d", p.TotalNs)
+	}
+	if p.ByCat[CatBlocked] != 50 {
+		t.Fatalf("blocked = %d, want 50", p.ByCat[CatBlocked])
+	}
+	if p.ByCat[CatNetwork] != 80 {
+		t.Fatalf("network = %d, want 80", p.ByCat[CatNetwork])
+	}
+	if p.ByCat[CatCompute] != 20 {
+		t.Fatalf("compute = %d, want 20", p.ByCat[CatCompute])
+	}
+	if sumByCat(p) != p.TotalNs {
+		t.Fatalf("categories sum to %d, want %d", sumByCat(p), p.TotalNs)
+	}
+}
+
+func TestAnalyzeUnresolvableWaitFallsBackSameTrack(t *testing.T) {
+	// A blocked span with no flow end (the ring dropped it): the wait is
+	// charged as blocked and the walk continues on the same track.
+	events := []Event{
+		stamp(0, 40, CatCompute),
+		stamp(0, 100, CatBlocked),
+		stamp(0, 120, CatCompute),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ByCat[CatBlocked] != 60 || p.ByCat[CatCompute] != 60 {
+		t.Fatalf("breakdown = %v", p.ByCat)
+	}
+	if p.Hops != 0 {
+		t.Fatalf("hops = %d", p.Hops)
+	}
+}
+
+func TestAnalyzeAttributesMissingPrefixToUntraced(t *testing.T) {
+	// The track's stamps start at 100 with nothing covering [0,100) on a
+	// *jump target* track. Simulate: node 1 blocked wait resolved by a
+	// flow from node 0, but node 0 has no stamps at the injection time.
+	events := []Event{
+		{At: 10, Arg: 4, Flow: 9, Track: 0, Type: TypeFlowBegin, Kind: KindPacketFlow},
+		{At: 80, Arg: 4, Flow: 9, Track: 1, Type: TypeFlowEnd, Kind: KindPacketFlow},
+		stamp(1, 80, CatBlocked),
+		stamp(1, 100, CatCompute),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ByCat[CatUntraced] != 10 {
+		t.Fatalf("untraced = %d, want 10 (node 0's life before the trace)", p.ByCat[CatUntraced])
+	}
+	if sumByCat(p) != p.TotalNs {
+		t.Fatalf("categories sum to %d, want %d", sumByCat(p), p.TotalNs)
+	}
+}
+
+func TestAnalyzeEmptyTraceFails(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("no error for an empty trace")
+	}
+	// Flows alone are not a timeline either.
+	events := []Event{
+		{At: 10, Flow: 1, Track: 0, Type: TypeFlowBegin, Kind: KindPacketFlow},
+	}
+	if _, err := Analyze(events); err == nil {
+		t.Fatal("no error for a trace without account stamps")
+	}
+}
+
+func TestAnalyzeTieBreaksTowardLowestTrack(t *testing.T) {
+	events := []Event{
+		stamp(2, 100, CatCompute),
+		stamp(0, 100, CatCompute),
+		stamp(1, 100, CatCompute),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EndTrack != 0 {
+		t.Fatalf("endTrack = %d, want 0 (deterministic tie-break)", p.EndTrack)
+	}
+}
+
+func TestAnalyzeMergesAdjacentSteps(t *testing.T) {
+	// Three consecutive compute tiles on one track collapse to one step.
+	events := []Event{
+		stamp(0, 10, CatCompute),
+		stamp(0, 20, CatCompute),
+		stamp(0, 30, CatCompute),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 1 {
+		t.Fatalf("steps = %d, want 1 (merge broken)", len(p.Steps))
+	}
+	if s := p.Steps[0]; s.FromNs != 0 || s.ToNs != 30 {
+		t.Fatalf("merged step = %+v", s)
+	}
+}
+
+func TestAnalyzeWireAnnotation(t *testing.T) {
+	events := []Event{
+		{At: 0, Arg: 42, Track: 0, Type: TypeBegin, Kind: KindRouteWire},
+		stamp(0, 50, CatCompute),
+		{At: 50, Arg: 42, Track: 0, Type: TypeEnd, Kind: KindRouteWire},
+		stamp(0, 60, CatPacket),
+	}
+	p, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computeStep *Step
+	for i := range p.Steps {
+		if p.Steps[i].Cat == CatCompute {
+			computeStep = &p.Steps[i]
+		}
+	}
+	if computeStep == nil || computeStep.Wire != 42 {
+		t.Fatalf("compute step = %+v, want wire 42", computeStep)
+	}
+}

@@ -1,0 +1,138 @@
+package tracev
+
+import (
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Begin(0, 1, KindRouteWire, 7)
+	tr.End(0, 2, KindRouteWire, 7)
+	tr.Instant(0, 3, KindDeliver, 9)
+	tr.Account(0, 4, CatCompute)
+	tr.CountDispatch()
+	if f := tr.NewFlow(); f != 0 {
+		t.Fatalf("nil tracer allocated flow %d", f)
+	}
+	tr.FlowBegin(0, 5, 1, 0)
+	tr.FlowEnd(0, 6, 1, 0)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Dispatches() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer retained state")
+	}
+}
+
+func TestZeroFlowIsNotRecorded(t *testing.T) {
+	tr := New(8)
+	tr.FlowBegin(0, 1, 0, 0)
+	tr.FlowEnd(0, 2, 0, 0)
+	if tr.Len() != 0 {
+		t.Fatalf("flow id 0 recorded %d events", tr.Len())
+	}
+}
+
+func TestFlowIDsStartAtOne(t *testing.T) {
+	tr := New(8)
+	if f := tr.NewFlow(); f != 1 {
+		t.Fatalf("first flow id = %d, want 1", f)
+	}
+	if f := tr.NewFlow(); f != 2 {
+		t.Fatalf("second flow id = %d, want 2", f)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(4)
+	for i := int64(1); i <= 6; i++ {
+		tr.Instant(0, i, KindDeliver, i)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("retained %d events, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped %d events, want 2", tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, want := range []int64{3, 4, 5, 6} {
+		if ev[i].At != want {
+			t.Fatalf("event %d at %d, want %d (oldest-first unwrap broken)", i, ev[i].At, want)
+		}
+	}
+}
+
+func TestEventsSortedWithoutWrap(t *testing.T) {
+	tr := New(16)
+	for i := int64(1); i <= 5; i++ {
+		tr.Instant(0, i, KindDeliver, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestDispatchCounterDoesNotRecordEvents(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.CountDispatch()
+	}
+	if tr.Dispatches() != 100 {
+		t.Fatalf("dispatches = %d", tr.Dispatches())
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("dispatch counting recorded %d events", tr.Len())
+	}
+}
+
+func TestKindAndCategoryNamesAreStable(t *testing.T) {
+	// The trace format's vocabulary: renaming is fine, renumbering is not.
+	kinds := map[Kind]string{
+		KindRouteWire: "route wire", KindSendPacket: "send",
+		KindHandlePacket: "handle", KindBlocked: "blocked",
+		KindBarrier: "barrier", KindPacketFlow: "packet",
+		KindDeliver: "deliver", KindChanBlock: "chan block",
+		KindChanWake: "chan wake", KindAccount: "account",
+		KindIteration: "iteration",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if KindRouteWire != 1 || KindAccount != 10 {
+		t.Error("kind integer values changed; written traces are no longer decodable")
+	}
+	cats := map[Category]string{
+		CatCompute: "compute", CatPacket: "packet", CatBlocked: "blocked",
+		CatBarrier: "barrier", CatNetwork: "network", CatUntraced: "untraced",
+	}
+	for c, want := range cats {
+		if c.String() != want {
+			t.Errorf("category %d = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func BenchmarkRecordInstant(b *testing.B) {
+	tr := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(3, int64(i), KindAccount, int64(CatCompute))
+	}
+}
+
+func BenchmarkNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(3, int64(i), KindAccount, int64(CatCompute))
+		tr.CountDispatch()
+	}
+}
