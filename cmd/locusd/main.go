@@ -1,0 +1,147 @@
+// Command locusd serves route-request traffic over HTTP against
+// preloaded circuits: a long-running daemon wrapping the pkg/locusroute
+// backends behind internal/locusd's sharded batch-serving layer.
+//
+// Usage:
+//
+//	locusd [-addr :8347] [-bench bnrE|MDC|both] [-seed 1] [-circuit file]
+//	       [-backend sequential|sm-live|sm-traced|mp-des|mp-live]
+//	       [-procs 16] [-shards 4] [-batch-window 2ms] [-max-batch 64]
+//	       [-max-in-flight 256] [-deadline 5s] [-par N]
+//
+// On startup each circuit is routed once through the selected backend;
+// the resulting cost array seeds the serving replicas. Endpoints:
+//
+//	POST /route       {"circuit","pins":[[x,y],...],"commit","deadline_ms"}
+//	GET  /circuits    served circuits and their baseline quality
+//	GET  /healthz     200 ok / 503 draining
+//	GET  /metrics     Prometheus text exposition
+//	GET  /debug/vars  counters and histograms as JSON
+//
+// SIGINT/SIGTERM begins a graceful drain: /healthz flips to 503 (so load
+// balancers stop sending), new routes are refused, in-flight requests
+// complete, and the process exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/cli"
+	"locusroute/internal/locusd"
+	"locusroute/pkg/locusroute"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("locusd: ")
+	common := cli.New("locusd")
+	common.AddPar(flag.CommandLine, "bounds concurrent batch evaluations")
+	common.AddCircuitFile(flag.CommandLine)
+	var (
+		addr        = flag.String("addr", ":8347", "listen address")
+		bench       = flag.String("bench", "both", "builtin circuits to serve: bnrE, MDC or both")
+		seed        = flag.Int64("seed", 1, "benchmark generator seed")
+		backendKind = flag.String("backend", string(locusroute.Sequential),
+			fmt.Sprintf("baseline routing backend: one of %v", locusroute.Kinds()))
+		procs       = flag.Int("procs", 16, "processors for the baseline backend")
+		shards      = flag.Int("shards", 4, "serving replicas per circuit")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long a shard waits to grow a batch")
+		maxBatch    = flag.Int("max-batch", 64, "max wires per batch")
+		maxInFlight = flag.Int("max-in-flight", 256, "admitted requests before shedding 429s")
+		deadline    = flag.Duration("deadline", 5*time.Second, "default per-request deadline")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown bound for completing in-flight requests")
+	)
+	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	circuits, err := loadCircuits(common, *bench, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := locusd.Config{
+		Backend:         locusroute.Kind(*backendKind),
+		Procs:           *procs,
+		Shards:          *shards,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		MaxInFlight:     *maxInFlight,
+		DefaultDeadline: *deadline,
+		Pool:            common.Pool(),
+	}
+	log.Printf("routing %d circuit(s) through the %s backend...", len(circuits), *backendKind)
+	srv, err := locusd.New(cfg, circuits...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (%d shards/circuit, window %v, gate %d)",
+		*addr, *shards, *batchWindow, *maxInFlight)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining...", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Drain: refuse new work, let in-flight requests finish (bounded by
+	// the grace period), then stop the shard loops and exit.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("drained cleanly")
+}
+
+// loadCircuits builds the serving set: the -circuit file when given,
+// else the selected builtin benchmark(s).
+func loadCircuits(common *cli.Common, bench string, seed int64) ([]*circuit.Circuit, error) {
+	if common.CircuitFile != "" {
+		c, err := common.LoadCircuit()
+		if err != nil {
+			return nil, err
+		}
+		return []*circuit.Circuit{c}, nil
+	}
+	var gens []func(int64) circuit.GenParams
+	switch bench {
+	case "bnrE":
+		gens = []func(int64) circuit.GenParams{circuit.BnrELike}
+	case "MDC":
+		gens = []func(int64) circuit.GenParams{circuit.MDCLike}
+	case "both":
+		gens = []func(int64) circuit.GenParams{circuit.BnrELike, circuit.MDCLike}
+	default:
+		return nil, errors.New(`-bench must be bnrE, MDC or both`)
+	}
+	var out []*circuit.Circuit
+	for _, gen := range gens {
+		c, err := circuit.Generate(gen(seed))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

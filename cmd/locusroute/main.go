@@ -8,111 +8,89 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"strings"
 
-	"locusroute/internal/circuit"
-	"locusroute/internal/obs"
+	"locusroute/internal/cli"
 	"locusroute/internal/report"
 	"locusroute/internal/route"
-	"locusroute/internal/sm"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("locusroute: ")
+	common := cli.New("locusroute")
+	common.AddObs(flag.CommandLine)
+	common.AddBench(flag.CommandLine)
+	common.AddCircuitFile(flag.CommandLine)
 	var (
-		circuitFile = flag.String("circuit", "", "circuit file to route (text format)")
-		bench       = flag.String("bench", "bnrE", "builtin benchmark when -circuit is empty: bnrE or MDC")
-		seed        = flag.Int64("seed", 1, "seed for the builtin benchmark generator")
-		procs       = flag.Int("procs", 1, "processes for -mode live")
-		iters       = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
-		mode        = flag.String("mode", "seq", "seq (sequential reference) or live (goroutine shared memory)")
-		heatmap     = flag.Bool("heatmap", false, "render the final cost array as ASCII art (seq mode)")
-		showReport  = flag.Bool("report", false, "print the per-channel congestion analysis (seq mode)")
-		jsonPath    = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
-		profile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		procs      = flag.Int("procs", 1, "processes for -mode live")
+		iters      = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
+		mode       = flag.String("mode", "seq", "seq (sequential reference) or live (goroutine shared memory)")
+		heatmap    = flag.Bool("heatmap", false, "render the final cost array as ASCII art")
+		showReport = flag.Bool("report", false, "print the per-channel congestion analysis")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	stopProfile, err := obs.StartCPUProfile(*profile)
+	stopProfile, err := common.StartProfile()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProfile()
 
-	c, err := loadCircuit(*circuitFile, *bench, *seed)
+	c, err := common.LoadCircuit()
 	if err != nil {
 		log.Fatal(err)
 	}
-	var col *obs.Collector
-	if *jsonPath != "" {
-		col = obs.NewCollector()
+	col := common.Collector()
+
+	var backend locusroute.Backend
+	switch *mode {
+	case "seq":
+		backend, err = locusroute.NewSequential(
+			locusroute.WithIterations(*iters),
+			locusroute.WithObserver(col))
+	case "live":
+		backend, err = locusroute.NewSharedMemory(
+			locusroute.WithProcs(*procs),
+			locusroute.WithIterations(*iters),
+			locusroute.WithObserver(col))
+	default:
+		log.Fatalf("unknown mode %q", *mode)
 	}
-	params := route.DefaultParams()
-	params.Iterations = *iters
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("circuit %s: %d wires, %d channels x %d grids\n",
 		c.Name, len(c.Wires), c.Grid.Channels, c.Grid.Grids)
 
+	res, err := backend.Route(context.Background(), locusroute.Request{Circuit: c})
+	if err != nil {
+		log.Fatal(err)
+	}
 	switch *mode {
 	case "seq":
-		res, arr := route.Sequential(c, params)
 		fmt.Printf("sequential: circuit height %d, occupancy %d (%d wire routings, %d cells examined)\n",
 			res.CircuitHeight, res.Occupancy, res.WiresRouted, res.CellsExamined)
-		if *heatmap {
-			fmt.Printf("\ncost array congestion (rows = channels):\n%s", arr.Heatmap(100))
-		}
-		if *showReport {
-			fmt.Printf("\n%s", report.Analyze(arr, 10))
-		}
-		col.Append(obs.Run{
-			Name: c.Name, Backend: "sequential", Circuit: c.Name, Procs: 1,
-			Quality: &obs.Quality{CircuitHeight: res.CircuitHeight, Occupancy: res.Occupancy},
-		})
 	case "live":
-		cfg := sm.DefaultConfig()
-		cfg.Procs = *procs
-		cfg.Router = params
-		if col.Enabled() {
-			cfg.Obs = obs.NewSM()
-		}
-		res, err := sm.RunLive(c, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("shared memory (%d goroutines): circuit height %d, occupancy %d\n",
 			*procs, res.CircuitHeight, res.Occupancy)
-		col.Append(sm.ObsRun(c.Name, "sm-live", c.Name, cfg, res))
-	default:
-		log.Fatalf("unknown mode %q", *mode)
+	}
+	if *heatmap {
+		fmt.Printf("\ncost array congestion (rows = channels):\n%s", res.Final.Heatmap(100))
+	}
+	if *showReport {
+		fmt.Printf("\n%s", report.Analyze(res.Final, 10))
 	}
 
-	if *jsonPath != "" {
-		command := strings.Join(append([]string{"locusroute"}, os.Args[1:]...), " ")
-		if err := col.Snapshot(command).WriteFile(*jsonPath); err != nil {
-			log.Fatal(err)
-		}
+	if err := common.WriteSnapshot(col); err != nil {
+		log.Fatal(err)
 	}
-}
-
-func loadCircuit(file, bench string, seed int64) (*circuit.Circuit, error) {
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return circuit.Read(f)
-	}
-	switch bench {
-	case "bnrE":
-		return circuit.Generate(circuit.BnrELike(seed))
-	case "MDC":
-		return circuit.Generate(circuit.MDCLike(seed))
-	}
-	return nil, fmt.Errorf("unknown benchmark %q (want bnrE or MDC)", bench)
 }

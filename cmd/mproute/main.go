@@ -23,30 +23,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
-	"strings"
 
 	"locusroute/internal/assign"
-	"locusroute/internal/circuit"
+	"locusroute/internal/cli"
 	"locusroute/internal/geom"
 	"locusroute/internal/mp"
 	"locusroute/internal/msg"
-	"locusroute/internal/obs"
-	"locusroute/internal/par"
 	"locusroute/internal/route"
 	"locusroute/internal/tracev"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mproute: ")
+	common := cli.New("mproute")
+	common.AddPar(flag.CommandLine, "a single mproute invocation is one simulation, so the flag does not change the run")
+	common.AddObs(flag.CommandLine)
+	common.AddBench(flag.CommandLine)
 	var (
-		bench     = flag.String("bench", "bnrE", "builtin benchmark: bnrE or MDC")
-		seed      = flag.Int64("seed", 1, "benchmark generator seed")
 		procs     = flag.Int("procs", 16, "number of simulated processors")
 		iters     = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
 		sld       = flag.Int("sld", 0, "wires between SendLocData broadcasts (0 = off)")
@@ -60,49 +61,29 @@ func main() {
 		dynamic   = flag.Bool("dynamic", false, "dynamic wire assignment over the network (ablation)")
 		strict    = flag.Bool("strict", false, "strict region ownership, no replicated views (ablation)")
 		live      = flag.Bool("live", false, "run on real goroutines and channels instead of the DES")
-		parN      = flag.Int("par", 0, "accepted for interface uniformity; a single run has nothing to fan out")
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (DES only)")
-		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
-		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	stopProfile, err := obs.StartCPUProfile(*profile)
+	stopProfile, err := common.StartProfile()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProfile()
 
-	var c *circuit.Circuit
-	switch *bench {
-	case "bnrE":
-		c, err = circuit.Generate(circuit.BnrELike(*seed))
-	case "MDC":
-		c, err = circuit.Generate(circuit.MDCLike(*seed))
-	default:
-		log.Fatalf("unknown benchmark %q", *bench)
-	}
+	c, err := common.LoadCircuit()
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := common.Collector()
 
-	px, py := geom.SquarestFactors(*procs)
-	part, err := geom.NewPartition(c.Grid, px, py)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var asn *assign.Assignment
-	switch *asnMethod {
-	case "rr":
-		asn = assign.AssignRoundRobin(c, part)
-	case "threshold":
-		th := *threshold
-		if th < 0 {
-			th = assign.ThresholdInfinity
-		}
-		asn = assign.AssignThreshold(c, part, th)
-	default:
-		log.Fatalf("unknown assignment %q", *asnMethod)
+	opts := []locusroute.Option{
+		locusroute.WithProcs(*procs),
+		locusroute.WithIterations(*iters),
+		locusroute.WithObserver(col),
 	}
 
 	st := mp.Strategy{
@@ -113,104 +94,140 @@ func main() {
 		// Default to the paper's standard sender initiated schedule.
 		st = mp.SenderInitiated(2, 10)
 	}
-	cfg := mp.DefaultConfig(st)
-	cfg.Procs = *procs
-	cfg.Router.Iterations = *iters
-	cfg.DynamicWires = *dynamic
-	cfg.StrictOwnership = *strict
+	if !*strict {
+		opts = append(opts, locusroute.WithStrategy(st))
+	}
+
+	switch *asnMethod {
+	case "rr":
+		opts = append(opts, locusroute.WithRoundRobin())
+	case "threshold":
+		opts = append(opts, locusroute.WithThreshold(*threshold))
+	default:
+		log.Fatalf("unknown assignment %q", *asnMethod)
+	}
 	switch *packets {
 	case "bbox":
-		cfg.Packets = mp.StructureBbox
+		opts = append(opts, locusroute.WithPackets(locusroute.PacketsBbox))
 	case "wire":
-		cfg.Packets = mp.StructureWireBased
+		opts = append(opts, locusroute.WithPackets(locusroute.PacketsWireBased))
 	case "region":
-		cfg.Packets = mp.StructureWholeRegion
+		opts = append(opts, locusroute.WithPackets(locusroute.PacketsWholeRegion))
 	default:
 		log.Fatalf("unknown packet structure %q", *packets)
 	}
+	if *dynamic {
+		opts = append(opts, locusroute.WithDynamicWires())
+	}
 	if *strict {
-		// Strict ownership requires the pure-locality assignment.
-		asn = assign.AssignThreshold(c, part, assign.ThresholdInfinity)
+		// Strict ownership forces the pure-locality assignment.
+		opts = append(opts, locusroute.WithStrictOwnership())
 	}
 
-	run, backend := mp.Run, "mp-des"
-	if *live {
-		run, backend = mp.RunLive, "mp-live"
-	}
+	var tracer *tracev.Tracer
 	if *traceOut != "" {
 		if *live {
 			log.Fatal("-trace records simulated time; it cannot be combined with -live")
 		}
-		cfg.Trace = tracev.New(0)
+		tracer = tracev.New(0)
+		opts = append(opts, locusroute.WithTracer(tracer))
 	}
-	if *jsonPath != "" {
-		cfg.Obs = obs.NewMP(cfg.Procs)
+
+	newBackend := locusroute.NewMessagePassing
+	if *live {
+		newBackend = locusroute.NewLiveMessagePassing
 	}
-	var res mp.Result
-	par.New(*parN).Run(func() { res, err = run(c, asn, cfg) })
+	backend, err := newBackend(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *jsonPath != "" {
-		col := obs.NewCollector()
-		col.Append(mp.ObsRun(*bench, backend, c.Name, cfg, res))
-		command := strings.Join(append([]string{"mproute"}, os.Args[1:]...), " ")
-		if err := col.Snapshot(command).WriteFile(*jsonPath); err != nil {
-			log.Fatal(err)
-		}
+	var res locusroute.Result
+	common.Pool().Run(func() {
+		res, err = backend.Route(context.Background(), locusroute.Request{Circuit: c, Name: common.Bench})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpRes := res.MP
+
+	if err := common.WriteSnapshot(col); err != nil {
+		log.Fatal(err)
 	}
 
+	px, py := geom.SquarestFactors(*procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		log.Fatal(err)
+	}
+	asn := routingAssignment(c, part, *asnMethod, *threshold, *strict)
 	fmt.Printf("circuit %s on %d processors (%dx%d mesh), strategy %v\n",
 		c.Name, *procs, px, py, st)
 	fmt.Printf("locality measure: %.2f hops, load imbalance %.2fx\n",
 		assign.LocalityMeasure(c, part, asn), asn.Imbalance())
 	fmt.Printf("circuit height:   %d\n", res.CircuitHeight)
 	fmt.Printf("occupancy factor: %d\n", res.Occupancy)
-	fmt.Printf("execution time:   %v\n", res.Time)
+	fmt.Printf("execution time:   %v\n", mpRes.Time)
 	fmt.Printf("update traffic:   %.3f MBytes (%d packets, contention delay %v)\n",
-		res.MBytes(), res.Net.Packets, res.Net.ContentionDelay)
+		mpRes.MBytes(), mpRes.Net.Packets, mpRes.Net.ContentionDelay)
 	fmt.Printf("busy time split:  %.0f%% routing, %.0f%% update machinery\n",
-		(1-res.MessageFraction())*100, res.MessageFraction()*100)
+		(1-mpRes.MessageFraction())*100, mpRes.MessageFraction()*100)
 
-	kinds := make([]msg.Kind, 0, len(res.BytesByKind))
-	for k := range res.BytesByKind {
+	kinds := make([]msg.Kind, 0, len(mpRes.BytesByKind))
+	for k := range mpRes.BytesByKind {
 		kinds = append(kinds, k)
 	}
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	for _, k := range kinds {
 		fmt.Printf("  %-12s %8d bytes in %d packets\n",
-			k, res.BytesByKind[k], res.PacketsByKind[k])
+			k, mpRes.BytesByKind[k], mpRes.PacketsByKind[k])
 	}
 
 	if *traceOut != "" {
-		writeTrace(*traceOut, cfg, c.Name, *procs)
+		writeTrace(*traceOut, tracer, c.Name, *procs)
 	}
+}
+
+// routingAssignment rebuilds the assignment the backend used, for the
+// locality and imbalance report lines (the facade constructs its own
+// copy internally from the same inputs).
+func routingAssignment(c *locusroute.Circuit, part geom.Partition, method string, threshold int, strict bool) *assign.Assignment {
+	if strict {
+		return assign.AssignThreshold(c, part, assign.ThresholdInfinity)
+	}
+	if method == "rr" {
+		return assign.AssignRoundRobin(c, part)
+	}
+	th := threshold
+	if th < 0 {
+		th = assign.ThresholdInfinity
+	}
+	return assign.AssignThreshold(c, part, th)
 }
 
 // writeTrace exports the run's event timeline as a Chrome trace-event
 // document and prints its critical path: the chain of dependent events
 // that sets the simulated time, with each wait resolved to the packet
 // (and sender) that ended it.
-func writeTrace(path string, cfg mp.Config, circuitName string, procs int) {
+func writeTrace(path string, tracer *tracev.Tracer, circuitName string, procs int) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = cfg.Trace.WriteChrome(f, mp.ChromeOptions(circuitName, procs))
+	err = tracer.WriteChrome(f, mp.ChromeOptions(circuitName, procs))
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	cp, err := tracev.Analyze(cfg.Trace.Events())
+	cp, err := tracev.Analyze(tracer.Events())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("trace:            wrote %s (open at https://ui.perfetto.dev)\n", path)
-	if dropped := cfg.Trace.Dropped(); dropped > 0 {
+	if dropped := tracer.Dropped(); dropped > 0 {
 		fmt.Printf("trace:            ring overflowed, oldest %d events dropped (early time reads as untraced)\n", dropped)
 	}
 	fmt.Printf("critical path:    %.3fs ending on node %d, %d packet hops, %d steps\n",

@@ -25,37 +25,38 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
+	"locusroute/internal/cli"
 	"locusroute/internal/experiments"
-	"locusroute/internal/obs"
-	"locusroute/internal/par"
 	"locusroute/internal/tracev"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper: ")
+	common := cli.New("paper")
+	common.AddPar(flag.CommandLine, "output is identical at every value")
+	common.AddObs(flag.CommandLine)
 	var (
 		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network, ordering, topology, robustness, critpath")
 		all      = flag.Bool("all", false, "regenerate every table")
 		procs    = flag.Int("procs", 16, "processor count for tables that do not sweep it")
 		iters    = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
-		parN     = flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at every value")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the standard schedule to this file (requires -par 1)")
-		jsonPath = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
-		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	if *traceOut != "" && *parN != 1 {
+	if *traceOut != "" && common.Par != 1 {
 		// An event trace captures a single run's timeline; refusing the
 		// parallel pool outright is what guarantees the file can never
 		// interleave concurrent runs.
 		log.Fatal("-trace requires -par 1 (a trace file records one run's event timeline)")
 	}
 
-	stopProfile, err := obs.StartCPUProfile(*profile)
+	stopProfile, err := common.StartProfile()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,10 +65,8 @@ func main() {
 	s := experiments.DefaultSetup()
 	s.Procs = *procs
 	s.Iterations = *iters
-	s.Pool = par.New(*parN)
-	if *jsonPath != "" {
-		s.Obs = obs.NewCollector()
-	}
+	s.Pool = common.Pool()
+	s.Obs = common.Collector()
 	bnrE := experiments.BnrE()
 	mdc := experiments.MDC()
 
@@ -110,10 +109,7 @@ func main() {
 			cp.Seconds(tracev.CatNetwork))
 	}
 
-	if *jsonPath != "" {
-		command := strings.Join(append([]string{"paper"}, os.Args[1:]...), " ")
-		if err := s.Obs.Snapshot(command).WriteFile(*jsonPath); err != nil {
-			log.Fatal(err)
-		}
+	if err := common.WriteSnapshot(s.Obs); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,23 +22,24 @@ import (
 	"strconv"
 	"strings"
 
-	"locusroute/internal/assign"
 	"locusroute/internal/cache"
-	"locusroute/internal/circuit"
-	"locusroute/internal/geom"
+	"locusroute/internal/cli"
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
 	"locusroute/internal/trace"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smtrace: ")
+	common := cli.New("smtrace")
+	common.AddPar(flag.CommandLine, "bounds concurrent cache replays; output is identical at every value")
+	common.AddObs(flag.CommandLine)
+	common.AddBench(flag.CommandLine)
 	var (
-		bench     = flag.String("bench", "bnrE", "builtin benchmark: bnrE or MDC")
-		seed      = flag.Int64("seed", 1, "benchmark generator seed")
 		procs     = flag.Int("procs", 16, "number of logical processes")
 		iters     = flag.Int("iters", route.DefaultParams().Iterations, "routing iterations")
 		lines     = flag.String("lines", "4,8,16,32", "comma-separated cache line sizes (bytes)")
@@ -46,74 +48,61 @@ func main() {
 		dump      = flag.String("dump", "", "write the shared reference trace to this file and exit")
 		replay    = flag.String("replay", "", "skip tracing; replay this trace file instead")
 		capLines  = flag.Int("cache-lines", 0, "finite cache capacity in lines (0 = infinite, the paper's assumption)")
-		parN      = flag.Int("par", 0, "concurrent cache replays (0 = GOMAXPROCS); output is identical at every value")
-		jsonPath  = flag.String("json", "", `write an observability JSON document to this file ("-" = stdout)`)
-		profile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	stopProfile, err := obs.StartCPUProfile(*profile)
+	stopProfile, err := common.StartProfile()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProfile()
 
-	pool := par.New(*parN)
+	pool := common.Pool()
 
 	if *replay != "" {
-		replayFile(pool, *replay, *lines, *capLines, *jsonPath)
+		replayFile(common, pool, *replay, *lines, *capLines)
 		return
 	}
 
-	var c *circuit.Circuit
-	switch *bench {
-	case "bnrE":
-		c, err = circuit.Generate(circuit.BnrELike(*seed))
-	case "MDC":
-		c, err = circuit.Generate(circuit.MDCLike(*seed))
-	default:
-		log.Fatalf("unknown benchmark %q", *bench)
-	}
+	c, err := common.LoadCircuit()
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := common.Collector()
 
-	cfg := sm.DefaultConfig()
-	cfg.Procs = *procs
-	cfg.Router.Iterations = *iters
+	opts := []locusroute.Option{
+		locusroute.WithProcs(*procs),
+		locusroute.WithIterations(*iters),
+		locusroute.WithObserver(col),
+	}
 	switch *asnMethod {
 	case "dynamic":
-		cfg.Order = sm.Dynamic
-	case "rr", "threshold":
-		px, py := geom.SquarestFactors(*procs)
-		part, err := geom.NewPartition(c.Grid, px, py)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg.Order = sm.Static
-		if *asnMethod == "rr" {
-			cfg.Assignment = assign.AssignRoundRobin(c, part)
-		} else {
-			th := *threshold
-			if th < 0 {
-				th = assign.ThresholdInfinity
-			}
-			cfg.Assignment = assign.AssignThreshold(c, part, th)
-		}
+		opts = append(opts, locusroute.WithDynamicOrder())
+	case "rr":
+		opts = append(opts, locusroute.WithRoundRobin())
+	case "threshold":
+		opts = append(opts, locusroute.WithThreshold(*threshold))
 	default:
 		log.Fatalf("unknown assignment %q", *asnMethod)
 	}
-
-	res, tr, err := sm.RunTraced(c, cfg)
+	backend, err := locusroute.NewTracedSharedMemory(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var col *obs.Collector
-	var runDoc *obs.Run
-	if *jsonPath != "" {
-		col = obs.NewCollector()
-		runDoc = col.Append(sm.ObsRun(*bench, "sm-traced", c.Name, cfg, res))
+	res, err := backend.Route(context.Background(), locusroute.Request{Circuit: c, Name: common.Bench})
+	if err != nil {
+		log.Fatal(err)
 	}
+	tr, smRes := res.RefTrace, res.SM
+	runDoc := col.Last()
+	order := sm.Dynamic
+	if *asnMethod != "dynamic" {
+		order = sm.Static
+	}
+
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
@@ -126,26 +115,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d references from %d processes to %s\n", tr.Len(), *procs, *dump)
-		writeSnapshot(col, *jsonPath)
+		writeSnapshot(common, col)
 		return
 	}
-	fmt.Printf("circuit %s, %d processes, %s distribution\n", c.Name, *procs, cfg.Order)
+	fmt.Printf("circuit %s, %d processes, %s distribution\n", c.Name, *procs, order)
 	fmt.Printf("circuit height:   %d\n", res.CircuitHeight)
 	fmt.Printf("occupancy factor: %d\n", res.Occupancy)
-	fmt.Printf("virtual makespan: %v\n", res.Span)
-	fmt.Printf("shared refs:      %d reads, %d writes\n\n", res.Reads, res.Writes)
+	fmt.Printf("virtual makespan: %v\n", smRes.Span)
+	fmt.Printf("shared refs:      %d reads, %d writes\n\n", smRes.Reads, smRes.Writes)
 
 	replayTrace(pool, tr, *procs, *lines, *capLines, runDoc)
-	writeSnapshot(col, *jsonPath)
+	writeSnapshot(common, col)
 }
 
 // writeSnapshot writes the collected document when -json was given.
-func writeSnapshot(col *obs.Collector, jsonPath string) {
-	if jsonPath == "" {
-		return
-	}
-	command := strings.Join(append([]string{"smtrace"}, os.Args[1:]...), " ")
-	if err := col.Snapshot(command).WriteFile(jsonPath); err != nil {
+func writeSnapshot(common *cli.Common, col *obs.Collector) {
+	if err := common.WriteSnapshot(col); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -206,7 +191,7 @@ func replayTrace(pool *par.Pool, tr *trace.Trace, procs int, lines string, capLi
 }
 
 // replayFile loads a dumped trace and replays it.
-func replayFile(pool *par.Pool, path, lines string, capLines int, jsonPath string) {
+func replayFile(common *cli.Common, pool *par.Pool, path, lines string, capLines int) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -216,13 +201,9 @@ func replayFile(pool *par.Pool, path, lines string, capLines int, jsonPath strin
 	if err != nil {
 		log.Fatal(err)
 	}
-	var col *obs.Collector
-	var runDoc *obs.Run
-	if jsonPath != "" {
-		col = obs.NewCollector()
-		runDoc = col.Append(obs.Run{Name: path, Backend: "cache-replay", Procs: procs})
-	}
+	col := common.Collector()
+	runDoc := col.Append(obs.Run{Name: path, Backend: "cache-replay", Procs: procs})
 	fmt.Printf("replaying %d references from %d processes (%s)\n", tr.Len(), procs, path)
 	replayTrace(pool, tr, procs, lines, capLines, runDoc)
-	writeSnapshot(col, jsonPath)
+	writeSnapshot(common, col)
 }

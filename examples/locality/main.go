@@ -1,11 +1,15 @@
 // Locality: sweep the ThresholdCost wire assignment knob (Section 4.2 of
 // the paper) and show its three-way tension — locality vs load balance vs
 // traffic — in both paradigms (the shape of the paper's Tables 4 and 5).
+// Each assignment is one option on the two pkg/locusroute backends; the
+// same option list drives the message passing mesh and the traced shared
+// memory run whose reference trace feeds the coherence simulator.
 //
 //	go run ./examples/locality
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,8 +18,7 @@ import (
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
 	"locusroute/internal/metrics"
-	"locusroute/internal/mp"
-	"locusroute/internal/sm"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
@@ -33,13 +36,18 @@ func main() {
 	}
 
 	methods := []struct {
-		label string
-		build func() *assign.Assignment
+		label  string
+		option locusroute.Option
+		build  func() *assign.Assignment
 	}{
-		{"round robin", func() *assign.Assignment { return assign.AssignRoundRobin(c, part) }},
-		{"ThresholdCost=30", func() *assign.Assignment { return assign.AssignThreshold(c, part, 30) }},
-		{"ThresholdCost=1000", func() *assign.Assignment { return assign.AssignThreshold(c, part, 1000) }},
-		{"ThresholdCost=inf", func() *assign.Assignment { return assign.AssignThreshold(c, part, assign.ThresholdInfinity) }},
+		{"round robin", locusroute.WithRoundRobin(),
+			func() *assign.Assignment { return assign.AssignRoundRobin(c, part) }},
+		{"ThresholdCost=30", locusroute.WithThreshold(30),
+			func() *assign.Assignment { return assign.AssignThreshold(c, part, 30) }},
+		{"ThresholdCost=1000", locusroute.WithThreshold(1000),
+			func() *assign.Assignment { return assign.AssignThreshold(c, part, 1000) }},
+		{"ThresholdCost=inf", locusroute.WithPureLocality(),
+			func() *assign.Assignment { return assign.AssignThreshold(c, part, assign.ThresholdInfinity) }},
 	}
 
 	table := metrics.NewTable(
@@ -48,25 +56,29 @@ func main() {
 		"MP Ckt Ht", "MP MBytes", "MP Time (s)",
 		"SM Ckt Ht", "SM MBytes")
 	for _, m := range methods {
+		// The assignment itself, for the locality and imbalance columns
+		// (the backends build their own copies from the same option).
 		asn := m.build()
 		loc := assign.LocalityMeasure(c, part, asn)
 
-		mpCfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
-		mpCfg.Procs = procs
-		mpRes, err := mp.Run(c, asn, mpCfg)
+		mpBackend, err := locusroute.NewMessagePassing(locusroute.WithProcs(procs), m.option)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mpRes, err := mpBackend.Route(context.Background(), locusroute.Request{Circuit: c})
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		smCfg := sm.DefaultConfig()
-		smCfg.Procs = procs
-		smCfg.Order = sm.Static
-		smCfg.Assignment = asn
-		smRes, trace, err := sm.RunTraced(c, smCfg)
+		smBackend, err := locusroute.NewTracedSharedMemory(locusroute.WithProcs(procs), m.option)
 		if err != nil {
 			log.Fatal(err)
 		}
-		traffic, err := cache.Replay(trace, procs, 8)
+		smRes, err := smBackend.Route(context.Background(), locusroute.Request{Circuit: c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		traffic, err := cache.Replay(smRes.RefTrace, procs, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,8 +87,8 @@ func main() {
 			fmt.Sprintf("%.2f", loc),
 			metrics.Ratio(asn.Imbalance()),
 			fmt.Sprintf("%d", mpRes.CircuitHeight),
-			fmt.Sprintf("%.3f", mpRes.MBytes()),
-			metrics.Seconds(mpRes.Time.Seconds()),
+			fmt.Sprintf("%.3f", mpRes.MP.MBytes()),
+			metrics.Seconds(mpRes.MP.Time.Seconds()),
 			fmt.Sprintf("%d", smRes.CircuitHeight),
 			fmt.Sprintf("%.3f", traffic.MBytes()))
 	}

@@ -3,24 +3,23 @@
 // atomic cost array; the message passing version routes with goroutines
 // whose only interaction is marshalled packets over channels — the same
 // protocol the simulated-mesh experiments measure. Quality, wall-clock
-// time, and the message passing version's byte count are compared.
+// time, and the message passing version's byte count are compared. All
+// three implementations are constructed through the one public Backend
+// interface in pkg/locusroute.
 //
 //	go run ./examples/paradigms
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 	"time"
 
-	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
-	"locusroute/internal/geom"
 	"locusroute/internal/metrics"
-	"locusroute/internal/mp"
-	"locusroute/internal/route"
-	"locusroute/internal/sm"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
@@ -45,43 +44,39 @@ func main() {
 	table := metrics.NewTable("two paradigms, real goroutines",
 		"Implementation", "Ckt Ht.", "Occup.", "Wall time", "Update bytes")
 
-	// Uniprocessor reference.
-	start := time.Now()
-	seq, _ := route.Sequential(c, route.DefaultParams())
-	table.Add("sequential reference",
-		fmt.Sprintf("%d", seq.CircuitHeight), fmt.Sprintf("%d", seq.Occupancy),
-		time.Since(start).Round(time.Millisecond).String(), "-")
-
-	// Shared memory: one atomic cost array, a distributed loop, no locks.
-	smCfg := sm.DefaultConfig()
-	smCfg.Procs = procs
-	start = time.Now()
-	smRes, err := sm.RunLive(c, smCfg)
-	if err != nil {
-		log.Fatal(err)
+	// Three backends, one interface: the row label and update-byte
+	// column are the only per-paradigm code left.
+	backends := []struct {
+		label string
+		make  func() (locusroute.Backend, error)
+	}{
+		{"sequential reference", func() (locusroute.Backend, error) {
+			return locusroute.NewSequential()
+		}},
+		{"shared memory (atomic array)", func() (locusroute.Backend, error) {
+			return locusroute.NewSharedMemory(locusroute.WithProcs(procs))
+		}},
+		{"message passing (channels)", func() (locusroute.Backend, error) {
+			return locusroute.NewLiveMessagePassing(locusroute.WithProcs(procs))
+		}},
 	}
-	table.Add("shared memory (atomic array)",
-		fmt.Sprintf("%d", smRes.CircuitHeight), fmt.Sprintf("%d", smRes.Occupancy),
-		time.Since(start).Round(time.Millisecond).String(), "-")
-
-	// Message passing: private views, explicit updates over channels.
-	px, py := geom.SquarestFactors(procs)
-	part, err := geom.NewPartition(c.Grid, px, py)
-	if err != nil {
-		log.Fatal(err)
+	for _, b := range backends {
+		backend, err := b.make()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := backend.Route(context.Background(), locusroute.Request{Circuit: c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bytes := "-"
+		if res.MP != nil {
+			bytes = fmt.Sprintf("%d", res.MP.UpdateBytes)
+		}
+		table.Add(b.label,
+			fmt.Sprintf("%d", res.CircuitHeight), fmt.Sprintf("%d", res.Occupancy),
+			res.Wall.Round(time.Millisecond).String(), bytes)
 	}
-	asn := assign.AssignThreshold(c, part, 1000)
-	mpCfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
-	mpCfg.Procs = procs
-	start = time.Now()
-	mpRes, err := mp.RunLive(c, asn, mpCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	table.Add("message passing (channels)",
-		fmt.Sprintf("%d", mpRes.CircuitHeight), fmt.Sprintf("%d", mpRes.Occupancy),
-		time.Since(start).Round(time.Millisecond).String(),
-		fmt.Sprintf("%d", mpRes.UpdateBytes))
 
 	fmt.Println(table)
 	fmt.Println("the shared memory program relies on the hardware (here: atomic word")

@@ -1,17 +1,18 @@
 // Quickstart: generate a small standard cell circuit, route it
 // sequentially, and route it again with the goroutine shared memory
-// router, comparing the quality measures.
+// router, comparing the quality measures. Both routers are constructed
+// through the public pkg/locusroute backend API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"locusroute/internal/circuit"
-	"locusroute/internal/route"
-	"locusroute/internal/sm"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
@@ -33,20 +34,27 @@ func main() {
 	fmt.Printf("generated %s: %s\n\n", c.Name, circuit.ComputeStats(c))
 
 	// Route on one processor: the reference result.
-	params := route.DefaultParams()
-	seq, arr := route.Sequential(c, params)
+	seqBackend, err := locusroute.NewSequential()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := seqBackend.Route(context.Background(), locusroute.Request{Circuit: c})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sequential router:\n")
 	fmt.Printf("  circuit height   %d (total routing tracks; lower is better)\n", seq.CircuitHeight)
 	fmt.Printf("  occupancy factor %d (sum of path costs at routing time)\n", seq.Occupancy)
-	fmt.Printf("  congested cells  %d of %d\n\n", arr.NonZeroCells(), c.Grid.Cells())
+	fmt.Printf("  congested cells  %d of %d\n\n", seq.Final.NonZeroCells(), c.Grid.Cells())
 
 	// Route with 4 goroutines sharing one atomic cost array (the paper's
 	// shared memory style: no locks, a distributed loop, a barrier
 	// between rip-up-and-reroute iterations).
-	cfg := sm.DefaultConfig()
-	cfg.Procs = 4
-	cfg.Router = params
-	par, err := sm.RunLive(c, cfg)
+	smBackend, err := locusroute.NewSharedMemory(locusroute.WithProcs(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := smBackend.Route(context.Background(), locusroute.Request{Circuit: c})
 	if err != nil {
 		log.Fatal(err)
 	}

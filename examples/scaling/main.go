@@ -1,19 +1,20 @@
 // Scaling: grow the processor count and watch the paper's Section 5.4
 // effects — speedup, quality degradation from parallel staleness, and the
 // non-monotone network traffic curve (the shape of the paper's Table 6).
+// Each run constructs the simulated-mesh backend through pkg/locusroute.
 //
 //	go run ./examples/scaling
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
 	"locusroute/internal/metrics"
-	"locusroute/internal/mp"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
@@ -33,18 +34,15 @@ func main() {
 	var base float64
 	for _, procs := range []int{1, 2, 4, 9, 16} {
 		px, py := geom.SquarestFactors(procs)
-		part, err := geom.NewPartition(c.Grid, px, py)
+		backend, err := locusroute.NewMessagePassing(locusroute.WithProcs(procs))
 		if err != nil {
 			log.Fatal(err)
 		}
-		asn := assign.AssignThreshold(c, part, 1000)
-		cfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
-		cfg.Procs = procs
-		res, err := mp.Run(c, asn, cfg)
+		res, err := backend.Route(context.Background(), locusroute.Request{Circuit: c})
 		if err != nil {
 			log.Fatal(err)
 		}
-		secs := res.Time.Seconds()
+		secs := res.MP.Time.Seconds()
 		if procs == 2 {
 			base = secs
 		}
@@ -57,7 +55,7 @@ func main() {
 			fmt.Sprintf("%dx%d", px, py),
 			fmt.Sprintf("%d", res.CircuitHeight),
 			fmt.Sprintf("%d", res.Occupancy),
-			fmt.Sprintf("%.3f", res.MBytes()),
+			fmt.Sprintf("%.3f", res.MP.MBytes()),
 			metrics.Seconds(secs),
 			speedup)
 	}

@@ -2,20 +2,21 @@
 // (Section 4.3) on one circuit — pure sender initiated, pure receiver
 // initiated (blocking and non-blocking), and the mixed schedule — and
 // print a quality / traffic / time comparison, i.e. the shape of the
-// paper's Tables 1 and 2.
+// paper's Tables 1 and 2. Each schedule is a WithStrategy option on the
+// pkg/locusroute message passing backend.
 //
 //	go run ./examples/updates
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
-	"locusroute/internal/geom"
 	"locusroute/internal/metrics"
 	"locusroute/internal/mp"
+	"locusroute/pkg/locusroute"
 )
 
 func main() {
@@ -26,12 +27,6 @@ func main() {
 		log.Fatal(err)
 	}
 	const procs = 16
-	px, py := geom.SquarestFactors(procs)
-	part, err := geom.NewPartition(c.Grid, px, py)
-	if err != nil {
-		log.Fatal(err)
-	}
-	asn := assign.AssignThreshold(c, part, 1000)
 
 	strategies := []struct {
 		label string
@@ -51,17 +46,21 @@ func main() {
 		fmt.Sprintf("update strategies on %s, %d processors", c.Name, procs),
 		"Strategy", "Ckt Ht.", "Occup.", "MBytes", "Time (s)")
 	for _, entry := range strategies {
-		cfg := mp.DefaultConfig(entry.st)
-		cfg.Procs = procs
-		res, err := mp.Run(c, asn, cfg)
+		backend, err := locusroute.NewMessagePassing(
+			locusroute.WithProcs(procs),
+			locusroute.WithStrategy(entry.st))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := backend.Route(context.Background(), locusroute.Request{Circuit: c})
 		if err != nil {
 			log.Fatal(err)
 		}
 		table.Add(entry.label,
 			fmt.Sprintf("%d", res.CircuitHeight),
 			fmt.Sprintf("%d", res.Occupancy),
-			fmt.Sprintf("%.3f", res.MBytes()),
-			metrics.Seconds(res.Time.Seconds()))
+			fmt.Sprintf("%.3f", res.MP.MBytes()),
+			metrics.Seconds(res.MP.Time.Seconds()))
 	}
 	fmt.Println(table)
 	fmt.Println("things to notice (the paper's observations):")

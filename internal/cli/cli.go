@@ -1,0 +1,142 @@
+// Package cli is the shared flag plumbing of the locusroute commands:
+// the -par/-json/-cpuprofile trio, benchmark/circuit selection, and the
+// helpers that turn those flags into pools, collectors and snapshots.
+// Every command registers the subsets it supports, so flag names,
+// defaults, help text and validation stay uniform across paper,
+// mproute, smtrace, locusroute and locusd.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/obs"
+	"locusroute/internal/par"
+)
+
+// ParErrorf is the uniform -par validation failure: every command
+// rejects -par values below one with this exact text.
+func ParErrorf(n int) error {
+	return fmt.Errorf("-par must be at least 1 (got %d)", n)
+}
+
+// Common bundles the flags shared across commands. Zero value plus the
+// Add* registrars is the intended use; Validate runs after flag.Parse.
+type Common struct {
+	// Par is the concurrent-simulation bound (-par). Defaults to
+	// GOMAXPROCS; values below 1 are rejected by Validate.
+	Par int
+	// JSONPath is the -json observability document destination ("" =
+	// off, "-" = stdout).
+	JSONPath string
+	// CPUProfile is the -cpuprofile destination ("" = off).
+	CPUProfile string
+	// Bench and Seed select a builtin benchmark circuit (-bench, -seed).
+	Bench string
+	Seed  int64
+	// CircuitFile overrides the builtin benchmark with a circuit file
+	// (-circuit), when registered.
+	CircuitFile string
+
+	name   string
+	hasPar bool
+}
+
+// New returns a Common for the named command; the name prefixes the
+// recorded -json command line.
+func New(name string) *Common {
+	return &Common{name: name}
+}
+
+// AddPar registers -par. The default is GOMAXPROCS; detail extends the
+// shared help text with command-specific behaviour.
+func (c *Common) AddPar(fs *flag.FlagSet, detail string) {
+	help := "concurrent simulations (default GOMAXPROCS)"
+	if detail != "" {
+		help += "; " + detail
+	}
+	fs.IntVar(&c.Par, "par", runtime.GOMAXPROCS(0), help)
+	c.hasPar = true
+}
+
+// AddObs registers -json and -cpuprofile.
+func (c *Common) AddObs(fs *flag.FlagSet) {
+	fs.StringVar(&c.JSONPath, "json", "", `write an observability JSON document to this file ("-" = stdout)`)
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+}
+
+// AddBench registers -bench and -seed (builtin benchmark selection).
+func (c *Common) AddBench(fs *flag.FlagSet) {
+	fs.StringVar(&c.Bench, "bench", "bnrE", "builtin benchmark: bnrE or MDC")
+	fs.Int64Var(&c.Seed, "seed", 1, "benchmark generator seed")
+}
+
+// AddCircuitFile registers -circuit (route a circuit file instead of a
+// builtin benchmark).
+func (c *Common) AddCircuitFile(fs *flag.FlagSet) {
+	fs.StringVar(&c.CircuitFile, "circuit", "", "circuit file to route (text format; overrides -bench)")
+}
+
+// Validate checks the parsed flags; call it right after flag.Parse.
+func (c *Common) Validate() error {
+	if c.hasPar && c.Par < 1 {
+		return ParErrorf(c.Par)
+	}
+	return nil
+}
+
+// Pool returns the worker pool sized by -par.
+func (c *Common) Pool() *par.Pool { return par.New(c.Par) }
+
+// Collector returns an enabled collector when -json was given, else nil
+// (the disabled collector).
+func (c *Common) Collector() *obs.Collector {
+	if c.JSONPath == "" {
+		return nil
+	}
+	return obs.NewCollector()
+}
+
+// StartProfile starts the CPU profile when -cpuprofile was given and
+// returns the stop function (a no-op otherwise).
+func (c *Common) StartProfile() (func(), error) {
+	return obs.StartCPUProfile(c.CPUProfile)
+}
+
+// LoadCircuit loads the selected circuit: the -circuit file when
+// registered and set, else the builtin -bench benchmark at -seed.
+func (c *Common) LoadCircuit() (*circuit.Circuit, error) {
+	if c.CircuitFile != "" {
+		f, err := os.Open(c.CircuitFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.Read(f)
+	}
+	switch c.Bench {
+	case "bnrE":
+		return circuit.Generate(circuit.BnrELike(c.Seed))
+	case "MDC":
+		return circuit.Generate(circuit.MDCLike(c.Seed))
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (want bnrE or MDC)", c.Bench)
+}
+
+// Command reconstructs the invocation line recorded in -json documents.
+func (c *Common) Command() string {
+	return strings.Join(append([]string{c.name}, os.Args[1:]...), " ")
+}
+
+// WriteSnapshot writes the collector's document to the -json
+// destination; a nil collector or unset -json is a no-op.
+func (c *Common) WriteSnapshot(col *obs.Collector) error {
+	if c.JSONPath == "" || !col.Enabled() {
+		return nil
+	}
+	return col.Snapshot(c.Command()).WriteFile(c.JSONPath)
+}

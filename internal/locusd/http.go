@@ -1,0 +1,244 @@
+package locusd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/obs"
+	"locusroute/pkg/locusroute"
+)
+
+// routeBody is the POST /route request document.
+type routeBody struct {
+	// Circuit names a preloaded circuit (required).
+	Circuit string `json:"circuit"`
+	// Wire is the request wire's ID (optional label).
+	Wire int `json:"wire"`
+	// Pins are the wire's [x, y] terminals (>= 2, inside the grid).
+	Pins [][2]int `json:"pins"`
+	// Commit places the path on the serving replica.
+	Commit bool `json:"commit"`
+	// DeadlineMillis bounds queue wait + evaluation (0 = the server's
+	// default deadline).
+	DeadlineMillis int64 `json:"deadline_ms"`
+}
+
+// errorBody is every non-200 JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /route       route one wire           -> RouteResponse
+//	GET  /circuits    served circuits           -> circuitsDoc
+//	GET  /healthz     liveness + drain state    -> healthDoc (503 draining)
+//	GET  /metrics     Prometheus text exposition
+//	GET  /debug/vars  counters + histograms as stable-order JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/circuits", s.handleCircuits)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	return mux
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST /route"})
+		return
+	}
+	var body routeBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	wire := circuit.Wire{ID: body.Wire}
+	for _, p := range body.Pins {
+		wire.Pins = append(wire.Pins, geom.Pt(p[0], p[1]))
+	}
+	deadline := s.cfg.DefaultDeadline
+	if body.DeadlineMillis > 0 {
+		deadline = time.Duration(body.DeadlineMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	resp, err := s.Route(ctx, RouteRequest{Circuit: body.Circuit, Wire: wire, Commit: body.Commit})
+	if err != nil {
+		writeJSON(w, statusFor(err), errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps service errors to HTTP codes. writeJSON adds the
+// Retry-After header on 429.
+func statusFor(err error) int {
+	var oge *locusroute.OutsideGridError
+	switch {
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnknownCircuit):
+		return http.StatusNotFound
+	case errors.As(err, &oge):
+		return http.StatusBadRequest
+	}
+	return http.StatusBadRequest
+}
+
+// circuitDoc is one /circuits entry.
+type circuitDoc struct {
+	Name          string `json:"name"`
+	Channels      int    `json:"channels"`
+	Grids         int    `json:"grids"`
+	Wires         int    `json:"wires"`
+	Shards        int    `json:"shards"`
+	Backend       string `json:"baseline_backend"`
+	CircuitHeight int64  `json:"baseline_circuit_height"`
+	Occupancy     int64  `json:"baseline_occupancy"`
+}
+
+type circuitsDoc struct {
+	Circuits []circuitDoc `json:"circuits"`
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	doc := circuitsDoc{Circuits: []circuitDoc{}}
+	for _, name := range s.names {
+		sc := s.circuits[name]
+		doc.Circuits = append(doc.Circuits, circuitDoc{
+			Name:          name,
+			Channels:      sc.circ.Grid.Channels,
+			Grids:         sc.circ.Grid.Grids,
+			Wires:         len(sc.circ.Wires),
+			Shards:        len(sc.shards),
+			Backend:       string(sc.baseline.Backend),
+			CircuitHeight: sc.baseline.CircuitHeight,
+			Occupancy:     sc.baseline.Occupancy,
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+type healthDoc struct {
+	Status   string `json:"status"`
+	InFlight int    `json:"in_flight"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	doc := healthDoc{Status: "ok", InFlight: s.InFlight(), UptimeMS: time.Since(s.started).Milliseconds()}
+	code := http.StatusOK
+	if s.Draining() {
+		doc.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, doc)
+}
+
+// varsDoc is the /debug/vars document; field order is the struct order,
+// so the rendering is stable.
+type varsDoc struct {
+	UptimeMS  int64             `json:"uptime_ms"`
+	Draining  bool              `json:"draining"`
+	InFlight  int               `json:"in_flight"`
+	Capacity  int               `json:"capacity"`
+	Served    int64             `json:"served"`
+	Committed int64             `json:"committed"`
+	Shed      int64             `json:"shed"`
+	Expired   int64             `json:"expired"`
+	Rejected  int64             `json:"rejected"`
+	BatchSize *obs.HistogramDoc `json:"batch_size,omitempty"`
+	WaitUs    *obs.HistogramDoc `json:"wait_us,omitempty"`
+	RouteCost *obs.HistogramDoc `json:"route_cost,omitempty"`
+}
+
+func (s *Server) vars() varsDoc {
+	s.met.mu.Lock()
+	defer s.met.mu.Unlock()
+	return varsDoc{
+		UptimeMS:  time.Since(s.started).Milliseconds(),
+		Draining:  s.Draining(),
+		InFlight:  s.InFlight(),
+		Capacity:  s.cfg.MaxInFlight,
+		Served:    s.met.served,
+		Committed: s.met.committed,
+		Shed:      s.met.shed,
+		Expired:   s.met.expired,
+		Rejected:  s.met.rejected,
+		BatchSize: s.met.batchSize.Doc(),
+		WaitUs:    s.met.waitUs.Doc(),
+		RouteCost: s.met.routeCost.Doc(),
+	}
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.vars())
+}
+
+// handleMetrics renders the Prometheus text exposition format from the
+// same numbers as /debug/vars. Histogram buckets are cumulative, as the
+// format requires.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	v := s.vars()
+	var b strings.Builder
+	counter := func(name, help string, val int64) {
+		fmt.Fprintf(&b, "# HELP locusd_%s %s\n# TYPE locusd_%s counter\nlocusd_%s %d\n", name, help, name, name, val)
+	}
+	gauge := func(name, help string, val int64) {
+		fmt.Fprintf(&b, "# HELP locusd_%s %s\n# TYPE locusd_%s gauge\nlocusd_%s %d\n", name, help, name, name, val)
+	}
+	hist := func(name, help string, d *obs.HistogramDoc) {
+		fmt.Fprintf(&b, "# HELP locusd_%s %s\n# TYPE locusd_%s histogram\n", name, help, name)
+		var cum int64
+		if d != nil {
+			for _, bk := range d.Buckets {
+				cum += bk.Count
+				fmt.Fprintf(&b, "locusd_%s_bucket{le=\"%d\"} %d\n", name, bk.Le, cum)
+			}
+			fmt.Fprintf(&b, "locusd_%s_bucket{le=\"+Inf\"} %d\n", name, d.Count)
+			fmt.Fprintf(&b, "locusd_%s_sum %d\nlocusd_%s_count %d\n", name, d.Sum, name, d.Count)
+		} else {
+			fmt.Fprintf(&b, "locusd_%s_bucket{le=\"+Inf\"} 0\nlocusd_%s_sum 0\nlocusd_%s_count 0\n", name, name, name)
+		}
+	}
+	counter("requests_served_total", "wire evaluations completed", v.Served)
+	counter("requests_committed_total", "evaluations committed to a serving replica", v.Committed)
+	counter("requests_shed_total", "requests shed with 429 at the admission gate", v.Shed)
+	counter("requests_expired_total", "requests whose deadline expired before evaluation", v.Expired)
+	counter("requests_rejected_total", "requests rejected by validation", v.Rejected)
+	gauge("in_flight", "admitted requests currently in flight", int64(v.InFlight))
+	gauge("capacity", "admission gate capacity", int64(v.Capacity))
+	hist("batch_size", "wires per evaluated batch", v.BatchSize)
+	hist("wait_us", "microseconds from admission to evaluation", v.WaitUs)
+	hist("route_cost", "chosen path cost per evaluation", v.RouteCost)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeJSON writes one JSON document with the right headers. 429
+// responses carry Retry-After, the contract the clients' backoff uses.
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

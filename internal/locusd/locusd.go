@@ -1,0 +1,400 @@
+// Package locusd is the routing service behind cmd/locusd: a sharded
+// batch-serving layer that answers route-request traffic against
+// preloaded circuits.
+//
+// At startup each circuit is routed once through a pkg/locusroute
+// backend; the resulting cost array is the baseline congestion state.
+// Each circuit is then served by a set of shards, each owning a private
+// clone of that array plus a reusable route.Scratch — the service-layer
+// echo of the paper's replicated views: requests never contend on a
+// shared array, and a committed wire lands only on the replica that
+// served it.
+//
+// Requests that arrive at a shard within one batching window are grouped
+// and evaluated back to back through the shard's scratch space (one
+// Scratch per shard is what makes the steady state allocation-free). A
+// par.Gate bounds admitted requests — a full gate sheds load with HTTP
+// 429 rather than queueing without bound — and a par.Pool bounds how
+// many shards evaluate batches at once.
+package locusd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/obs"
+	"locusroute/internal/par"
+	"locusroute/internal/route"
+	"locusroute/pkg/locusroute"
+)
+
+// Config sizes the service. The zero value of every field has a sensible
+// default applied by New.
+type Config struct {
+	// Backend selects the pkg/locusroute implementation that routes each
+	// circuit at startup to produce the baseline congestion state
+	// (default Sequential, the reference router).
+	Backend locusroute.Kind
+	// Procs is the processor count for the baseline backend (ignored for
+	// Sequential; default 16, the paper's machine size).
+	Procs int
+	// Shards is the number of serving replicas per circuit (default 4).
+	Shards int
+	// BatchWindow is how long a shard waits for more requests after the
+	// first of a batch arrives (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch caps the wires evaluated in one batch (default 64).
+	MaxBatch int
+	// MaxInFlight bounds admitted requests across all circuits; arrivals
+	// beyond it are shed with 429 (default 256).
+	MaxInFlight int
+	// DefaultDeadline applies when a request carries no deadline_ms
+	// (default 5s).
+	DefaultDeadline time.Duration
+	// Pool bounds concurrent batch evaluations (nil = one worker per
+	// GOMAXPROCS via par.New(0) semantics is NOT applied here; nil means
+	// unbounded, matching par.Pool).
+	Pool *par.Pool
+	// Router tunes the route kernel (zero value = route.DefaultParams).
+	Router route.Params
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = locusroute.Sequential
+	}
+	if c.Procs < 1 {
+		c.Procs = 16
+	}
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.Router.Iterations == 0 {
+		c.Router = route.DefaultParams()
+	}
+	return c
+}
+
+// ErrDeadline is the service-level deadline failure: the request's
+// deadline expired while it was queued or mid-batch.
+var ErrDeadline = errors.New("locusd: request deadline expired before routing")
+
+// ErrDraining rejects new work during graceful shutdown.
+var ErrDraining = errors.New("locusd: server is draining")
+
+// ErrShed rejects work when the admission gate is full.
+var ErrShed = errors.New("locusd: at capacity, retry later")
+
+// ErrUnknownCircuit reports a request naming a circuit the server does
+// not serve.
+var ErrUnknownCircuit = errors.New("locusd: unknown circuit")
+
+// RouteRequest is one wire evaluation against a served circuit.
+type RouteRequest struct {
+	// Circuit names a preloaded circuit.
+	Circuit string
+	// Wire is the wire to evaluate (>= 2 pins, all inside the circuit's
+	// grid — out-of-grid pins are rejected, never clamped).
+	Wire circuit.Wire
+	// Commit places the evaluated path on the serving shard's replica,
+	// making it visible to later requests on the same shard.
+	Commit bool
+}
+
+// RouteResponse reports one evaluation.
+type RouteResponse struct {
+	Circuit       string `json:"circuit"`
+	Shard         int    `json:"shard"`
+	WireID        int    `json:"wire"`
+	Cost          int64  `json:"cost"`
+	PathCells     int    `json:"path_cells"`
+	CellsExamined int    `json:"cells_examined"`
+	BatchSize     int    `json:"batch_size"`
+	Committed     bool   `json:"committed"`
+	WaitMicros    int64  `json:"wait_us"`
+}
+
+// pending is one admitted request waiting for its shard.
+type pending struct {
+	req      RouteRequest
+	ctx      context.Context
+	enqueued time.Time
+	done     chan outcome
+}
+
+type outcome struct {
+	resp RouteResponse
+	err  error
+}
+
+// shard is one serving replica: a private cost array, a private scratch,
+// and a queue drained by its batching loop.
+type shard struct {
+	id      int
+	arr     *costarray.CostArray
+	scratch *route.Scratch
+	queue   chan *pending
+}
+
+// servedCircuit is one preloaded circuit and its replicas.
+type servedCircuit struct {
+	circ     *circuit.Circuit
+	baseline locusroute.Result
+	shards   []*shard
+	next     atomic.Uint64 // round-robin dispatch cursor
+}
+
+// metrics aggregates service counters and latency/batch histograms.
+// obs.Histogram is single-writer; the mutex makes it safe under
+// concurrent handlers.
+type metrics struct {
+	mu        sync.Mutex
+	served    int64
+	shed      int64
+	expired   int64
+	rejected  int64 // validation failures
+	committed int64
+	batchSize obs.Histogram
+	waitUs    obs.Histogram
+	routeCost obs.Histogram
+}
+
+// Server is the routing service. Create with New, serve its Handler,
+// then BeginDrain + Close on shutdown.
+type Server struct {
+	cfg      Config
+	gate     par.Gate
+	circuits map[string]*servedCircuit
+	names    []string // stable iteration order for /circuits and /debug/vars
+
+	met      metrics
+	draining atomic.Bool
+	closing  sync.Once
+	stop     chan struct{}
+	loops    sync.WaitGroup
+	inflight sync.WaitGroup
+	started  time.Time
+}
+
+// New routes every circuit once through the configured backend and
+// stands up the serving shards.
+func New(cfg Config, circuits ...*circuit.Circuit) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(circuits) == 0 {
+		return nil, errors.New("locusd: no circuits to serve")
+	}
+	opts := []locusroute.Option{locusroute.WithRouter(cfg.Router)}
+	if cfg.Backend != locusroute.Sequential {
+		opts = append(opts, locusroute.WithProcs(cfg.Procs))
+	}
+	backend, err := locusroute.New(cfg.Backend, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		gate:     par.NewGate(cfg.MaxInFlight),
+		circuits: make(map[string]*servedCircuit, len(circuits)),
+		stop:     make(chan struct{}),
+		started:  time.Now(),
+	}
+	for _, c := range circuits {
+		if _, dup := s.circuits[c.Name]; dup {
+			return nil, fmt.Errorf("locusd: duplicate circuit name %q", c.Name)
+		}
+		base, err := backend.Route(context.Background(), locusroute.Request{Circuit: c})
+		if err != nil {
+			return nil, fmt.Errorf("locusd: baseline routing of %q: %w", c.Name, err)
+		}
+		sc := &servedCircuit{circ: c, baseline: base}
+		for i := 0; i < cfg.Shards; i++ {
+			sh := &shard{
+				id:      i,
+				arr:     base.Final.Clone(),
+				scratch: route.NewScratch(c.Grid),
+				queue:   make(chan *pending, cfg.MaxInFlight),
+			}
+			sc.shards = append(sc.shards, sh)
+			s.loops.Add(1)
+			go s.batchLoop(sh)
+		}
+		s.circuits[c.Name] = sc
+		s.names = append(s.names, c.Name)
+	}
+	sort.Strings(s.names)
+	return s, nil
+}
+
+// Route admits, dispatches and awaits one request. It is the
+// transport-independent core the HTTP handler wraps.
+func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, error) {
+	// Register with the drain group before checking the flag: a request
+	// that sees draining=false here is guaranteed to be covered by
+	// Close's inflight.Wait, so its shard loop is still running.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		return RouteResponse{}, ErrDraining
+	}
+	sc, ok := s.circuits[req.Circuit]
+	if !ok {
+		return RouteResponse{}, fmt.Errorf("%w %q (serving %v)", ErrUnknownCircuit, req.Circuit, s.names)
+	}
+	if err := locusroute.ValidateWires(sc.circ.Grid, []circuit.Wire{req.Wire}); err != nil {
+		s.count(&s.met.rejected)
+		return RouteResponse{}, err
+	}
+	if !s.gate.TryEnter() {
+		s.count(&s.met.shed)
+		return RouteResponse{}, ErrShed
+	}
+	defer s.gate.Leave()
+
+	p := &pending{req: req, ctx: ctx, enqueued: time.Now(), done: make(chan outcome, 1)}
+	sh := sc.shards[sc.next.Add(1)%uint64(len(sc.shards))]
+	select {
+	case sh.queue <- p:
+	case <-ctx.Done():
+		s.count(&s.met.expired)
+		return RouteResponse{}, ErrDeadline
+	}
+	select {
+	case out := <-p.done:
+		if out.err != nil {
+			return RouteResponse{}, out.err
+		}
+		return out.resp, nil
+	case <-ctx.Done():
+		// The shard will still evaluate (or expire) the entry; its
+		// buffered done send is discarded.
+		s.count(&s.met.expired)
+		return RouteResponse{}, ErrDeadline
+	}
+}
+
+// batchLoop drains one shard's queue: the first arrival opens a batch,
+// the window (or MaxBatch, or drain) closes it, and the batch is
+// evaluated under the pool.
+func (s *Server) batchLoop(sh *shard) {
+	defer s.loops.Done()
+	for {
+		var first *pending
+		select {
+		case first = <-sh.queue:
+		case <-s.stop:
+			// Drain: evaluate whatever is still queued, then exit.
+			for {
+				select {
+				case p := <-sh.queue:
+					s.cfg.Pool.Run(func() { s.process(sh, []*pending{p}) })
+				default:
+					return
+				}
+			}
+		}
+		batch := []*pending{first}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case p := <-sh.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			case <-s.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.cfg.Pool.Run(func() { s.process(sh, batch) })
+	}
+}
+
+// process evaluates one batch against the shard's replica. Only the
+// owning batchLoop calls process for a given shard, so the array and
+// scratch need no locks.
+func (s *Server) process(sh *shard, batch []*pending) {
+	view := route.ArrayView{A: sh.arr}
+	for _, p := range batch {
+		if p.ctx.Err() != nil {
+			s.count(&s.met.expired)
+			p.done <- outcome{err: ErrDeadline}
+			continue
+		}
+		wait := time.Since(p.enqueued)
+		ev := sh.scratch.RouteWire(view, &p.req.Wire, s.cfg.Router)
+		committed := false
+		if p.req.Commit {
+			route.Commit(view, ev.Path)
+			committed = true
+		}
+		s.met.mu.Lock()
+		s.met.served++
+		if committed {
+			s.met.committed++
+		}
+		s.met.batchSize.Observe(int64(len(batch)))
+		s.met.waitUs.Observe(wait.Microseconds())
+		s.met.routeCost.Observe(ev.Cost)
+		s.met.mu.Unlock()
+		p.done <- outcome{resp: RouteResponse{
+			Circuit:       p.req.Circuit,
+			Shard:         sh.id,
+			WireID:        p.req.Wire.ID,
+			Cost:          ev.Cost,
+			PathCells:     ev.Path.Len(),
+			CellsExamined: ev.CellsExamined,
+			BatchSize:     len(batch),
+			Committed:     committed,
+			WaitMicros:    wait.Microseconds(),
+		}}
+	}
+}
+
+// count bumps one plain counter under the metrics lock.
+func (s *Server) count(field *int64) {
+	s.met.mu.Lock()
+	*field++
+	s.met.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports currently admitted requests.
+func (s *Server) InFlight() int { return s.gate.InFlight() }
+
+// BeginDrain stops admitting new requests; in-flight requests keep
+// running. Safe to call more than once.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close completes a drain: it waits for admitted requests to finish,
+// stops the shard loops (which first evaluate anything still queued),
+// and returns once every loop has exited. Call BeginDrain first;
+// Close does it if the caller did not.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.inflight.Wait()
+	s.closing.Do(func() { close(s.stop) })
+	s.loops.Wait()
+}

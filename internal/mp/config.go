@@ -28,6 +28,7 @@ import (
 
 	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
 	"locusroute/internal/mesh"
 	"locusroute/internal/msg"
 	"locusroute/internal/obs"
@@ -235,6 +236,10 @@ type Result struct {
 	// UpdateBytes is Net.Bytes minus barrier traffic: the consistency
 	// traffic the paper's tables report.
 	UpdateBytes int64
+	// Final is the ground-truth cost array after the last barrier — the
+	// routed congestion state the quality measures were taken from.
+	// Service layers seed incremental serving replicas from it.
+	Final *costarray.CostArray
 }
 
 // MBytes returns the consistency traffic in megabytes, as the tables

@@ -79,7 +79,8 @@ func RunLive(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result,
 	stopReduce := cfg.Obs.Phase("reduce")
 	defer stopReduce()
 	var res Result
-	res.CircuitHeight = lr.truth.circuitHeight()
+	res.Final = lr.truth.snapshot()
+	res.CircuitHeight = res.Final.CircuitHeight()
 	for _, c := range lr.lastCost {
 		res.Occupancy += c
 	}
@@ -145,14 +146,15 @@ func (t *atomicTruth) Add(x, y int, d int32) { t.cells[y*t.grid.Grids+x].Add(d) 
 // At implements Truth.
 func (t *atomicTruth) At(x, y int) int32 { return t.cells[y*t.grid.Grids+x].Load() }
 
-func (t *atomicTruth) circuitHeight() int64 {
+// snapshot copies the current state into a plain cost array.
+func (t *atomicTruth) snapshot() *costarray.CostArray {
 	arr := costarray.New(t.grid)
 	for y := 0; y < t.grid.Channels; y++ {
 		for x := 0; x < t.grid.Grids; x++ {
 			arr.Set(x, y, t.At(x, y))
 		}
 	}
-	return arr.CircuitHeight()
+	return arr
 }
 
 // liveNode is one goroutine processor.

@@ -128,6 +128,7 @@ func Run(circ *circuit.Circuit, asn *assign.Assignment, cfg Config) (Result, err
 	kernel.Run()
 
 	var res Result
+	res.Final = r.truth.a
 	res.CircuitHeight = r.truth.a.CircuitHeight()
 	for _, c := range r.lastCost {
 		res.Occupancy += c

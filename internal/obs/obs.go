@@ -222,6 +222,22 @@ func (c *Collector) Append(r Run) *Run {
 	return stored
 }
 
+// Last returns the most recently appended run document, so callers that
+// route through an API which appends the document internally (the
+// pkg/locusroute backends) can still attach late sections. Returns nil
+// on a nil or empty collector.
+func (c *Collector) Last() *Run {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.runs) == 0 {
+		return nil
+	}
+	return c.runs[len(c.runs)-1]
+}
+
 // Take returns the collector's stored run documents in append order and
 // leaves the collector empty. The parallel experiment driver runs each
 // independent cell against a private forked collector, then Takes the

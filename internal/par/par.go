@@ -94,6 +94,25 @@ func (g Gate) Enter() {
 	}
 }
 
+// TryEnter admits a branch only if the gate has a free slot, returning
+// whether it was admitted. Servers use it as the non-blocking admission
+// check: a full gate means shed the request instead of queueing it.
+func (g Gate) TryEnter() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// InFlight returns the number of currently admitted branches (0 for a
+// nil gate), a gauge for admission metrics.
+func (g Gate) InFlight() int { return len(g) }
+
 // Leave releases a branch admitted by Enter.
 func (g Gate) Leave() {
 	if g != nil {

@@ -147,3 +147,30 @@ func TestGatherEmpty(t *testing.T) {
 		t.Errorf("empty gather = %v, %v", out, err)
 	}
 }
+
+// TestGateTryEnter checks the non-blocking admission path: a full gate
+// refuses instead of queueing, and the in-flight gauge tracks entries.
+func TestGateTryEnter(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryEnter() || !g.TryEnter() {
+		t.Fatal("empty gate refused admission")
+	}
+	if g.InFlight() != 2 {
+		t.Errorf("in-flight = %d, want 2", g.InFlight())
+	}
+	if g.TryEnter() {
+		t.Error("full gate admitted a branch")
+	}
+	g.Leave()
+	if !g.TryEnter() {
+		t.Error("gate with a free slot refused admission")
+	}
+
+	var nilGate Gate
+	if !nilGate.TryEnter() {
+		t.Error("nil gate must admit everything")
+	}
+	if nilGate.InFlight() != 0 {
+		t.Errorf("nil gate in-flight = %d, want 0", nilGate.InFlight())
+	}
+}

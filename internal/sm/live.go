@@ -145,7 +145,8 @@ func RunLive(circ *circuit.Circuit, cfg Config) (Result, error) {
 	stopReduce := cfg.Obs.Phase("reduce")
 	defer stopReduce()
 	var res Result
-	res.CircuitHeight = shared.Snapshot().CircuitHeight()
+	res.Final = shared.Snapshot()
+	res.CircuitHeight = res.Final.CircuitHeight()
 	for _, c := range lastCost {
 		res.Occupancy += c
 	}

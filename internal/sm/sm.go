@@ -26,6 +26,7 @@ import (
 
 	"locusroute/internal/assign"
 	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
 	"locusroute/internal/obs"
 	"locusroute/internal/perf"
 	"locusroute/internal/route"
@@ -123,4 +124,8 @@ type Result struct {
 	WiresRouted int
 	// CellsExamined is the total route-evaluation work.
 	CellsExamined int64
+	// Final is the shared cost array after the last barrier (a snapshot
+	// for RunLive, the array itself for RunTraced) — the routed
+	// congestion state service layers seed serving replicas from.
+	Final *costarray.CostArray
 }

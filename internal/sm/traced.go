@@ -269,6 +269,7 @@ func RunTraced(circ *circuit.Circuit, cfg Config) (Result, *trace.Trace, error) 
 	}
 
 	var res Result
+	res.Final = r.shared
 	res.CircuitHeight = r.shared.CircuitHeight()
 	for _, c := range r.lastCost {
 		res.Occupancy += c

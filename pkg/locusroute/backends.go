@@ -1,0 +1,293 @@
+package locusroute
+
+import (
+	"context"
+	"time"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/mp"
+	"locusroute/internal/obs"
+	"locusroute/internal/route"
+	"locusroute/internal/sm"
+)
+
+// NewSequential constructs the uniprocessor reference router: one
+// consistent cost array, the baseline both parallel paradigms are
+// measured against.
+func NewSequential(opts ...Option) (Backend, error) {
+	c := apply(opts)
+	if err := c.reject(Sequential); err != nil {
+		return nil, err
+	}
+	return &seqBackend{cfg: c}, nil
+}
+
+// NewSharedMemory constructs the shared memory router on real
+// goroutines: an unlocked atomic cost array, a distributed loop (or a
+// static assignment via WithRoundRobin/WithThreshold/WithPureLocality)
+// and a barrier per iteration.
+func NewSharedMemory(opts ...Option) (Backend, error) {
+	return newSM(SMLive, opts)
+}
+
+// NewTracedSharedMemory constructs the Tango-style multiplexed shared
+// memory router: a deterministic virtual-time execution whose every
+// shared reference is recorded; the result carries the reference trace
+// for the coherence simulator.
+func NewTracedSharedMemory(opts ...Option) (Backend, error) {
+	return newSM(SMTraced, opts)
+}
+
+// NewMessagePassing constructs the message passing router on the
+// simulated mesh (discrete-event simulation): replicated views kept
+// consistent by an explicit update schedule, reporting simulated time
+// and network traffic.
+func NewMessagePassing(opts ...Option) (Backend, error) {
+	return newMP(MPDES, opts)
+}
+
+// NewLiveMessagePassing constructs the message passing router on real
+// goroutines whose only interaction is marshalled packets over
+// channels — the same protocol the simulated mesh measures.
+func NewLiveMessagePassing(opts ...Option) (Backend, error) {
+	return newMP(MPLive, opts)
+}
+
+// run wraps a backend's synchronous routing function with the shared
+// request validation, context handling and wall-clock measurement. The
+// context is honoured at run boundaries: if it is cancelled mid-run the
+// call returns ctx.Err() while the abandoned run finishes in the
+// background (the simulators have no preemption points) and its result
+// is discarded.
+func run(ctx context.Context, req Request, fn func() (Result, error)) (Result, error) {
+	if err := ValidateRequest(req); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	if ctx.Done() == nil {
+		// No cancellation possible: run on this goroutine.
+		res, err := fn()
+		if err != nil {
+			return Result{}, err
+		}
+		res.Wall = time.Since(start)
+		return res, nil
+	}
+	type outcome struct {
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := fn()
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		out.res.Wall = time.Since(start)
+		return out.res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// observe appends the run document to the configured collector, if any.
+func observe(col *obs.Collector, doc obs.Run) {
+	col.Append(doc)
+}
+
+// runName labels the run in observability documents.
+func runName(req Request) string {
+	if req.Name != "" {
+		return req.Name
+	}
+	return req.Circuit.Name
+}
+
+// seqBackend is the sequential reference implementation.
+type seqBackend struct{ cfg config }
+
+func (b *seqBackend) Kind() Kind { return Sequential }
+func (b *seqBackend) Procs() int { return 1 }
+
+func (b *seqBackend) Route(ctx context.Context, req Request) (Result, error) {
+	return run(ctx, req, func() (Result, error) {
+		res, arr := route.Sequential(req.Circuit, b.cfg.params(req.Iterations))
+		out := Result{
+			Backend:       Sequential,
+			Circuit:       req.Circuit.Name,
+			Procs:         1,
+			CircuitHeight: res.CircuitHeight,
+			Occupancy:     res.Occupancy,
+			WiresRouted:   res.WiresRouted,
+			CellsExamined: res.CellsExamined,
+			Final:         arr,
+		}
+		observe(b.cfg.collector, obs.Run{
+			Name: runName(req), Backend: string(Sequential), Circuit: req.Circuit.Name, Procs: 1,
+			Quality: &obs.Quality{CircuitHeight: res.CircuitHeight, Occupancy: res.Occupancy},
+		})
+		return out, nil
+	})
+}
+
+// smBackend covers the live and traced shared memory implementations.
+type smBackend struct {
+	kind Kind
+	cfg  config
+}
+
+func newSM(kind Kind, opts []Option) (Backend, error) {
+	c := apply(opts)
+	if err := c.reject(kind); err != nil {
+		return nil, err
+	}
+	return &smBackend{kind: kind, cfg: c}, nil
+}
+
+func (b *smBackend) Kind() Kind { return b.kind }
+func (b *smBackend) Procs() int { return b.cfg.procs }
+
+// smConfig assembles a fresh sm.Config for one request, building the
+// static assignment when a non-dynamic distribution was configured.
+func (b *smBackend) smConfig(circ *circuit.Circuit, req Request) (sm.Config, error) {
+	cfg := sm.DefaultConfig()
+	cfg.Procs = b.cfg.procs
+	cfg.Router = b.cfg.params(req.Iterations)
+	if m := b.cfg.method; m != assignDefault && m != assignDynamic {
+		asn, _, err := b.cfg.assignment(circ, cfg.Procs)
+		if err != nil {
+			return sm.Config{}, err
+		}
+		cfg.Order = sm.Static
+		cfg.Assignment = asn
+	}
+	if b.cfg.collector.Enabled() && b.kind == SMLive {
+		cfg.Obs = obs.NewSM()
+	}
+	return cfg, nil
+}
+
+func (b *smBackend) Route(ctx context.Context, req Request) (Result, error) {
+	return run(ctx, req, func() (Result, error) {
+		cfg, err := b.smConfig(req.Circuit, req)
+		if err != nil {
+			return Result{}, err
+		}
+		var res sm.Result
+		var ref *Result
+		if b.kind == SMTraced {
+			smRes, tr, err := sm.RunTraced(req.Circuit, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			res = smRes
+			ref = &Result{RefTrace: tr, SimTime: time.Duration(res.Span)}
+		} else {
+			smRes, err := sm.RunLive(req.Circuit, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			res = smRes
+			ref = &Result{}
+		}
+		out := *ref
+		out.Backend = b.kind
+		out.Circuit = req.Circuit.Name
+		out.Procs = cfg.Procs
+		out.CircuitHeight = res.CircuitHeight
+		out.Occupancy = res.Occupancy
+		out.WiresRouted = res.WiresRouted
+		out.CellsExamined = res.CellsExamined
+		out.Final = res.Final
+		smCopy := res
+		out.SM = &smCopy
+		observe(b.cfg.collector, sm.ObsRun(runName(req), string(b.kind), req.Circuit.Name, cfg, res))
+		return out, nil
+	})
+}
+
+// mpBackend covers the DES and live message passing implementations.
+type mpBackend struct {
+	kind Kind
+	cfg  config
+}
+
+func newMP(kind Kind, opts []Option) (Backend, error) {
+	c := apply(opts)
+	if err := c.reject(kind); err != nil {
+		return nil, err
+	}
+	return &mpBackend{kind: kind, cfg: c}, nil
+}
+
+func (b *mpBackend) Kind() Kind { return b.kind }
+func (b *mpBackend) Procs() int { return b.cfg.procs }
+
+// mpConfig assembles a fresh mp.Config for one request. Each call gets
+// its own observer and configuration, so a backend routes concurrent
+// requests safely (except under WithTracer, which is one-run-at-a-time).
+func (b *mpBackend) mpConfig(req Request) mp.Config {
+	st := mp.SenderInitiated(2, 10) // the paper's standard schedule
+	if b.cfg.strategy != nil {
+		st = *b.cfg.strategy
+	}
+	if b.cfg.blockingSet {
+		st.Blocking = true
+	}
+	if b.cfg.strict {
+		st = Strategy{} // strict ownership has no views to update
+	}
+	cfg := mp.DefaultConfig(st)
+	cfg.Procs = b.cfg.procs
+	cfg.Router = b.cfg.params(req.Iterations)
+	if b.cfg.packetsSet {
+		cfg.Packets = b.cfg.packets
+	}
+	cfg.Topology = b.cfg.topology
+	cfg.DynamicWires = b.cfg.dynamic
+	cfg.StrictOwnership = b.cfg.strict
+	cfg.Trace = b.cfg.tracer
+	if b.cfg.collector.Enabled() {
+		cfg.Obs = obs.NewMP(cfg.Procs)
+	}
+	return cfg
+}
+
+func (b *mpBackend) Route(ctx context.Context, req Request) (Result, error) {
+	return run(ctx, req, func() (Result, error) {
+		cfg := b.mpConfig(req)
+		asn, _, err := b.cfg.assignment(req.Circuit, cfg.Procs)
+		if err != nil {
+			return Result{}, err
+		}
+		runFn := mp.Run
+		if b.kind == MPLive {
+			runFn = mp.RunLive
+		}
+		res, err := runFn(req.Circuit, asn, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{
+			Backend:       b.kind,
+			Circuit:       req.Circuit.Name,
+			Procs:         cfg.Procs,
+			CircuitHeight: res.CircuitHeight,
+			Occupancy:     res.Occupancy,
+			CellsExamined: res.CellsExamined,
+			SimTime:       time.Duration(res.Time),
+			Final:         res.Final,
+		}
+		mpCopy := res
+		out.MP = &mpCopy
+		observe(b.cfg.collector, mp.ObsRun(runName(req), string(b.kind), req.Circuit.Name, cfg, res))
+		return out, nil
+	})
+}

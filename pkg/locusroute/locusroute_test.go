@@ -1,0 +1,302 @@
+package locusroute
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"locusroute/internal/assign"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/mp"
+	"locusroute/internal/obs"
+	"locusroute/internal/route"
+	"locusroute/internal/sm"
+	"locusroute/internal/tracev"
+)
+
+// testCircuit generates a small circuit shared by the facade tests.
+func testCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := circuit.Generate(circuit.GenParams{
+		Name: "facade", Channels: 6, Grids: 80, Wires: 60, MeanSpan: 10, LongFrac: 0.1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSequentialMatchesDirectCall pins the facade to the internal
+// entrypoint it wraps: identical quality measures and final array.
+func TestSequentialMatchesDirectCall(t *testing.T) {
+	c := testCircuit(t)
+	be, err := NewSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Route(context.Background(), Request{Circuit: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, arr := route.Sequential(c, route.DefaultParams())
+	if got.CircuitHeight != want.CircuitHeight || got.Occupancy != want.Occupancy {
+		t.Errorf("facade quality (%d, %d) != direct (%d, %d)",
+			got.CircuitHeight, got.Occupancy, want.CircuitHeight, want.Occupancy)
+	}
+	if got.Final == nil || got.Final.CircuitHeight() != arr.CircuitHeight() {
+		t.Errorf("facade final array missing or diverged")
+	}
+	if got.Backend != Sequential || got.Procs != 1 {
+		t.Errorf("result metadata = (%s, %d), want (sequential, 1)", got.Backend, got.Procs)
+	}
+}
+
+// TestMessagePassingMatchesDirectCall pins the MP DES facade wiring
+// (default threshold-1000 assignment, standard sender initiated
+// schedule) to the direct mp.Run call with the same configuration.
+func TestMessagePassingMatchesDirectCall(t *testing.T) {
+	c := testCircuit(t)
+	const procs = 4
+	be, err := NewMessagePassing(WithProcs(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Route(context.Background(), Request{Circuit: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	px, py := geom.SquarestFactors(procs)
+	part, err := geom.NewPartition(c.Grid, px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := assign.AssignThreshold(c, part, 1000)
+	cfg := mp.DefaultConfig(mp.SenderInitiated(2, 10))
+	cfg.Procs = procs
+	want, err := mp.Run(c, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CircuitHeight != want.CircuitHeight || got.Occupancy != want.Occupancy {
+		t.Errorf("facade quality (%d, %d) != direct (%d, %d)",
+			got.CircuitHeight, got.Occupancy, want.CircuitHeight, want.Occupancy)
+	}
+	if got.SimTime != time.Duration(want.Time) {
+		t.Errorf("facade sim time %v != direct %v", got.SimTime, want.Time)
+	}
+	if got.MP == nil || got.MP.UpdateBytes != want.UpdateBytes {
+		t.Errorf("facade MP detail missing or diverged")
+	}
+}
+
+// TestTracedSharedMemoryMatchesDirectCall pins the traced SM facade to
+// sm.RunTraced with the dynamic distributed loop.
+func TestTracedSharedMemoryMatchesDirectCall(t *testing.T) {
+	c := testCircuit(t)
+	be, err := NewTracedSharedMemory(WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Route(context.Background(), Request{Circuit: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sm.DefaultConfig()
+	cfg.Procs = 4
+	want, tr, err := sm.RunTraced(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CircuitHeight != want.CircuitHeight || got.Occupancy != want.Occupancy {
+		t.Errorf("facade quality (%d, %d) != direct (%d, %d)",
+			got.CircuitHeight, got.Occupancy, want.CircuitHeight, want.Occupancy)
+	}
+	if got.RefTrace == nil || got.RefTrace.Len() != tr.Len() {
+		t.Errorf("facade reference trace missing or diverged")
+	}
+	if got.SimTime != time.Duration(want.Span) {
+		t.Errorf("facade sim time %v != direct span %v", got.SimTime, want.Span)
+	}
+}
+
+// TestLiveBackendsRoute smoke-tests the two goroutine runtimes through
+// the facade (their results are timing-dependent, so only structural
+// checks apply).
+func TestLiveBackendsRoute(t *testing.T) {
+	c := testCircuit(t)
+	for _, kind := range []Kind{SMLive, MPLive} {
+		be, err := New(kind, WithProcs(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := be.Route(context.Background(), Request{Circuit: c})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.CircuitHeight <= 0 || res.Occupancy <= 0 {
+			t.Errorf("%s: degenerate quality (%d, %d)", kind, res.CircuitHeight, res.Occupancy)
+		}
+		if res.Final == nil {
+			t.Errorf("%s: no final cost array", kind)
+		}
+	}
+}
+
+// TestOutsideGridRejected is the no-silent-clamping contract: a request
+// wire with a pin outside the circuit grid fails with a typed error
+// naming the wire and pin, on every backend.
+func TestOutsideGridRejected(t *testing.T) {
+	c := testCircuit(t)
+	bad := *c
+	bad.Wires = append(append([]Wire(nil), c.Wires...), Wire{
+		ID:   9999,
+		Pins: []Pin{geom.Pt(2, 2), geom.Pt(c.Grid.Grids+5, c.Grid.Channels+3)},
+	})
+	for _, kind := range Kinds() {
+		be, err := New(kind, WithProcs(procsFor(kind)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = be.Route(context.Background(), Request{Circuit: &bad})
+		var oge *OutsideGridError
+		if !errors.As(err, &oge) {
+			t.Fatalf("%s: error %v, want *OutsideGridError", kind, err)
+		}
+		if oge.WireID != 9999 {
+			t.Errorf("%s: error names wire %d, want 9999", kind, oge.WireID)
+		}
+	}
+}
+
+// procsFor returns a legal processor count per backend kind.
+func procsFor(kind Kind) int {
+	if kind == Sequential {
+		return 1
+	}
+	return 4
+}
+
+// TestValidateWires covers the boundary validation directly.
+func TestValidateWires(t *testing.T) {
+	g := geom.Grid{Channels: 4, Grids: 10}
+	ok := []Wire{{ID: 1, Pins: []Pin{geom.Pt(0, 0), geom.Pt(9, 3)}}}
+	if err := ValidateWires(g, ok); err != nil {
+		t.Errorf("in-grid wire rejected: %v", err)
+	}
+	if err := ValidateWires(g, []Wire{{ID: 2, Pins: []Pin{geom.Pt(0, 0)}}}); err == nil {
+		t.Error("single-pin wire accepted")
+	}
+	err := ValidateWires(g, []Wire{{ID: 3, Pins: []Pin{geom.Pt(0, 0), geom.Pt(10, 0)}}})
+	var oge *OutsideGridError
+	if !errors.As(err, &oge) || oge.Pin != geom.Pt(10, 0) {
+		t.Errorf("out-of-grid pin error = %v, want *OutsideGridError at (10,0)", err)
+	}
+}
+
+// TestOptionRejection checks that inapplicable options fail at
+// construction, not at Route time.
+func TestOptionRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"strategy on sequential", func() error {
+			_, err := NewSequential(WithStrategy(SenderInitiated(2, 10)))
+			return err
+		}},
+		{"procs on sequential", func() error {
+			_, err := NewSequential(WithProcs(4))
+			return err
+		}},
+		{"tracer on live MP", func() error {
+			_, err := NewLiveMessagePassing(WithTracer(tracev.New(0)))
+			return err
+		}},
+		{"topology on SM", func() error {
+			_, err := NewSharedMemory(WithTopology(2, 2))
+			return err
+		}},
+		{"dynamic order on MP", func() error {
+			_, err := NewMessagePassing(WithDynamicOrder())
+			return err
+		}},
+		{"zero procs", func() error {
+			_, err := NewSharedMemory(WithProcs(0))
+			return err
+		}},
+		{"unknown kind", func() error {
+			_, err := New(Kind("quantum"))
+			return err
+		}},
+	}
+	for _, cse := range cases {
+		if cse.err() == nil {
+			t.Errorf("%s: constructor accepted an inapplicable configuration", cse.name)
+		}
+	}
+}
+
+// TestObserverCollectsRuns checks WithObserver appends one document per
+// Route call with the backend and quality filled in.
+func TestObserverCollectsRuns(t *testing.T) {
+	c := testCircuit(t)
+	col := obs.NewCollector()
+	be, err := NewMessagePassing(WithProcs(4), WithObserver(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Route(context.Background(), Request{Circuit: c, Name: "row-1"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot("test")
+	if len(snap.Runs) != 1 {
+		t.Fatalf("collector has %d runs, want 1", len(snap.Runs))
+	}
+	r := snap.Runs[0]
+	if r.Name != "row-1" || r.Backend != string(MPDES) || r.Quality == nil {
+		t.Errorf("run document = %+v, want name row-1, backend mp-des, quality set", r)
+	}
+	if len(r.Nodes) != 4 {
+		t.Errorf("run document has %d node breakdowns, want 4", len(r.Nodes))
+	}
+}
+
+// TestCancelledContext checks both pre-run and mid-run cancellation
+// surfaces ctx.Err().
+func TestCancelledContext(t *testing.T) {
+	c := testCircuit(t)
+	be, err := NewSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := be.Route(ctx, Request{Circuit: c}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestIterationOverride checks the per-request override beats the
+// configured iteration count.
+func TestIterationOverride(t *testing.T) {
+	c := testCircuit(t)
+	be, err := NewSequential(WithIterations(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := be.Route(context.Background(), Request{Circuit: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := be.Route(context.Background(), Request{Circuit: c, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.WiresRouted != len(c.Wires) || three.WiresRouted != 3*len(c.Wires) {
+		t.Errorf("wires routed = %d and %d, want %d and %d",
+			one.WiresRouted, three.WiresRouted, len(c.Wires), 3*len(c.Wires))
+	}
+}
