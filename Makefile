@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: verify build test race bench bench-route paper
+.PHONY: verify build test race bench bench-route bench-policy paper
 
 verify: ## build, vet, full tests, and race-test the concurrent packages
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/... ./internal/locusd/...
+	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/... ./internal/locusd/... ./internal/policy/...
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ race:
 # Routing-kernel allocation benchmarks; compare against BENCH_route.json.
 bench-route:
 	$(GO) test -run '^$$' -bench 'BenchmarkRouteWire|BenchmarkSequential' -benchmem -benchtime 2s . ./internal/route/
+
+# Policy-chain element benchmarks (enabled vs disabled); compare against
+# BENCH_policy.json — the disabled rows must stay ~0 ns/op, 0 allocs/op.
+bench-policy:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s ./internal/policy/
 
 # Full paper-table benchmarks (several minutes).
 bench:

@@ -8,6 +8,16 @@
 //	       [-backend sequential|sm-live|sm-traced|mp-des|mp-live]
 //	       [-procs 16] [-shards 4] [-batch-window 2ms] [-max-batch 64]
 //	       [-max-in-flight 256] [-deadline 5s] [-par N]
+//	       [-admit-floor 0] [-rate-limit 0] [-rate-burst 0]
+//	       [-breaker-failures 0] [-breaker-cooldown 1s] [-cache-size 0]
+//	       [-edf]
+//
+// The policy flags assemble the request-path chain (internal/policy):
+// deadline admission, per-client token-bucket rate limiting, a circuit
+// breaker, a result cache keyed by (circuit, wire set, cost epoch), and
+// the criticality scheduler (-edf: earliest-deadline-first batches,
+// least-critical-first shedding). Each element is off by default and
+// costs nothing while disabled.
 //
 // On startup each circuit is routed once through the selected backend;
 // the resulting cost array seeds the serving replicas. Endpoints:
@@ -32,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +58,7 @@ func main() {
 	common := cli.New("locusd")
 	common.AddPar(flag.CommandLine, "bounds concurrent batch evaluations")
 	common.AddCircuitFile(flag.CommandLine)
+	common.AddPolicy(flag.CommandLine)
 	var (
 		addr        = flag.String("addr", ":8347", "listen address")
 		bench       = flag.String("bench", "both", "builtin circuits to serve: bnrE, MDC or both")
@@ -80,6 +92,7 @@ func main() {
 		MaxInFlight:     *maxInFlight,
 		DefaultDeadline: *deadline,
 		Pool:            common.Pool(),
+		Policy:          common.Policy(),
 	}
 	log.Printf("routing %d circuit(s) through the %s backend...", len(circuits), *backendKind)
 	srv, err := locusd.New(cfg, circuits...)
@@ -90,8 +103,16 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (%d shards/circuit, window %v, gate %d)",
-		*addr, *shards, *batchWindow, *maxInFlight)
+	elems := "none"
+	if els := srv.Chain().Elements(); len(els) > 0 {
+		names := make([]string, len(els))
+		for i, el := range els {
+			names[i] = el.Name()
+		}
+		elems = strings.Join(names, ",")
+	}
+	log.Printf("serving on %s (%d shards/circuit, window %v, gate %d, policy %s)",
+		*addr, *shards, *batchWindow, *maxInFlight, elems)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

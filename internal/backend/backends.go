@@ -1,4 +1,4 @@
-package locusroute
+package backend
 
 import (
 	"context"

@@ -12,10 +12,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"locusroute/internal/circuit"
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
+	"locusroute/internal/policy"
 )
 
 // ParErrorf is the uniform -par validation failure: every command
@@ -41,9 +43,19 @@ type Common struct {
 	// CircuitFile overrides the builtin benchmark with a circuit file
 	// (-circuit), when registered.
 	CircuitFile string
+	// Policy flags (AddPolicy): the request-path chain of the serving
+	// daemon. Zero values disable each element.
+	AdmitFloor      time.Duration
+	RateLimit       float64
+	RateBurst       int
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	CacheSize       int
+	EDF             bool
 
-	name   string
-	hasPar bool
+	name      string
+	hasPar    bool
+	hasPolicy bool
 }
 
 // New returns a Common for the named command; the name prefixes the
@@ -81,10 +93,62 @@ func (c *Common) AddCircuitFile(fs *flag.FlagSet) {
 	fs.StringVar(&c.CircuitFile, "circuit", "", "circuit file to route (text format; overrides -bench)")
 }
 
+// AddPolicy registers the request-path policy-chain flags of the
+// serving daemon. Every element defaults to off, keeping the chain nil
+// (zero-cost) unless asked for.
+func (c *Common) AddPolicy(fs *flag.FlagSet) {
+	fs.DurationVar(&c.AdmitFloor, "admit-floor", 0,
+		"reject requests whose deadline slack is below this floor (0 = no deadline admission)")
+	fs.Float64Var(&c.RateLimit, "rate-limit", 0,
+		"per-client sustained requests/second (0 = no rate limiting)")
+	fs.IntVar(&c.RateBurst, "rate-burst", 0,
+		"per-client burst size (0 = ceil of -rate-limit)")
+	fs.IntVar(&c.BreakerFailures, "breaker-failures", 0,
+		"consecutive deadline failures tripping the circuit breaker (0 = no breaker)")
+	fs.DurationVar(&c.BreakerCooldown, "breaker-cooldown", time.Second,
+		"how long a tripped breaker stays open before probing")
+	fs.IntVar(&c.CacheSize, "cache-size", 0,
+		"result cache entries, keyed by (circuit, wire set, cost epoch) (0 = no cache)")
+	fs.BoolVar(&c.EDF, "edf", false,
+		"earliest-deadline-first batch ordering and least-critical-first shedding")
+	c.hasPolicy = true
+}
+
+// Policy returns the chain configuration built from the AddPolicy
+// flags (the zero Config when AddPolicy was not registered).
+func (c *Common) Policy() policy.Config {
+	return policy.Config{
+		AdmitFloor:      c.AdmitFloor,
+		RatePerSec:      c.RateLimit,
+		Burst:           c.RateBurst,
+		BreakerFailures: c.BreakerFailures,
+		BreakerCooldown: c.BreakerCooldown,
+		CacheEntries:    c.CacheSize,
+		EDF:             c.EDF,
+	}
+}
+
 // Validate checks the parsed flags; call it right after flag.Parse.
 func (c *Common) Validate() error {
 	if c.hasPar && c.Par < 1 {
 		return ParErrorf(c.Par)
+	}
+	if c.hasPolicy {
+		if c.RateLimit < 0 {
+			return fmt.Errorf("-rate-limit must be >= 0 (got %g)", c.RateLimit)
+		}
+		if c.RateBurst < 0 {
+			return fmt.Errorf("-rate-burst must be >= 0 (got %d)", c.RateBurst)
+		}
+		if c.BreakerFailures < 0 {
+			return fmt.Errorf("-breaker-failures must be >= 0 (got %d)", c.BreakerFailures)
+		}
+		if c.CacheSize < 0 {
+			return fmt.Errorf("-cache-size must be >= 0 (got %d)", c.CacheSize)
+		}
+		if c.AdmitFloor < 0 {
+			return fmt.Errorf("-admit-floor must be >= 0 (got %v)", c.AdmitFloor)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,243 @@
+package locusd
+
+import (
+	"fmt"
+	"time"
+
+	"locusroute/internal/policy"
+	"locusroute/internal/route"
+)
+
+// This file is the dispatch stage of the request path: how admitted
+// requests become batches on a serving shard. Two disciplines exist
+// side by side:
+//
+//   - batchLoop (default): each shard owns a FIFO queue fed round-robin;
+//     the first arrival opens the batch window and arrivals are
+//     evaluated in arrival order.
+//   - edfLoop (policy.Sched enabled): shards pull from one deadline-
+//     ordered queue per circuit; the window still bounds latency but
+//     the batch is popped in earliest-deadline-first order, and a full
+//     admission gate preempts the slackest queued request instead of
+//     shedding the arrival (preempt).
+
+// batchLoop drains one shard's FIFO queue: the first arrival opens a
+// batch, the window (or MaxBatch, or drain) closes it, and the batch is
+// evaluated under the pool.
+func (s *Server) batchLoop(sc *servedCircuit, sh *shard) {
+	defer s.loops.Done()
+	for {
+		var first *pending
+		select {
+		case first = <-sh.queue:
+		case <-s.stop:
+			// Drain: evaluate whatever is still queued, then exit.
+			for {
+				select {
+				case p := <-sh.queue:
+					s.cfg.Pool.Run(func() { s.process(sh, sc, []*pending{p}) })
+				default:
+					return
+				}
+			}
+		}
+		batch := []*pending{first}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case p := <-sh.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			case <-s.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.cfg.Pool.Run(func() { s.process(sh, sc, batch) })
+	}
+}
+
+// edfLoop pulls deadline-ordered batches from the circuit's shared
+// queue. Requests stay in the queue until the window closes — that is
+// what keeps them visible to preempt — and PopBatch hands them over
+// already in earliest-deadline-first order, so the shard commits the
+// most critical work first.
+func (s *Server) edfLoop(sc *servedCircuit, sh *shard) {
+	defer s.loops.Done()
+	q := sc.queue
+	for {
+		if q.Len() == 0 {
+			select {
+			case <-q.C():
+			case <-s.stop:
+				s.drainEDF(sc, sh)
+				return
+			}
+		}
+		// First arrival seen: open the window. More arrivals only bump
+		// the wake channel; the queue orders them.
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	window:
+		for {
+			select {
+			case <-timer.C:
+				break window
+			case <-s.stop:
+				break window
+			case <-q.C():
+				if q.Len() >= s.cfg.MaxBatch {
+					break window
+				}
+			}
+		}
+		timer.Stop()
+		batch := q.PopBatch(s.cfg.MaxBatch)
+		if q.Len() > 0 {
+			// Partial drain: re-arm the wake channel so a sibling shard
+			// (or the next lap) picks up the remainder.
+			q.Signal()
+		}
+		if len(batch) == 0 {
+			// The wave was consumed by a sibling or evicted by preempt.
+			continue
+		}
+		s.chain.Sched().NoteBatch()
+		pend := make([]*pending, len(batch))
+		for i, it := range batch {
+			pend[i] = it.Value.(*pending)
+		}
+		s.cfg.Pool.Run(func() { s.process(sh, sc, pend) })
+	}
+}
+
+// drainEDF evaluates everything still queued at shutdown. Close waits
+// for in-flight requests before closing stop, so the queue cannot grow
+// underneath the drain.
+func (s *Server) drainEDF(sc *servedCircuit, sh *shard) {
+	for {
+		batch := sc.queue.PopBatch(s.cfg.MaxBatch)
+		if len(batch) == 0 {
+			return
+		}
+		pend := make([]*pending, len(batch))
+		for i, it := range batch {
+			pend[i] = it.Value.(*pending)
+		}
+		s.cfg.Pool.Run(func() { s.process(sh, sc, pend) })
+	}
+}
+
+// preempt implements least-critical-first shedding: with the gate full,
+// find the queued request with the slackest deadline across all served
+// circuits and, if it is strictly less critical than the arrival,
+// shed it (429 to its caller) and take its admission slot. Returns
+// whether a slot was obtained; false falls back to shedding the
+// arrival, which is then itself the least critical request present.
+func (s *Server) preempt(deadline time.Time) bool {
+	sched := s.chain.Sched()
+	if sched == nil {
+		return false
+	}
+	// Two laps: freeing the victim's slot and re-entering the gate is
+	// not atomic, so a concurrent arrival can take the freed slot; one
+	// retry keeps the preemption useful under that race without
+	// spinning.
+	for lap := 0; lap < 2; lap++ {
+		var victimQ *policy.EDFQueue
+		var slackest time.Time
+		for _, name := range s.names {
+			q := s.circuits[name].queue
+			if d, ok := q.SlackestDeadline(); ok {
+				if victimQ == nil || policy.DeadlineLess(slackest, d) {
+					victimQ, slackest = q, d
+				}
+			}
+		}
+		if victimQ == nil {
+			return false
+		}
+		it := victimQ.EvictSlackest(deadline)
+		if it == nil {
+			// The arrival is the least critical request present.
+			return false
+		}
+		victim := it.Value.(*pending)
+		sched.NoteEviction()
+		s.met.mu.Lock()
+		s.met.shed++
+		s.met.evicted++
+		s.met.mu.Unlock()
+		victim.done <- outcome{err: fmt.Errorf("%w (slack %v lost to a tighter deadline)",
+			policy.ErrEvicted, time.Until(it.Deadline).Round(time.Millisecond))}
+		s.releaseGate(victim)
+		if s.gate.TryEnter() {
+			return true
+		}
+	}
+	return false
+}
+
+// process evaluates one batch against the shard's replica. Only one
+// loop calls process for a given shard, so the array and scratch need
+// no locks. EDF batches arrive deadline-ordered; FIFO batches arrive
+// in arrival order — either way BatchIndex records the commit order.
+func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
+	view := route.ArrayView{A: sh.arr}
+	for i, p := range batch {
+		if p.ctx.Err() != nil {
+			s.count(&s.met.expired)
+			p.done <- outcome{err: ErrDeadline}
+			continue
+		}
+		wait := time.Since(p.enqueued)
+		ev := sh.scratch.RouteWire(view, &p.req.Wire, s.cfg.Router)
+		committed := false
+		if p.req.Commit {
+			route.Commit(view, ev.Path)
+			sc.epoch.Add(1)
+			committed = true
+		}
+		s.met.mu.Lock()
+		s.met.served++
+		if committed {
+			s.met.committed++
+		}
+		s.met.batchSize.Observe(int64(len(batch)))
+		s.met.waitUs.Observe(wait.Microseconds())
+		s.met.routeCost.Observe(ev.Cost)
+		s.met.mu.Unlock()
+		p.done <- outcome{resp: RouteResponse{
+			Circuit:       p.req.Circuit,
+			Shard:         sh.id,
+			WireID:        p.req.Wire.ID,
+			Cost:          ev.Cost,
+			PathCells:     ev.Path.Len(),
+			CellsExamined: ev.CellsExamined,
+			BatchSize:     len(batch),
+			BatchIndex:    i,
+			Committed:     committed,
+			WaitMicros:    wait.Microseconds(),
+		}}
+	}
+}
+
+// RetryAfterSeconds estimates the drain time of the current backlog —
+// the Retry-After a 429 carries. The gate's in-flight count is the
+// backlog; every batch window the shards can retire up to
+// totalShards*MaxBatch of it. The estimate is rounded up to whole
+// seconds (the header's unit), minimum 1.
+func (s *Server) RetryAfterSeconds() int {
+	perWindow := s.totalShards * s.cfg.MaxBatch
+	windows := (s.gate.InFlight() + perWindow - 1) / perWindow
+	if windows < 1 {
+		windows = 1
+	}
+	d := time.Duration(windows) * s.cfg.BatchWindow
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

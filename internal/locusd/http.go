@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"locusroute/internal/backend"
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
 	"locusroute/internal/obs"
-	"locusroute/pkg/locusroute"
+	"locusroute/internal/policy"
 )
 
 // routeBody is the POST /route request document.
@@ -73,24 +76,70 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
-	resp, err := s.Route(ctx, RouteRequest{Circuit: body.Circuit, Wire: wire, Commit: body.Commit})
+	resp, err := s.Route(ctx, RouteRequest{
+		Circuit: body.Circuit,
+		Wire:    wire,
+		Commit:  body.Commit,
+		Client:  clientIdentity(r),
+	})
 	if err != nil {
-		writeJSON(w, statusFor(err), errorBody{err.Error()})
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statusFor maps service errors to HTTP codes. writeJSON adds the
-// Retry-After header on 429.
-func statusFor(err error) int {
-	var oge *locusroute.OutsideGridError
+// clientIdentity is the rate limiter's caller key: the X-Client header
+// when present, else the remote host.
+func clientIdentity(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// writeError maps a service error to its HTTP response, attaching the
+// Retry-After contract on backpressure codes: gate sheds and criticality
+// evictions report the estimated backlog drain time (queue state, not a
+// constant), rate limits report the client's token refill time, and an
+// open breaker reports its cooldown remainder.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	var rle *policy.RateLimitedError
+	var boe *policy.BreakerOpenError
 	switch {
-	case errors.Is(err, ErrShed):
+	case errors.Is(err, ErrShed) || errors.Is(err, policy.ErrEvicted):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+	case errors.As(err, &rle):
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(rle.RetryAfter)))
+	case errors.As(err, &boe):
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(boe.RetryAfter)))
+	}
+	writeJSON(w, code, errorBody{err.Error()})
+}
+
+// ceilSeconds rounds a duration up to whole seconds, minimum 1 — the
+// Retry-After header's unit.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// statusFor maps service and policy errors to HTTP codes.
+func statusFor(err error) int {
+	var oge *backend.OutsideGridError
+	switch {
+	case errors.Is(err, ErrShed), errors.Is(err, policy.ErrEvicted), errors.Is(err, policy.ErrRateLimited):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, policy.ErrBreakerOpen):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrDeadline):
+	case errors.Is(err, ErrDeadline), errors.Is(err, policy.ErrDeadlineInfeasible):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrUnknownCircuit):
 		return http.StatusNotFound
@@ -110,6 +159,7 @@ type circuitDoc struct {
 	Backend       string `json:"baseline_backend"`
 	CircuitHeight int64  `json:"baseline_circuit_height"`
 	Occupancy     int64  `json:"baseline_occupancy"`
+	CostEpoch     uint64 `json:"cost_epoch"`
 }
 
 type circuitsDoc struct {
@@ -129,6 +179,7 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 			Backend:       string(sc.baseline.Backend),
 			CircuitHeight: sc.baseline.CircuitHeight,
 			Occupancy:     sc.baseline.Occupancy,
+			CostEpoch:     sc.epoch.Load(),
 		})
 	}
 	writeJSON(w, http.StatusOK, doc)
@@ -150,6 +201,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, doc)
 }
 
+// counterDoc is one policy-element counter in /debug/vars.
+type counterDoc struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// elementVarsDoc is one policy element's counters in /debug/vars.
+type elementVarsDoc struct {
+	Element  string       `json:"element"`
+	Counters []counterDoc `json:"counters"`
+}
+
 // varsDoc is the /debug/vars document; field order is the struct order,
 // so the rendering is stable.
 type varsDoc struct {
@@ -160,8 +223,12 @@ type varsDoc struct {
 	Served    int64             `json:"served"`
 	Committed int64             `json:"committed"`
 	Shed      int64             `json:"shed"`
+	Evicted   int64             `json:"evicted"`
 	Expired   int64             `json:"expired"`
 	Rejected  int64             `json:"rejected"`
+	Denied    int64             `json:"denied"`
+	CacheHits int64             `json:"cache_hits"`
+	Policy    []elementVarsDoc  `json:"policy,omitempty"`
 	BatchSize *obs.HistogramDoc `json:"batch_size,omitempty"`
 	WaitUs    *obs.HistogramDoc `json:"wait_us,omitempty"`
 	RouteCost *obs.HistogramDoc `json:"route_cost,omitempty"`
@@ -169,8 +236,7 @@ type varsDoc struct {
 
 func (s *Server) vars() varsDoc {
 	s.met.mu.Lock()
-	defer s.met.mu.Unlock()
-	return varsDoc{
+	doc := varsDoc{
 		UptimeMS:  time.Since(s.started).Milliseconds(),
 		Draining:  s.Draining(),
 		InFlight:  s.InFlight(),
@@ -178,12 +244,24 @@ func (s *Server) vars() varsDoc {
 		Served:    s.met.served,
 		Committed: s.met.committed,
 		Shed:      s.met.shed,
+		Evicted:   s.met.evicted,
 		Expired:   s.met.expired,
 		Rejected:  s.met.rejected,
+		Denied:    s.met.denied,
+		CacheHits: s.met.cacheHits,
 		BatchSize: s.met.batchSize.Doc(),
 		WaitUs:    s.met.waitUs.Doc(),
 		RouteCost: s.met.routeCost.Doc(),
 	}
+	s.met.mu.Unlock()
+	for _, el := range s.chain.Elements() {
+		ev := elementVarsDoc{Element: el.Name()}
+		for _, c := range el.Counters() {
+			ev.Counters = append(ev.Counters, counterDoc{Name: c.Name, Value: c.Value})
+		}
+		doc.Policy = append(doc.Policy, ev)
+	}
+	return doc
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
@@ -191,52 +269,46 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics renders the Prometheus text exposition format from the
-// same numbers as /debug/vars. Histogram buckets are cumulative, as the
-// format requires.
+// same numbers as /debug/vars, through the shared obs.PromText writer.
+// Policy-element counters export as
+// locusd_policy_<counter>{element="<name>"} series.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	v := s.vars()
-	var b strings.Builder
-	counter := func(name, help string, val int64) {
-		fmt.Fprintf(&b, "# HELP locusd_%s %s\n# TYPE locusd_%s counter\nlocusd_%s %d\n", name, help, name, name, val)
-	}
-	gauge := func(name, help string, val int64) {
-		fmt.Fprintf(&b, "# HELP locusd_%s %s\n# TYPE locusd_%s gauge\nlocusd_%s %d\n", name, help, name, name, val)
-	}
-	hist := func(name, help string, d *obs.HistogramDoc) {
-		fmt.Fprintf(&b, "# HELP locusd_%s %s\n# TYPE locusd_%s histogram\n", name, help, name)
-		var cum int64
-		if d != nil {
-			for _, bk := range d.Buckets {
-				cum += bk.Count
-				fmt.Fprintf(&b, "locusd_%s_bucket{le=\"%d\"} %d\n", name, bk.Le, cum)
+	var pt obs.PromText
+	pt.Counter("locusd_requests_served_total", "wire evaluations completed", v.Served)
+	pt.Counter("locusd_requests_committed_total", "evaluations committed to a serving replica", v.Committed)
+	pt.Counter("locusd_requests_shed_total", "requests shed with 429 at the admission gate", v.Shed)
+	pt.Counter("locusd_requests_evicted_total", "queued requests shed for more critical arrivals", v.Evicted)
+	pt.Counter("locusd_requests_expired_total", "requests whose deadline expired before evaluation", v.Expired)
+	pt.Counter("locusd_requests_rejected_total", "requests rejected by validation", v.Rejected)
+	pt.Counter("locusd_requests_denied_total", "requests denied by the policy chain", v.Denied)
+	pt.Counter("locusd_cache_hits_total", "requests answered from the result cache", v.CacheHits)
+	pt.Gauge("locusd_in_flight", "admitted requests currently in flight", int64(v.InFlight))
+	pt.Gauge("locusd_capacity", "admission gate capacity", int64(v.Capacity))
+	// Element counters share metric names across elements (the element
+	// label distinguishes series), so the help text is the first
+	// element's; PromText guarantees one HELP/TYPE pair per name.
+	for _, el := range s.chain.Elements() {
+		label := obs.Label{Name: "element", Value: el.Name()}
+		for _, c := range el.Counters() {
+			if strings.HasSuffix(c.Name, "_total") {
+				pt.Counter("locusd_policy_"+c.Name, c.Help, c.Value, label)
+			} else {
+				pt.Gauge("locusd_policy_"+c.Name, c.Help, c.Value, label)
 			}
-			fmt.Fprintf(&b, "locusd_%s_bucket{le=\"+Inf\"} %d\n", name, d.Count)
-			fmt.Fprintf(&b, "locusd_%s_sum %d\nlocusd_%s_count %d\n", name, d.Sum, name, d.Count)
-		} else {
-			fmt.Fprintf(&b, "locusd_%s_bucket{le=\"+Inf\"} 0\nlocusd_%s_sum 0\nlocusd_%s_count 0\n", name, name, name)
 		}
 	}
-	counter("requests_served_total", "wire evaluations completed", v.Served)
-	counter("requests_committed_total", "evaluations committed to a serving replica", v.Committed)
-	counter("requests_shed_total", "requests shed with 429 at the admission gate", v.Shed)
-	counter("requests_expired_total", "requests whose deadline expired before evaluation", v.Expired)
-	counter("requests_rejected_total", "requests rejected by validation", v.Rejected)
-	gauge("in_flight", "admitted requests currently in flight", int64(v.InFlight))
-	gauge("capacity", "admission gate capacity", int64(v.Capacity))
-	hist("batch_size", "wires per evaluated batch", v.BatchSize)
-	hist("wait_us", "microseconds from admission to evaluation", v.WaitUs)
-	hist("route_cost", "chosen path cost per evaluation", v.RouteCost)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(b.String()))
+	pt.Histogram("locusd_batch_size", "wires per evaluated batch", v.BatchSize)
+	pt.Histogram("locusd_wait_us", "microseconds from admission to evaluation", v.WaitUs)
+	pt.Histogram("locusd_route_cost", "chosen path cost per evaluation", v.RouteCost)
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = w.Write(pt.Bytes())
 }
 
-// writeJSON writes one JSON document with the right headers. 429
-// responses carry Retry-After, the contract the clients' backoff uses.
+// writeJSON writes one JSON document with the right headers; error paths
+// that owe the client a Retry-After set it before calling (writeError).
 func writeJSON(w http.ResponseWriter, code int, doc any) {
 	w.Header().Set("Content-Type", "application/json")
-	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -10,6 +10,16 @@
 // shared array, and a committed wire lands only on the replica that
 // served it.
 //
+// The request path is a policy chain (internal/policy) around a batching
+// core. Admission runs deadline feasibility, per-client rate limiting
+// and a circuit breaker; a result cache keyed by (circuit, wire set,
+// cost epoch) can answer repeats without routing; and the criticality
+// scheduler replaces FIFO round-robin dispatch with earliest-deadline-
+// first ordering inside the batch window plus least-critical-first
+// shedding at the admission gate. Every element is nil when disabled —
+// a fully disabled chain leaves the request path byte-for-byte on the
+// original batching core at zero measurable cost (BENCH_policy.json).
+//
 // Requests that arrive at a shard within one batching window are grouped
 // and evaluated back to back through the shard's scratch space (one
 // Scratch per shard is what makes the steady state allocation-free). A
@@ -27,12 +37,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locusroute/internal/backend"
 	"locusroute/internal/circuit"
 	"locusroute/internal/costarray"
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
+	"locusroute/internal/policy"
 	"locusroute/internal/route"
-	"locusroute/pkg/locusroute"
 )
 
 // Config sizes the service. The zero value of every field has a sensible
@@ -41,7 +52,7 @@ type Config struct {
 	// Backend selects the pkg/locusroute implementation that routes each
 	// circuit at startup to produce the baseline congestion state
 	// (default Sequential, the reference router).
-	Backend locusroute.Kind
+	Backend backend.Kind
 	// Procs is the processor count for the baseline backend (ignored for
 	// Sequential; default 16, the paper's machine size).
 	Procs int
@@ -64,12 +75,15 @@ type Config struct {
 	Pool *par.Pool
 	// Router tunes the route kernel (zero value = route.DefaultParams).
 	Router route.Params
+	// Policy configures the request-path chain; the zero value disables
+	// every element, leaving the original FIFO round-robin path.
+	Policy policy.Config
 }
 
 // withDefaults fills the zero fields.
 func (c Config) withDefaults() Config {
 	if c.Backend == "" {
-		c.Backend = locusroute.Sequential
+		c.Backend = backend.Sequential
 	}
 	if c.Procs < 1 {
 		c.Procs = 16
@@ -119,6 +133,9 @@ type RouteRequest struct {
 	// Commit places the evaluated path on the serving shard's replica,
 	// making it visible to later requests on the same shard.
 	Commit bool
+	// Client identifies the caller for per-client rate limiting (the
+	// HTTP layer fills it from the X-Client header or the remote host).
+	Client string
 }
 
 // RouteResponse reports one evaluation.
@@ -130,7 +147,9 @@ type RouteResponse struct {
 	PathCells     int    `json:"path_cells"`
 	CellsExamined int    `json:"cells_examined"`
 	BatchSize     int    `json:"batch_size"`
+	BatchIndex    int    `json:"batch_index"`
 	Committed     bool   `json:"committed"`
+	Cached        bool   `json:"cached"`
 	WaitMicros    int64  `json:"wait_us"`
 }
 
@@ -138,8 +157,13 @@ type RouteResponse struct {
 type pending struct {
 	req      RouteRequest
 	ctx      context.Context
+	deadline time.Time // ctx deadline (zero = none); the EDF criticality
 	enqueued time.Time
 	done     chan outcome
+	// gateHeld arbitrates the request's admission slot between its own
+	// goroutine and a preempting one: whoever flips true->false releases
+	// the gate, exactly once.
+	gateHeld atomic.Bool
 }
 
 type outcome struct {
@@ -153,15 +177,23 @@ type shard struct {
 	id      int
 	arr     *costarray.CostArray
 	scratch *route.Scratch
-	queue   chan *pending
+	queue   chan *pending // FIFO dispatch; unused under EDF
 }
 
 // servedCircuit is one preloaded circuit and its replicas.
 type servedCircuit struct {
 	circ     *circuit.Circuit
-	baseline locusroute.Result
+	baseline backend.Result
 	shards   []*shard
-	next     atomic.Uint64 // round-robin dispatch cursor
+	next     atomic.Uint64 // round-robin dispatch cursor (FIFO mode)
+	// queue is the circuit's deadline-ordered request queue; non-nil
+	// only under the EDF scheduler, where shards pull batches from it
+	// instead of owning FIFO queues.
+	queue *policy.EDFQueue
+	// epoch counts committed paths across all of the circuit's shards:
+	// the result cache's invalidation clock. Any commit advances it, so
+	// cache hits are only served against unchanged congestion state.
+	epoch atomic.Uint64
 }
 
 // metrics aggregates service counters and latency/batch histograms.
@@ -171,8 +203,11 @@ type metrics struct {
 	mu        sync.Mutex
 	served    int64
 	shed      int64
+	evicted   int64 // shed by criticality preemption (subset of shed)
 	expired   int64
 	rejected  int64 // validation failures
+	denied    int64 // policy-chain rejections (deadline/rate/breaker)
+	cacheHits int64
 	committed int64
 	batchSize obs.Histogram
 	waitUs    obs.Histogram
@@ -182,10 +217,12 @@ type metrics struct {
 // Server is the routing service. Create with New, serve its Handler,
 // then BeginDrain + Close on shutdown.
 type Server struct {
-	cfg      Config
-	gate     par.Gate
-	circuits map[string]*servedCircuit
-	names    []string // stable iteration order for /circuits and /debug/vars
+	cfg         Config
+	chain       *policy.Chain
+	gate        par.Gate
+	circuits    map[string]*servedCircuit
+	names       []string // stable iteration order for /circuits and /debug/vars
+	totalShards int
 
 	met      metrics
 	draining atomic.Bool
@@ -203,30 +240,35 @@ func New(cfg Config, circuits ...*circuit.Circuit) (*Server, error) {
 	if len(circuits) == 0 {
 		return nil, errors.New("locusd: no circuits to serve")
 	}
-	opts := []locusroute.Option{locusroute.WithRouter(cfg.Router)}
-	if cfg.Backend != locusroute.Sequential {
-		opts = append(opts, locusroute.WithProcs(cfg.Procs))
+	opts := []backend.Option{backend.WithRouter(cfg.Router)}
+	if cfg.Backend != backend.Sequential {
+		opts = append(opts, backend.WithProcs(cfg.Procs))
 	}
-	backend, err := locusroute.New(cfg.Backend, opts...)
+	be, err := backend.New(cfg.Backend, opts...)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:      cfg,
+		chain:    policy.New(cfg.Policy),
 		gate:     par.NewGate(cfg.MaxInFlight),
 		circuits: make(map[string]*servedCircuit, len(circuits)),
 		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
+	edf := s.chain.Sched() != nil
 	for _, c := range circuits {
 		if _, dup := s.circuits[c.Name]; dup {
 			return nil, fmt.Errorf("locusd: duplicate circuit name %q", c.Name)
 		}
-		base, err := backend.Route(context.Background(), locusroute.Request{Circuit: c})
+		base, err := be.Route(context.Background(), backend.Request{Circuit: c})
 		if err != nil {
 			return nil, fmt.Errorf("locusd: baseline routing of %q: %w", c.Name, err)
 		}
 		sc := &servedCircuit{circ: c, baseline: base}
+		if edf {
+			sc.queue = policy.NewEDFQueue()
+		}
 		for i := 0; i < cfg.Shards; i++ {
 			sh := &shard{
 				id:      i,
@@ -236,10 +278,15 @@ func New(cfg Config, circuits ...*circuit.Circuit) (*Server, error) {
 			}
 			sc.shards = append(sc.shards, sh)
 			s.loops.Add(1)
-			go s.batchLoop(sh)
+			if edf {
+				go s.edfLoop(sc, sh)
+			} else {
+				go s.batchLoop(sc, sh)
+			}
 		}
 		s.circuits[c.Name] = sc
 		s.names = append(s.names, c.Name)
+		s.totalShards += cfg.Shards
 	}
 	sort.Strings(s.names)
 	return s, nil
@@ -260,114 +307,96 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 	if !ok {
 		return RouteResponse{}, fmt.Errorf("%w %q (serving %v)", ErrUnknownCircuit, req.Circuit, s.names)
 	}
-	if err := locusroute.ValidateWires(sc.circ.Grid, []circuit.Wire{req.Wire}); err != nil {
+	if err := backend.ValidateWires(sc.circ.Grid, []circuit.Wire{req.Wire}); err != nil {
 		s.count(&s.met.rejected)
 		return RouteResponse{}, err
 	}
-	if !s.gate.TryEnter() {
-		s.count(&s.met.shed)
-		return RouteResponse{}, ErrShed
-	}
-	defer s.gate.Leave()
+	now := time.Now()
+	deadline, _ := ctx.Deadline()
 
-	p := &pending{req: req, ctx: ctx, enqueued: time.Now(), done: make(chan outcome, 1)}
-	sh := sc.shards[sc.next.Add(1)%uint64(len(sc.shards))]
-	select {
-	case sh.queue <- p:
-	case <-ctx.Done():
-		s.count(&s.met.expired)
-		return RouteResponse{}, ErrDeadline
+	// Policy chain: gatekeepers, then the result cache. The whole block
+	// is skipped on the nil chain — the zero-cost disabled path.
+	var preq policy.Request
+	var epoch uint64
+	if s.chain != nil {
+		preq = policy.Request{
+			Client:   req.Client,
+			Circuit:  req.Circuit,
+			Key:      policy.KeyPins(req.Wire.Pins),
+			Deadline: deadline,
+			Commit:   req.Commit,
+		}
+		if err := s.chain.Admit(now, &preq); err != nil {
+			s.count(&s.met.denied)
+			return RouteResponse{}, err
+		}
+		// The epoch is captured before dispatch: a result evaluated
+		// while a commit lands is stored under the pre-commit epoch and
+		// can never be served against the new congestion state.
+		epoch = sc.epoch.Load()
+		if v, hit := s.chain.Lookup(&preq, epoch); hit {
+			resp := v.(RouteResponse)
+			resp.WireID = req.Wire.ID
+			resp.Cached = true
+			resp.BatchSize = 0
+			resp.BatchIndex = 0
+			resp.WaitMicros = 0
+			s.count(&s.met.cacheHits)
+			s.chain.Observe(time.Now(), false)
+			return resp, nil
+		}
+	}
+
+	p := &pending{req: req, ctx: ctx, deadline: deadline, enqueued: now, done: make(chan outcome, 1)}
+	if !s.gate.TryEnter() {
+		// Full gate: under the criticality scheduler, try to take the
+		// slot of a strictly less critical queued request instead of
+		// shedding the arrival.
+		if !s.preempt(deadline) {
+			s.count(&s.met.shed)
+			return RouteResponse{}, ErrShed
+		}
+	}
+	p.gateHeld.Store(true)
+	defer s.releaseGate(p)
+
+	if sched := s.chain.Sched(); sched != nil {
+		sched.NoteScheduled()
+		sc.queue.Push(&policy.Item{Deadline: deadline, Value: p})
+	} else {
+		sh := sc.shards[sc.next.Add(1)%uint64(len(sc.shards))]
+		select {
+		case sh.queue <- p:
+		case <-ctx.Done():
+			s.count(&s.met.expired)
+			s.chain.Observe(time.Now(), true)
+			return RouteResponse{}, ErrDeadline
+		}
 	}
 	select {
 	case out := <-p.done:
+		s.chain.Observe(time.Now(), errors.Is(out.err, ErrDeadline))
 		if out.err != nil {
 			return RouteResponse{}, out.err
+		}
+		if s.chain != nil {
+			s.chain.Store(&preq, epoch, out.resp)
 		}
 		return out.resp, nil
 	case <-ctx.Done():
 		// The shard will still evaluate (or expire) the entry; its
 		// buffered done send is discarded.
 		s.count(&s.met.expired)
+		s.chain.Observe(time.Now(), true)
 		return RouteResponse{}, ErrDeadline
 	}
 }
 
-// batchLoop drains one shard's queue: the first arrival opens a batch,
-// the window (or MaxBatch, or drain) closes it, and the batch is
-// evaluated under the pool.
-func (s *Server) batchLoop(sh *shard) {
-	defer s.loops.Done()
-	for {
-		var first *pending
-		select {
-		case first = <-sh.queue:
-		case <-s.stop:
-			// Drain: evaluate whatever is still queued, then exit.
-			for {
-				select {
-				case p := <-sh.queue:
-					s.cfg.Pool.Run(func() { s.process(sh, []*pending{p}) })
-				default:
-					return
-				}
-			}
-		}
-		batch := []*pending{first}
-		timer := time.NewTimer(s.cfg.BatchWindow)
-	collect:
-		for len(batch) < s.cfg.MaxBatch {
-			select {
-			case p := <-sh.queue:
-				batch = append(batch, p)
-			case <-timer.C:
-				break collect
-			case <-s.stop:
-				break collect
-			}
-		}
-		timer.Stop()
-		s.cfg.Pool.Run(func() { s.process(sh, batch) })
-	}
-}
-
-// process evaluates one batch against the shard's replica. Only the
-// owning batchLoop calls process for a given shard, so the array and
-// scratch need no locks.
-func (s *Server) process(sh *shard, batch []*pending) {
-	view := route.ArrayView{A: sh.arr}
-	for _, p := range batch {
-		if p.ctx.Err() != nil {
-			s.count(&s.met.expired)
-			p.done <- outcome{err: ErrDeadline}
-			continue
-		}
-		wait := time.Since(p.enqueued)
-		ev := sh.scratch.RouteWire(view, &p.req.Wire, s.cfg.Router)
-		committed := false
-		if p.req.Commit {
-			route.Commit(view, ev.Path)
-			committed = true
-		}
-		s.met.mu.Lock()
-		s.met.served++
-		if committed {
-			s.met.committed++
-		}
-		s.met.batchSize.Observe(int64(len(batch)))
-		s.met.waitUs.Observe(wait.Microseconds())
-		s.met.routeCost.Observe(ev.Cost)
-		s.met.mu.Unlock()
-		p.done <- outcome{resp: RouteResponse{
-			Circuit:       p.req.Circuit,
-			Shard:         sh.id,
-			WireID:        p.req.Wire.ID,
-			Cost:          ev.Cost,
-			PathCells:     ev.Path.Len(),
-			CellsExamined: ev.CellsExamined,
-			BatchSize:     len(batch),
-			Committed:     committed,
-			WaitMicros:    wait.Microseconds(),
-		}}
+// releaseGate frees p's admission slot exactly once, whether its own
+// goroutine or a preempting arrival gets there first.
+func (s *Server) releaseGate(p *pending) {
+	if p.gateHeld.CompareAndSwap(true, false) {
+		s.gate.Leave()
 	}
 }
 
@@ -383,6 +412,21 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // InFlight reports currently admitted requests.
 func (s *Server) InFlight() int { return s.gate.InFlight() }
+
+// Chain exposes the policy chain (nil when fully disabled) for metrics
+// surfaces and embedders.
+func (s *Server) Chain() *policy.Chain { return s.chain }
+
+// Epoch reports a served circuit's current cost epoch (its commit
+// count), the result cache's invalidation clock. Unknown circuits
+// report 0.
+func (s *Server) Epoch(circuitName string) uint64 {
+	sc, ok := s.circuits[circuitName]
+	if !ok {
+		return 0
+	}
+	return sc.epoch.Load()
+}
 
 // BeginDrain stops admitting new requests; in-flight requests keep
 // running. Safe to call more than once.

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PromText renders the Prometheus text exposition format (version
+// 0.0.4) by hand — the serving layer's /metrics endpoint without a
+// client-library dependency. It enforces the format's structural rules
+// so callers cannot emit an invalid page:
+//
+//   - HELP and TYPE lines appear exactly once per metric name, before
+//     its first sample, even when many labelled series share the name;
+//   - label values are escaped (backslash, double quote, newline);
+//   - histograms render cumulative buckets ending in le="+Inf" plus the
+//     _sum and _count series, as the format requires.
+//
+// The zero value is ready to use; render with the fluent methods and
+// collect the page with String or Bytes.
+type PromText struct {
+	b    strings.Builder
+	seen map[string]string // metric name -> emitted TYPE
+}
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// ContentType is the exposition content type for HTTP responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// EscapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// header writes the HELP/TYPE preamble the first time name appears.
+// Later calls for the same name are no-ops, so interleaved labelled
+// series never duplicate headers.
+func (w *PromText) header(name, help, typ string) {
+	if w.seen == nil {
+		w.seen = make(map[string]string)
+	}
+	if _, done := w.seen[name]; done {
+		return
+	}
+	w.seen[name] = typ
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelString renders a {a="b",...} block, or "" without labels.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, EscapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter emits one counter sample.
+func (w *PromText) Counter(name, help string, value int64, labels ...Label) {
+	w.header(name, help, "counter")
+	fmt.Fprintf(&w.b, "%s%s %d\n", name, labelString(labels), value)
+}
+
+// Gauge emits one gauge sample.
+func (w *PromText) Gauge(name, help string, value int64, labels ...Label) {
+	w.header(name, help, "gauge")
+	fmt.Fprintf(&w.b, "%s%s %d\n", name, labelString(labels), value)
+}
+
+// Histogram emits one histogram series from a HistogramDoc: cumulative
+// buckets, the +Inf bucket, then _sum and _count. A nil doc renders the
+// empty histogram (0 samples), keeping series present from first
+// scrape.
+func (w *PromText) Histogram(name, help string, d *HistogramDoc, labels ...Label) {
+	w.header(name, help, "histogram")
+	ls := labelString(labels)
+	var cum, sum, count int64
+	if d != nil {
+		for _, bk := range d.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, bucketLabels(labels, fmt.Sprintf("%d", bk.Le)), cum)
+		}
+		sum, count = d.Sum, d.Count
+	}
+	fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), count)
+	fmt.Fprintf(&w.b, "%s_sum%s %d\n%s_count%s %d\n", name, ls, sum, name, ls, count)
+}
+
+// bucketLabels merges the le label into the caller's labels.
+func bucketLabels(labels []Label, le string) string {
+	merged := make([]Label, 0, len(labels)+1)
+	merged = append(merged, labels...)
+	merged = append(merged, Label{Name: "le", Value: le})
+	return labelString(merged)
+}
+
+// String returns the rendered page.
+func (w *PromText) String() string { return w.b.String() }
+
+// Bytes returns the rendered page as a byte slice.
+func (w *PromText) Bytes() []byte { return []byte(w.b.String()) }

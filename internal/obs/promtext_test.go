@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPromTextValidity is the format-validity test: a page mixing plain
+// counters, labelled series sharing one metric name, gauges and
+// histograms must have exactly one HELP and one TYPE line per metric
+// name, each before the metric's first sample, and every sample line
+// must parse as name{labels} value.
+func TestPromTextValidity(t *testing.T) {
+	var w PromText
+	w.Counter("svc_requests_total", "requests", 3)
+	w.Counter("svc_policy_total", "per-element decisions", 7, Label{Name: "element", Value: "ratelimit"})
+	w.Counter("svc_policy_total", "per-element decisions", 9, Label{Name: "element", Value: "breaker"})
+	w.Gauge("svc_in_flight", "admitted now", 2)
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 3, 200} {
+		h.Observe(v)
+	}
+	w.Histogram("svc_wait_us", "queue wait", h.Doc())
+	w.Histogram("svc_empty", "never observed", nil)
+	page := w.String()
+
+	helps := map[string]int{}
+	types := map[string]int{}
+	samples := map[string]int{}
+	var order []string // comment vs sample interleaving check
+	for _, line := range strings.Split(strings.TrimRight(page, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			helps[name]++
+			order = append(order, "help "+name)
+		case strings.HasPrefix(line, "# TYPE "):
+			name := strings.Fields(line)[2]
+			types[name]++
+			order = append(order, "type "+name)
+		default:
+			var name string
+			var value int64
+			base := line
+			if i := strings.IndexByte(line, '{'); i >= 0 {
+				j := strings.LastIndexByte(line, '}')
+				if j < i {
+					t.Fatalf("malformed label block: %q", line)
+				}
+				base = line[:i] + line[j+1:]
+			}
+			if _, err := fmt.Sscanf(base, "%s %d", &name, &value); err != nil {
+				t.Fatalf("unparseable sample line %q: %v", line, err)
+			}
+			samples[name]++
+			order = append(order, "sample "+name)
+		}
+	}
+	for name, n := range helps {
+		if n != 1 {
+			t.Errorf("metric %s has %d HELP lines, want exactly 1", name, n)
+		}
+		if types[name] != 1 {
+			t.Errorf("metric %s has %d TYPE lines, want exactly 1", name, types[name])
+		}
+	}
+	// svc_policy_total: two labelled samples, one header pair.
+	if samples["svc_policy_total"] != 2 {
+		t.Errorf("svc_policy_total samples = %d, want 2", samples["svc_policy_total"])
+	}
+	// Headers precede their first sample.
+	pos := map[string]int{}
+	for i, ev := range order {
+		if _, ok := pos[ev]; !ok {
+			pos[ev] = i
+		}
+	}
+	for name := range helps {
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		_ = base
+		for _, suffix := range []string{"", "_bucket", "_sum", "_count"} {
+			if p, ok := pos["sample "+name+suffix]; ok && p < pos["help "+name] {
+				t.Errorf("metric %s: sample before HELP", name)
+			}
+		}
+	}
+}
+
+// TestPromTextHistogramShape pins the cumulative-bucket contract: each
+// bucket's value includes every smaller bucket, the +Inf bucket equals
+// _count, and an empty histogram still renders the full series.
+func TestPromTextHistogramShape(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{1, 1, 2, 5} {
+		h.Observe(v)
+	}
+	var w PromText
+	w.Histogram("x", "h", h.Doc())
+	page := w.String()
+	var lastCum int64 = -1
+	var infSeen bool
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, "x_bucket") {
+			continue
+		}
+		var v int64
+		fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v)
+		if v < lastCum {
+			t.Errorf("non-cumulative bucket line %q after %d", line, lastCum)
+		}
+		lastCum = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != 4 {
+				t.Errorf("+Inf bucket %d, want 4 (the sample count)", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket")
+	}
+	if !strings.Contains(page, "x_sum 9") || !strings.Contains(page, "x_count 4") {
+		t.Errorf("sum/count series wrong:\n%s", page)
+	}
+
+	var we PromText
+	we.Histogram("y", "empty", nil)
+	for _, want := range []string{`y_bucket{le="+Inf"} 0`, "y_sum 0", "y_count 0"} {
+		if !strings.Contains(we.String(), want) {
+			t.Errorf("empty histogram missing %q:\n%s", want, we.String())
+		}
+	}
+}
+
+// TestEscapeLabelValue pins the three escapes the format requires.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`qu"ote`:       `qu\"ote`,
+		"new\nline":    `new\nline`,
+		`all\"` + "\n": `all\\\"\n`,
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+	var w PromText
+	w.Counter("m", "h", 1, Label{Name: "v", Value: "a\"b\nc\\d"})
+	if !strings.Contains(w.String(), `m{v="a\"b\nc\\d"} 1`) {
+		t.Errorf("labelled sample not escaped:\n%s", w.String())
+	}
+}

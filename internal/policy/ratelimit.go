@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxClients bounds the per-client bucket map; past it the
+// longest-idle bucket is recycled, so an adversary churning identities
+// cannot grow the map without bound (a recycled client restarts with a
+// full bucket, which only errs in the client's favour).
+const maxClients = 4096
+
+// RateLimitedError is RateLimit's rejection: it carries the time until
+// the client's bucket refills one token, the Retry-After hint the host
+// surfaces on 429 responses.
+type RateLimitedError struct {
+	Client     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("policy: client %q over rate limit (retry in %v)", e.Client, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrRateLimited) hold.
+func (e *RateLimitedError) Unwrap() error { return ErrRateLimited }
+
+// RateLimit is a per-client token bucket: each client sustains rate
+// requests per second with bursts up to burst. Buckets refill lazily on
+// access, so an idle limiter costs nothing.
+//
+// A nil *RateLimit admits everything at zero cost.
+type RateLimit struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	admitted atomic.Int64
+	limited  atomic.Int64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimit returns a limiter at rate requests/second per client.
+// burst < 1 defaults to ceil(rate), minimum 1.
+func NewRateLimit(rate float64, burst int) *RateLimit {
+	if burst < 1 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &RateLimit{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// Admit takes one token from req.Client's bucket, or rejects with a
+// *RateLimitedError telling the client when a token will exist.
+func (l *RateLimit) Admit(now time.Time, req *Request) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	b := l.buckets[req.Client]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			l.evictIdlest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[req.Client] = b
+	} else if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt.Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.mu.Unlock()
+		l.admitted.Add(1)
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	l.mu.Unlock()
+	l.limited.Add(1)
+	return &RateLimitedError{Client: req.Client, RetryAfter: wait}
+}
+
+// evictIdlest drops the bucket with the oldest refill stamp. Called with
+// the lock held; linear over the (bounded) map.
+func (l *RateLimit) evictIdlest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = k, b.last, false
+		}
+	}
+	delete(l.buckets, victim)
+}
+
+// Clients reports the tracked client count (for tests and vars).
+func (l *RateLimit) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Name implements Element.
+func (l *RateLimit) Name() string { return "ratelimit" }
+
+// Counters implements Element.
+func (l *RateLimit) Counters() []Counter {
+	return []Counter{
+		{Name: "admitted_total", Help: "requests within their client's rate", Value: l.admitted.Load()},
+		{Name: "limited_total", Help: "requests rejected over their client's rate", Value: l.limited.Load()},
+		{Name: "clients", Help: "client buckets currently tracked", Value: int64(l.Clients())},
+	}
+}

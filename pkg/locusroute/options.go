@@ -1,274 +1,95 @@
 package locusroute
 
 import (
-	"fmt"
-
-	"locusroute/internal/assign"
-	"locusroute/internal/circuit"
-	"locusroute/internal/geom"
-	"locusroute/internal/mp"
+	"locusroute/internal/backend"
 	"locusroute/internal/obs"
 	"locusroute/internal/route"
 	"locusroute/internal/tracev"
 )
 
-// assignMethod selects how wires are distributed across processors.
-type assignMethod int
-
-const (
-	// assignDefault lets each backend pick its paper baseline: the
-	// dynamic distributed loop for shared memory, ThresholdCost=1000 for
-	// message passing.
-	assignDefault assignMethod = iota
-	assignDynamic
-	assignRoundRobin
-	assignThreshold
-	assignLocality
-)
-
-func (m assignMethod) String() string {
-	switch m {
-	case assignDynamic:
-		return "dynamic"
-	case assignRoundRobin:
-		return "round-robin"
-	case assignThreshold:
-		return "threshold"
-	case assignLocality:
-		return "pure-locality"
-	}
-	return "default"
-}
-
-// config accumulates the functional options; each constructor validates
-// it against what its backend supports.
-type config struct {
-	procs      int
-	procsSet   bool
-	iterations int
-	router     route.Params
-
-	method    assignMethod
-	threshold int
-
-	strategy    *Strategy
-	packets     mp.PacketStructure
-	packetsSet  bool
-	topology    []int
-	dynamic     bool
-	strict      bool
-	blockingSet bool
-
-	collector *obs.Collector
-	tracer    *tracev.Tracer
-}
-
-func defaultConfig() config {
-	return config{procs: 16, router: route.DefaultParams(), threshold: 1000}
-}
-
-// Option configures a backend at construction time.
-type Option func(*config)
+// Option configures a backend at construction time. Each constructor
+// validates the assembled configuration against what its backend
+// supports and rejects inapplicable options with an error.
+type Option = backend.Option
 
 // WithProcs sets the processor count (goroutines, logical processes or
 // simulated mesh nodes, per backend). Backends default to the paper's 16;
 // the sequential backend is always 1 and rejects any other value.
-func WithProcs(n int) Option {
-	return func(c *config) { c.procs = n; c.procsSet = true }
-}
+func WithProcs(n int) Option { return backend.WithProcs(n) }
 
 // WithIterations sets the rip-up-and-reroute iteration count (the paper
 // uses 3). Requests may still override it per call.
-func WithIterations(n int) Option {
-	return func(c *config) { c.iterations = n }
-}
+func WithIterations(n int) Option { return backend.WithIterations(n) }
 
 // WithRouter replaces the full router parameter set (candidate bounds,
 // detour channels). WithIterations still applies on top.
-func WithRouter(p route.Params) Option {
-	return func(c *config) { c.router = p }
-}
+func WithRouter(p route.Params) Option { return backend.WithRouter(p) }
 
 // WithDynamicOrder selects the shared memory distributed loop: processes
 // repeatedly take the next wire from a shared counter (the paper's
 // baseline, and the default). Shared memory backends only.
-func WithDynamicOrder() Option {
-	return func(c *config) { c.method = assignDynamic }
-}
+func WithDynamicOrder() Option { return backend.WithDynamicOrder() }
 
 // WithRoundRobin distributes wires round-robin across processors,
 // ignoring locality (the paper's load-balance-only extreme).
-func WithRoundRobin() Option {
-	return func(c *config) { c.method = assignRoundRobin }
-}
+func WithRoundRobin() Option { return backend.WithRoundRobin() }
 
 // WithThreshold assigns wires cheaper than cost to the owner of their
 // leftmost pin and longer wires by load balance (Section 4.2; the
 // paper's compromise is cost 1000, the message passing default).
-func WithThreshold(cost int) Option {
-	return func(c *config) { c.method = assignThreshold; c.threshold = cost }
-}
+func WithThreshold(cost int) Option { return backend.WithThreshold(cost) }
 
 // WithPureLocality assigns every wire to the owner of its leftmost pin
 // (ThresholdCost = infinity): minimal traffic, worst load balance.
-func WithPureLocality() Option {
-	return func(c *config) { c.method = assignLocality }
-}
+func WithPureLocality() Option { return backend.WithPureLocality() }
 
 // WithStrategy sets the message passing update schedule. Message passing
 // backends only; the default is the paper's standard sender initiated
 // schedule, SenderInitiated(2, 10).
-func WithStrategy(st Strategy) Option {
-	return func(c *config) { c.strategy = &st }
-}
+func WithStrategy(st Strategy) Option { return backend.WithStrategy(st) }
 
 // WithBlocking makes receiver initiated requests blocking (Section
 // 5.1.3). It adjusts the configured strategy, so it composes with
 // WithStrategy in either order.
-func WithBlocking() Option {
-	return func(c *config) { c.blockingSet = true }
-}
+func WithBlocking() Option { return backend.WithBlocking() }
 
 // PacketStructure aliases the update packet structure ablation
 // (Section 4.3.1).
-type PacketStructure = mp.PacketStructure
+type PacketStructure = backend.PacketStructure
 
 // Packet structure values for WithPackets.
 const (
-	PacketsBbox        = mp.StructureBbox
-	PacketsWireBased   = mp.StructureWireBased
-	PacketsWholeRegion = mp.StructureWholeRegion
+	PacketsBbox        = backend.PacketsBbox
+	PacketsWireBased   = backend.PacketsWireBased
+	PacketsWholeRegion = backend.PacketsWholeRegion
 )
 
 // WithPackets selects the update packet structure (default bounding
 // box, the paper's choice). Message passing backends only.
-func WithPackets(ps PacketStructure) Option {
-	return func(c *config) { c.packets = ps; c.packetsSet = true }
-}
+func WithPackets(ps PacketStructure) Option { return backend.WithPackets(ps) }
 
 // WithTopology replaces the squarest 2-D mesh with a general k-ary
 // n-cube interconnect shape; the dimensions must multiply to the
 // processor count. Message passing DES backend only.
-func WithTopology(dims ...int) Option {
-	return func(c *config) { c.topology = append([]int(nil), dims...) }
-}
+func WithTopology(dims ...int) Option { return backend.WithTopology(dims...) }
 
 // WithDynamicWires enables the dynamic wire assignment ablation
 // (Section 4.2): processors request wires from node 0 over the network.
 // Message passing DES backend only.
-func WithDynamicWires() Option {
-	return func(c *config) { c.dynamic = true }
-}
+func WithDynamicWires() Option { return backend.WithDynamicWires() }
 
 // WithStrictOwnership enables the strict region ownership ablation
 // (Section 4.1): no replicated views, routing tasks cross region
 // boundaries instead of update packets. Forces the pure-locality
 // assignment. Message passing DES backend only.
-func WithStrictOwnership() Option {
-	return func(c *config) { c.strict = true; c.method = assignLocality }
-}
+func WithStrictOwnership() Option { return backend.WithStrictOwnership() }
 
 // WithObserver attaches a collector: every Route appends its run's
 // observability document (quality, per-node times, traffic, phases) to
 // col. The run itself is byte-identical with or without an observer.
-func WithObserver(col *obs.Collector) Option {
-	return func(c *config) { c.collector = col }
-}
+func WithObserver(col *obs.Collector) Option { return backend.WithObserver(col) }
 
 // WithTracer attaches an event-level recorder to the message passing
 // DES backend. A tracer is confined to one run — a backend constructed
 // with one must not Route concurrently.
-func WithTracer(tr *tracev.Tracer) Option {
-	return func(c *config) { c.tracer = tr }
-}
-
-// apply folds the options over the default configuration.
-func apply(opts []Option) config {
-	c := defaultConfig()
-	for _, o := range opts {
-		o(&c)
-	}
-	return c
-}
-
-// reject returns an error when an option inapplicable to kind was set.
-func (c *config) reject(kind Kind) error {
-	mpKind := kind == MPDES || kind == MPLive
-	if c.strategy != nil && !mpKind {
-		return fmt.Errorf("locusroute: WithStrategy applies to message passing backends, not %s", kind)
-	}
-	if c.blockingSet && !mpKind {
-		return fmt.Errorf("locusroute: WithBlocking applies to message passing backends, not %s", kind)
-	}
-	if c.packetsSet && !mpKind {
-		return fmt.Errorf("locusroute: WithPackets applies to message passing backends, not %s", kind)
-	}
-	if len(c.topology) > 0 && kind != MPDES {
-		return fmt.Errorf("locusroute: WithTopology applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.dynamic && kind != MPDES {
-		return fmt.Errorf("locusroute: WithDynamicWires applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.strict && kind != MPDES {
-		return fmt.Errorf("locusroute: WithStrictOwnership applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.tracer != nil && kind != MPDES {
-		return fmt.Errorf("locusroute: WithTracer applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.method == assignDynamic && mpKind {
-		return fmt.Errorf("locusroute: WithDynamicOrder is the shared memory distributed loop; message passing uses WithDynamicWires")
-	}
-	if kind == Sequential {
-		if c.procsSet && c.procs != 1 {
-			return fmt.Errorf("locusroute: the sequential backend routes on one processor, got WithProcs(%d)", c.procs)
-		}
-		if c.method != assignDefault {
-			return fmt.Errorf("locusroute: the sequential backend has no wire distribution to configure")
-		}
-	} else if c.procs < 1 {
-		return fmt.Errorf("locusroute: processor count %d must be positive", c.procs)
-	}
-	return nil
-}
-
-// params returns the router parameters with the iteration override
-// applied; reqIters (a per-request override) wins over the configured
-// value when positive.
-func (c *config) params(reqIters int) route.Params {
-	p := c.router
-	if c.iterations > 0 {
-		p.Iterations = c.iterations
-	}
-	if reqIters > 0 {
-		p.Iterations = reqIters
-	}
-	return p
-}
-
-// assignment builds the wire distribution for circ on a procs-processor
-// partition. Used by the message passing backends (always) and the
-// shared memory backends (static orders only).
-func (c *config) assignment(circ *circuit.Circuit, procs int) (*assign.Assignment, geom.Partition, error) {
-	px, py := geom.SquarestFactors(procs)
-	part, err := geom.NewPartition(circ.Grid, px, py)
-	if err != nil {
-		return nil, geom.Partition{}, err
-	}
-	method := c.method
-	if method == assignDefault {
-		method = assignThreshold
-	}
-	switch method {
-	case assignRoundRobin:
-		return assign.AssignRoundRobin(circ, part), part, nil
-	case assignThreshold:
-		th := c.threshold
-		if th < 0 {
-			th = assign.ThresholdInfinity
-		}
-		return assign.AssignThreshold(circ, part, th), part, nil
-	case assignLocality:
-		return assign.AssignThreshold(circ, part, assign.ThresholdInfinity), part, nil
-	}
-	return nil, geom.Partition{}, fmt.Errorf("locusroute: assignment method %v needs no precomputed assignment", method)
-}
+func WithTracer(tr *tracev.Tracer) Option { return backend.WithTracer(tr) }

@@ -1,0 +1,190 @@
+package locusroute
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"locusroute/internal/locusd"
+	"locusroute/internal/par"
+	"locusroute/internal/policy"
+	"locusroute/internal/route"
+)
+
+// Service is the embeddable form of the locusd routing daemon: the
+// sharded batch-serving layer plus the composable policy chain, behind
+// the same functional-option style as the Backend constructors. An
+// embedder gets exactly the request path cmd/locusd serves — deadline
+// admission, per-client rate limiting, circuit breaking, result
+// caching, and criticality-aware (EDF) scheduling — without shelling
+// out to the daemon.
+//
+//	svc, err := locusroute.NewService([]*locusroute.Circuit{c},
+//		locusroute.WithShards(4),
+//		locusroute.WithRateLimit(100, 20),
+//		locusroute.WithResultCache(4096),
+//		locusroute.WithEDFScheduling(),
+//	)
+//	resp, err := svc.Route(ctx, locusroute.ServiceRequest{Circuit: c.Name, Wire: w})
+//
+// Close the service to drain it; its Handler serves the same HTTP API
+// as cmd/locusd (/route, /circuits, /healthz, /metrics, /debug/vars).
+type Service struct {
+	srv *locusd.Server
+}
+
+// ServiceRequest and ServiceResponse alias the service request/response
+// documents so embedders never import internal packages.
+type (
+	ServiceRequest  = locusd.RouteRequest
+	ServiceResponse = locusd.RouteResponse
+)
+
+// Service error sentinels, re-exported for errors.Is on Route failures.
+var (
+	// ErrServiceDeadline reports a request whose deadline expired while
+	// queued or mid-batch.
+	ErrServiceDeadline = locusd.ErrDeadline
+	// ErrServiceShed reports a request shed at the admission gate.
+	ErrServiceShed = locusd.ErrShed
+	// ErrServiceEvicted reports a queued request preempted by a more
+	// critical arrival under EDF scheduling.
+	ErrServiceEvicted = policy.ErrEvicted
+	// ErrServiceRateLimited reports a request over its client's rate.
+	ErrServiceRateLimited = policy.ErrRateLimited
+	// ErrServiceBreakerOpen reports a request rejected by the open
+	// circuit breaker.
+	ErrServiceBreakerOpen = policy.ErrBreakerOpen
+	// ErrServiceInfeasible reports a request whose deadline slack was
+	// below the admission floor.
+	ErrServiceInfeasible = policy.ErrDeadlineInfeasible
+)
+
+// ServiceOption configures a Service at construction time.
+type ServiceOption func(*serviceConfig)
+
+// serviceConfig accumulates the options over locusd's config.
+type serviceConfig struct {
+	cfg locusd.Config
+}
+
+// WithServiceBackend selects the backend that routes each circuit once
+// at startup to produce the baseline congestion state (default
+// Sequential), and its processor count where applicable.
+func WithServiceBackend(kind Kind, procs int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Backend = kind; c.cfg.Procs = procs }
+}
+
+// WithShards sets the serving replicas per circuit (default 4).
+func WithShards(n int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Shards = n }
+}
+
+// WithBatchWindow sets how long a shard waits to grow a batch after its
+// first request arrives (default 2ms).
+func WithBatchWindow(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.BatchWindow = d }
+}
+
+// WithMaxBatch caps the wires evaluated in one batch (default 64).
+func WithMaxBatch(n int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.MaxBatch = n }
+}
+
+// WithMaxInFlight bounds admitted requests before shedding (default 256).
+func WithMaxInFlight(n int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.MaxInFlight = n }
+}
+
+// WithDefaultDeadline applies to requests carrying no deadline
+// (default 5s).
+func WithDefaultDeadline(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.DefaultDeadline = d }
+}
+
+// WithEvaluationPool bounds concurrent batch evaluations to n workers
+// (unset = unbounded).
+func WithEvaluationPool(n int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Pool = par.New(n) }
+}
+
+// WithServiceRouter tunes the route kernel parameters.
+func WithServiceRouter(p route.Params) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Router = p }
+}
+
+// WithDeadlineAdmission enables the deadline-admission element:
+// requests whose deadline slack is below floor are rejected up front
+// with ErrServiceInfeasible instead of queueing toward a guaranteed
+// timeout.
+func WithDeadlineAdmission(floor time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Policy.AdmitFloor = floor }
+}
+
+// WithRateLimit enables per-client token-bucket rate limiting at rate
+// requests/second with the given burst (burst < 1 = ceil(rate)).
+func WithRateLimit(rate float64, burst int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Policy.RatePerSec = rate; c.cfg.Policy.Burst = burst }
+}
+
+// WithCircuitBreaker enables the circuit breaker: failures consecutive
+// deadline expiries trip it open for cooldown.
+func WithCircuitBreaker(failures int, cooldown time.Duration) ServiceOption {
+	return func(c *serviceConfig) {
+		c.cfg.Policy.BreakerFailures = failures
+		c.cfg.Policy.BreakerCooldown = cooldown
+	}
+}
+
+// WithResultCache enables the result cache with the given capacity,
+// keyed by (circuit, wire set, cost epoch) — commits invalidate by
+// advancing the epoch.
+func WithResultCache(entries int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Policy.CacheEntries = entries }
+}
+
+// WithEDFScheduling enables the criticality scheduler:
+// earliest-deadline-first ordering inside the batch window and
+// least-critical-first shedding at a full admission gate.
+func WithEDFScheduling() ServiceOption {
+	return func(c *serviceConfig) { c.cfg.Policy.EDF = true }
+}
+
+// NewService routes every circuit once through the configured baseline
+// backend and stands up the serving service with its policy chain.
+func NewService(circuits []*Circuit, opts ...ServiceOption) (*Service, error) {
+	var c serviceConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	srv, err := locusd.New(c.cfg, circuits...)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{srv: srv}, nil
+}
+
+// Route admits, dispatches and awaits one request through the policy
+// chain. The context deadline is the request's criticality under EDF.
+func (s *Service) Route(ctx context.Context, req ServiceRequest) (ServiceResponse, error) {
+	return s.srv.Route(ctx, req)
+}
+
+// Handler returns the service's HTTP API, identical to cmd/locusd's.
+func (s *Service) Handler() http.Handler { return s.srv.Handler() }
+
+// InFlight reports currently admitted requests.
+func (s *Service) InFlight() int { return s.srv.InFlight() }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.srv.Draining() }
+
+// Epoch reports a served circuit's cost epoch (its commit count).
+func (s *Service) Epoch(circuitName string) uint64 { return s.srv.Epoch(circuitName) }
+
+// BeginDrain stops admitting new requests; in-flight work completes.
+func (s *Service) BeginDrain() { s.srv.BeginDrain() }
+
+// Close drains and stops the service, returning once every shard loop
+// has exited.
+func (s *Service) Close() { s.srv.Close() }

@@ -1,0 +1,146 @@
+package locusroute
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// serviceCircuit generates the small circuit shared by the Service
+// facade tests.
+func serviceCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := BnrE(7)
+	if err != nil {
+		t.Fatalf("BnrE: %v", err)
+	}
+	return c
+}
+
+// TestServiceRoute stands up a Service through the public facade and
+// routes one wire end to end.
+func TestServiceRoute(t *testing.T) {
+	c := serviceCircuit(t)
+	svc, err := NewService([]*Circuit{c},
+		WithShards(1),
+		WithBatchWindow(time.Millisecond),
+		WithMaxInFlight(8),
+	)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	resp, err := svc.Route(context.Background(), ServiceRequest{Circuit: c.Name, Wire: c.Wires[0]})
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if resp.Circuit != c.Name {
+		t.Errorf("resp.Circuit = %q, want %q", resp.Circuit, c.Name)
+	}
+	if resp.Cost <= 0 {
+		t.Errorf("resp.Cost = %d, want > 0", resp.Cost)
+	}
+	if svc.InFlight() != 0 {
+		t.Errorf("InFlight after Route = %d, want 0", svc.InFlight())
+	}
+}
+
+// TestServicePolicyOptions verifies the functional options assemble the
+// same chain the daemon's flags do: a result cache serves the repeat
+// request, a commit advances the cost epoch, and the rate limiter
+// rejects past its burst with the typed sentinel.
+func TestServicePolicyOptions(t *testing.T) {
+	c := serviceCircuit(t)
+	svc, err := NewService([]*Circuit{c},
+		WithShards(1),
+		WithBatchWindow(time.Millisecond),
+		WithResultCache(64),
+		WithRateLimit(0.001, 2),
+		WithEDFScheduling(),
+	)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	req := ServiceRequest{Circuit: c.Name, Wire: c.Wires[0], Client: "svc-test"}
+	first, err := svc.Route(context.Background(), req)
+	if err != nil {
+		t.Fatalf("first Route: %v", err)
+	}
+	if first.Cached {
+		t.Error("first response claims cached")
+	}
+	second, err := svc.Route(context.Background(), req)
+	if err != nil {
+		t.Fatalf("second Route: %v", err)
+	}
+	if !second.Cached {
+		t.Error("second identical request not served from the result cache")
+	}
+	if second.Cost != first.Cost {
+		t.Errorf("cached cost %d != first cost %d", second.Cost, first.Cost)
+	}
+	if _, err := svc.Route(context.Background(), req); !errors.Is(err, ErrServiceRateLimited) {
+		t.Errorf("third request past burst: err = %v, want ErrServiceRateLimited", err)
+	}
+	if got := svc.Epoch(c.Name); got != 0 {
+		t.Errorf("Epoch before any commit = %d, want 0", got)
+	}
+}
+
+// TestServiceEpochAdvancesOnCommit pins the cache invalidation contract:
+// committing bumps the circuit's cost epoch, so later identical requests
+// miss the cache and re-evaluate against the new congestion state.
+func TestServiceEpochAdvancesOnCommit(t *testing.T) {
+	c := serviceCircuit(t)
+	svc, err := NewService([]*Circuit{c},
+		WithShards(1),
+		WithBatchWindow(time.Millisecond),
+		WithResultCache(64),
+	)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	req := ServiceRequest{Circuit: c.Name, Wire: c.Wires[1], Commit: true}
+	if _, err := svc.Route(context.Background(), req); err != nil {
+		t.Fatalf("commit Route: %v", err)
+	}
+	if got := svc.Epoch(c.Name); got != 1 {
+		t.Fatalf("Epoch after one commit = %d, want 1", got)
+	}
+	// The epoch moved, so the identical request must be a cache miss.
+	resp, err := svc.Route(context.Background(), req)
+	if err != nil {
+		t.Fatalf("post-commit Route: %v", err)
+	}
+	if resp.Cached {
+		t.Error("request after a commit served from the stale cache epoch")
+	}
+}
+
+// TestServiceDeadlineAdmission verifies WithDeadlineAdmission rejects
+// infeasible deadlines up front with the typed sentinel.
+func TestServiceDeadlineAdmission(t *testing.T) {
+	c := serviceCircuit(t)
+	svc, err := NewService([]*Circuit{c},
+		WithShards(1),
+		WithDeadlineAdmission(10*time.Second),
+		WithDefaultDeadline(time.Minute),
+	)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err = svc.Route(ctx, ServiceRequest{Circuit: c.Name, Wire: c.Wires[0]})
+	if !errors.Is(err, ErrServiceInfeasible) {
+		t.Errorf("1s deadline under a 10s floor: err = %v, want ErrServiceInfeasible", err)
+	}
+}
