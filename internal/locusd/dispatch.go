@@ -140,10 +140,10 @@ func (s *Server) preempt(deadline time.Time) bool {
 	if sched == nil {
 		return false
 	}
-	// Two laps: freeing the victim's slot and re-entering the gate is
-	// not atomic, so a concurrent arrival can take the freed slot; one
-	// retry keeps the preemption useful under that race without
-	// spinning.
+	// Two laps: when the victim's slot cannot be transferred directly
+	// (its own goroutine released it already), the fallback TryEnter
+	// races concurrent arrivals; one retry keeps the preemption useful
+	// under that race without spinning.
 	for lap := 0; lap < 2; lap++ {
 		var victimQ *policy.EDFQueue
 		var slackest time.Time
@@ -164,15 +164,24 @@ func (s *Server) preempt(deadline time.Time) bool {
 			return false
 		}
 		victim := it.Value.(*pending)
-		sched.NoteEviction()
-		s.met.mu.Lock()
-		s.met.shed++
-		s.met.evicted++
-		s.met.mu.Unlock()
-		victim.done <- outcome{err: fmt.Errorf("%w (slack %v lost to a tighter deadline)",
-			policy.ErrEvicted, time.Until(it.Deadline).Round(time.Millisecond))}
-		s.releaseGate(victim)
-		if s.gate.TryEnter() {
+		// Winning the gateHeld CAS transfers the victim's admission slot
+		// straight to the arrival: it never returns to the gate, so a
+		// concurrent arrival cannot steal it in between and force a
+		// second eviction for one capacity conflict.
+		transferred := victim.gateHeld.CompareAndSwap(true, false)
+		if victim.ctx.Err() == nil {
+			sched.NoteEviction()
+			s.met.mu.Lock()
+			s.met.shed++
+			s.met.evicted++
+			s.met.mu.Unlock()
+			victim.done <- outcome{err: fmt.Errorf("%w (slack %v lost to a tighter deadline)",
+				policy.ErrEvicted, time.Until(it.Deadline).Round(time.Millisecond))}
+		}
+		// else: the victim's caller already gave up; its own goroutine
+		// counts the request as expired, and bumping shed/evicted here
+		// would double-count it.
+		if transferred || s.gate.TryEnter() {
 			return true
 		}
 	}

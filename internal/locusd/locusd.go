@@ -354,6 +354,10 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 		// shedding the arrival.
 		if !s.preempt(deadline) {
 			s.count(&s.met.shed)
+			// The chain already admitted this request; a shed is not an
+			// outcome, so release the admission neutrally — a half-open
+			// breaker gets its probe slot back instead of wedging open.
+			s.chain.Release()
 			return RouteResponse{}, ErrShed
 		}
 	}
@@ -375,7 +379,14 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 	}
 	select {
 	case out := <-p.done:
-		s.chain.Observe(time.Now(), errors.Is(out.err, ErrDeadline))
+		if errors.Is(out.err, policy.ErrEvicted) {
+			// Eviction happens before any evaluation: no outcome exists
+			// for the breaker, so an aborted half-open probe must
+			// neither close it nor leak the probe slot.
+			s.chain.Release()
+		} else {
+			s.chain.Observe(time.Now(), errors.Is(out.err, ErrDeadline))
+		}
 		if out.err != nil {
 			return RouteResponse{}, out.err
 		}

@@ -1,7 +1,9 @@
 package locusd
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"locusroute/internal/circuit"
 	"locusroute/internal/policy"
 )
 
@@ -141,6 +144,109 @@ func TestEDFShedsLeastCritical(t *testing.T) {
 	v := s.vars()
 	if v.Evicted != 1 || v.Shed != 1 {
 		t.Errorf("evicted %d shed %d, want 1 and 1", v.Evicted, v.Shed)
+	}
+}
+
+// testWire builds a wire inside the test circuit's grid for direct
+// (non-HTTP) Route calls.
+func testWire(id int) circuit.Wire {
+	return circuit.Wire{ID: id, Pins: []circuit.Pin{{X: 2, Y: 1}, {X: 40, Y: 4}}}
+}
+
+// TestShedReleasesBreakerProbe pins the probe-leak regression: a
+// request admitted through a half-open breaker and then shed at a full
+// gate produces no outcome, so the probe slot must be handed back.
+// Without the release, the breaker stays half-open with its one probe
+// slot occupied forever, rejecting every request until restart.
+func TestShedReleasesBreakerProbe(t *testing.T) {
+	s := newServer(t, Config{
+		Shards:      1,
+		BatchWindow: 50 * time.Millisecond,
+		MaxInFlight: 1,
+		Policy:      policy.Config{BreakerFailures: 1, BreakerCooldown: 300 * time.Millisecond},
+	})
+
+	// One guaranteed deadline expiry (1ms deadline inside a 50ms batch
+	// window) trips the threshold-1 breaker.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	if _, err := s.Route(ctx, RouteRequest{Circuit: "svc", Wire: testWire(1)}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expiry request err = %v, want ErrDeadline", err)
+	}
+	cancel()
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(2)}); !errors.Is(err, policy.ErrBreakerOpen) {
+		t.Fatalf("request on tripped breaker err = %v, want ErrBreakerOpen", err)
+	}
+
+	// Fill the gate, wait out the cooldown, and send the probe: the
+	// breaker admits it half-open, the full gate sheds it.
+	if !s.gate.TryEnter() {
+		t.Fatal("gate refused below capacity")
+	}
+	time.Sleep(400 * time.Millisecond)
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(3)}); !errors.Is(err, ErrShed) {
+		t.Fatalf("probe at full gate err = %v, want ErrShed", err)
+	}
+	s.gate.Leave()
+
+	// The shed probe never produced an outcome; the slot must be free
+	// for the next arrival, whose success closes the breaker.
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(4)}); err != nil {
+		t.Fatalf("re-probe after shed err = %v, want nil (probe slot leaked: breaker wedged)", err)
+	}
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(5)}); err != nil {
+		t.Errorf("request after closing probe err = %v, want nil", err)
+	}
+}
+
+// TestPreemptExpiredVictimNotDoubleCounted pins the metrics split: a
+// queued request whose caller already gave up is counted expired by its
+// own goroutine; preemption finding its stale queue entry must not also
+// count it shed/evicted.
+func TestPreemptExpiredVictimNotDoubleCounted(t *testing.T) {
+	s := newServer(t, Config{
+		Shards:      1,
+		BatchWindow: 10 * time.Second, // long window keeps entries queued
+		MaxInFlight: 1,
+		Policy:      policy.Config{EDF: true},
+	})
+
+	// Park a no-deadline request in the EDF queue, then cancel its
+	// caller: the request is counted expired and releases its gate
+	// slot, but its entry stays queued until a window closes.
+	ctx, cancel := context.WithCancel(context.Background())
+	routed := make(chan error, 1)
+	go func() {
+		_, err := s.Route(ctx, RouteRequest{Circuit: "svc", Wire: testWire(1)})
+		routed <- err
+	}()
+	q := s.circuits["svc"].queue
+	for i := 0; q.Len() == 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if q.Len() != 1 {
+		t.Fatal("parked request never reached the EDF queue")
+	}
+	cancel()
+	if err := <-routed; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("cancelled request err = %v, want ErrDeadline", err)
+	}
+
+	// Refill the gate so the next arrival must preempt; the only
+	// candidate victim is the stale entry.
+	if !s.gate.TryEnter() {
+		t.Fatal("gate refused after the cancelled request released it")
+	}
+	defer s.gate.Leave()
+	tight, tcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer tcancel()
+	if _, err := s.Route(tight, RouteRequest{Circuit: "svc", Wire: testWire(2)}); !errors.Is(err, ErrShed) {
+		t.Fatalf("arrival err = %v, want ErrShed (stale victim yields no usable slot)", err)
+	}
+
+	v := s.vars()
+	if v.Expired != 1 || v.Evicted != 0 || v.Shed != 1 {
+		t.Errorf("expired %d evicted %d shed %d, want 1/0/1 (stale victim double-counted)",
+			v.Expired, v.Evicted, v.Shed)
 	}
 }
 

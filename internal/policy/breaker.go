@@ -136,6 +136,25 @@ func (b *Breaker) Observe(now time.Time, failed bool) {
 	}
 }
 
+// Release returns an admitted request's slot without an outcome: the
+// request was shed at the admission gate or evicted by preemption
+// before any evaluation ran, so it is evidence of neither health nor
+// failure. In half-open state it frees the probe slot — leaving the
+// state half-open — so the next arrival can probe; in closed state the
+// consecutive-failure streak is untouched. Every successful Admit must
+// be balanced by exactly one Observe or Release: a leaked half-open
+// probe would wedge the breaker rejecting every request until restart.
+func (b *Breaker) Release() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
 // State reports the current state name (for tests and vars).
 func (b *Breaker) State() string {
 	if b == nil {

@@ -17,6 +17,14 @@
 //	queue   Sched / EDFQueue                    (order + shed by criticality)
 //	Store   result cache                        (publish the evaluation)
 //	Observe breaker feedback                    (failures trip it open)
+//	Release aborted admission                   (shed/evicted: no outcome)
+//
+// Every successful Admit is balanced by exactly one terminal call:
+// Observe for requests that ran to an outcome (served, cached, or
+// deadline-expired), Release for requests aborted before evaluation
+// (shed at a full gate, evicted by preemption). Feeding an abort to
+// Observe would fabricate evidence — and leaking a half-open breaker
+// probe wedges the breaker open until restart.
 //
 // Elements never import the service that hosts them; they speak the
 // neutral Request vocabulary below and report their decisions as typed
@@ -191,6 +199,16 @@ func (c *Chain) Observe(now time.Time, failed bool) {
 		return
 	}
 	c.breaker.Observe(now, failed)
+}
+
+// Release balances an Admit whose request never reached evaluation —
+// shed at a full admission gate or evicted by preemption. The breaker
+// gets a neutral probe release instead of a fabricated outcome.
+func (c *Chain) Release() {
+	if c == nil {
+		return
+	}
+	c.breaker.Release()
 }
 
 // Sched returns the criticality scheduler, nil when EDF is disabled.

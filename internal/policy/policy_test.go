@@ -48,6 +48,7 @@ func TestNilChainZeroCost(t *testing.T) {
 	}
 	c.Store(&req, 0, "v")
 	c.Observe(t0, true)
+	c.Release()
 	if c.Sched() != nil {
 		t.Error("nil chain Sched != nil")
 	}
@@ -216,6 +217,60 @@ func TestBreakerLifecycle(t *testing.T) {
 	if counters["trips_total"] != 3 {
 		t.Errorf("trips_total = %d, want 3 (initial, re-trip, failed probe)", counters["trips_total"])
 	}
+}
+
+// TestBreakerReleaseFreesProbe pins the abort path: a half-open probe
+// that is shed or evicted before evaluation must free the probe slot
+// without closing the breaker — and without it, every later Admit is
+// rejected forever.
+func TestBreakerReleaseFreesProbe(t *testing.T) {
+	b := NewBreaker(1, time.Second)
+	req := &Request{}
+	if err := b.Admit(t0, req); err != nil {
+		t.Fatalf("closed admit: %v", err)
+	}
+	b.Observe(t0, true) // threshold 1: trip
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after failure = %q, want open", got)
+	}
+	probe := t0.Add(1100 * time.Millisecond)
+	if err := b.Admit(probe, req); err != nil {
+		t.Fatalf("probe admit after cooldown: %v", err)
+	}
+	if err := b.Admit(probe, req); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second half-open admit err = %v, want ErrBreakerOpen (probe slot taken)", err)
+	}
+	// The probe aborts before evaluation (shed at the gate): Release
+	// frees the slot but yields no outcome.
+	b.Release()
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state after Release = %q, want half-open (no outcome observed)", got)
+	}
+	if err := b.Admit(probe, req); err != nil {
+		t.Fatalf("re-probe after Release: %v (leaked probe slot wedges the breaker)", err)
+	}
+	b.Observe(probe, false)
+	if got := b.State(); got != "closed" {
+		t.Errorf("state after good probe = %q, want closed", got)
+	}
+}
+
+// TestBreakerReleaseKeepsClosedStreak pins the closed-state side: an
+// aborted request is not a success, so Release must not reset the
+// consecutive-failure count the way Observe(false) does.
+func TestBreakerReleaseKeepsClosedStreak(t *testing.T) {
+	b := NewBreaker(2, time.Second)
+	req := &Request{}
+	b.Admit(t0, req)
+	b.Observe(t0, true)
+	b.Release() // a shed request mid-streak: neither success nor failure
+	b.Admit(t0, req)
+	b.Observe(t0, true)
+	if got := b.State(); got != "open" {
+		t.Errorf("state = %q, want open (Release reset the failure streak)", got)
+	}
+	var nilB *Breaker
+	nilB.Release()
 }
 
 func TestBreakerSuccessResetsStreak(t *testing.T) {
