@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race bench bench-route bench-policy paper
+.PHONY: verify build test race bench bench-route bench-policy bench-locusd paper
 
 verify: ## build, vet, full tests, and race-test the concurrent packages
 	$(GO) build ./...
@@ -30,6 +30,22 @@ bench-route:
 # BENCH_policy.json — the disabled rows must stay ~0 ns/op, 0 allocs/op.
 bench-policy:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s ./internal/policy/
+
+# Transport comparison: boots locusd with both listeners and sweeps the
+# JSON and binary protocols with cmd/locusload; compare against
+# BENCH_locusd.json. Takes ~2 minutes (two 6-step sweeps + warmups).
+bench-locusd:
+	$(GO) build -o /tmp/locusd-bench ./cmd/locusd
+	$(GO) build -o /tmp/locusload-bench ./cmd/locusload
+	/tmp/locusd-bench -addr 127.0.0.1:18347 -listen-bin 127.0.0.1:18348 \
+		-bench bnrE -shards 4 -batch-window 1ms -max-batch 64 \
+		-max-in-flight 512 > /tmp/locusd-bench.log 2>&1 & \
+	trap "kill -TERM $$! 2>/dev/null" EXIT; \
+	sleep 3; \
+	/tmp/locusload-bench -addr 127.0.0.1:18347 -proto json \
+		-sweep 1000,2000,4000,6000,8000,12000 -duration 4s -warmup 1s -conns 32; \
+	/tmp/locusload-bench -addr 127.0.0.1:18348 -proto bin \
+		-sweep 1000,2000,4000,6000,8000,12000 -duration 4s -warmup 1s -conns 32
 
 # Full paper-table benchmarks (several minutes).
 bench:

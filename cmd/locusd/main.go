@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	locusd [-addr :8347] [-bench bnrE|MDC|both] [-seed 1] [-circuit file]
+//	locusd [-addr :8347] [-listen-bin addr] [-bench bnrE|MDC|both]
+//	       [-seed 1] [-circuit file]
 //	       [-backend sequential|sm-live|sm-traced|mp-des|mp-live]
 //	       [-procs 16] [-shards 4] [-batch-window 2ms] [-max-batch 64]
 //	       [-max-in-flight 256] [-deadline 5s] [-par N]
@@ -28,6 +29,10 @@
 //	GET  /metrics     Prometheus text exposition
 //	GET  /debug/vars  counters and histograms as JSON
 //
+// -listen-bin additionally serves the length-prefixed binary route
+// protocol (internal/wire) on a raw TCP listener, funneling into the
+// same request core; cmd/locusload drives either transport.
+//
 // SIGINT/SIGTERM begins a graceful drain: /healthz flips to 503 (so load
 // balancers stop sending), new routes are refused, in-flight requests
 // complete, and the process exits cleanly.
@@ -39,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,6 +67,7 @@ func main() {
 	common.AddPolicy(flag.CommandLine)
 	var (
 		addr        = flag.String("addr", ":8347", "listen address")
+		listenBin   = flag.String("listen-bin", "", "also serve the binary route protocol on this TCP address")
 		bench       = flag.String("bench", "both", "builtin circuits to serve: bnrE, MDC or both")
 		seed        = flag.Int64("seed", 1, "benchmark generator seed")
 		backendKind = flag.String("backend", string(locusroute.Sequential),
@@ -103,6 +110,20 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	var binSrv *locusd.TCPServer
+	if *listenBin != "" {
+		l, err := net.Listen("tcp", *listenBin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		binSrv = locusd.NewTCPServer(srv)
+		go func() {
+			if err := binSrv.Serve(l); !errors.Is(err, locusd.ErrTCPServerClosed) {
+				errc <- err
+			}
+		}()
+		log.Printf("binary protocol on %s", l.Addr())
+	}
 	elems := "none"
 	if els := srv.Chain().Elements(); len(els) > 0 {
 		names := make([]string, len(els))
@@ -130,6 +151,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if binSrv != nil {
+		if err := binSrv.Shutdown(ctx); err != nil {
+			log.Printf("bin shutdown: %v", err)
+		}
 	}
 	srv.Close()
 	log.Printf("drained cleanly")

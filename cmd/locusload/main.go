@@ -1,0 +1,387 @@
+// Command locusload is an open-loop load generator for locusd: it fires
+// route requests on a fixed arrival schedule (target qps, not
+// closed-loop request-per-connection), so server slowdowns show up as
+// latency rather than silently throttling the offered load — the
+// standard guard against coordinated omission.
+//
+// Usage:
+//
+//	locusload [-addr 127.0.0.1:8347] [-proto json|bin] [-qps 200]
+//	          [-duration 10s] [-warmup 1s] [-conns 8]
+//	          [-circuit bnrE-like] [-pins "2,1;40,4"] [-wire 9000]
+//	          [-deadline-ms 0] [-commit] [-client locusload]
+//	          [-sweep "100,200,400,800"]
+//
+// -proto selects the transport: json posts to locusd's HTTP /route,
+// bin speaks the length-prefixed binary protocol (internal/wire) against
+// a -listen-bin listener. Comparing the two on the same server isolates
+// encoding cost, the service-layer echo of the paper's finding that
+// message packing dominates the message-passing router.
+//
+// Each run (or each -sweep step) emits one JSON row on stdout:
+//
+//	{"proto","target_qps","sent","ok","shed","expired","errors",
+//	 "achieved_qps","latency_us":{"p50","p90","p99","p999","max"}}
+//
+// Latency is measured from each request's *scheduled* arrival, so time
+// spent waiting for a free connection counts against the server. A sweep
+// ends with a summary row carrying max_sustained_qps: the highest step
+// whose successful throughput reached >= 95% of the offered rate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"locusroute/internal/geom"
+	"locusroute/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("locusload: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8347", "locusd address (HTTP host:port for json, TCP for bin)")
+		proto      = flag.String("proto", "json", "transport: json or bin")
+		qps        = flag.Float64("qps", 200, "offered load, requests per second")
+		duration   = flag.Duration("duration", 10*time.Second, "measured run length per step")
+		warmup     = flag.Duration("warmup", time.Second, "unmeasured warmup before each step")
+		conns      = flag.Int("conns", 8, "connection pool size")
+		circuitF   = flag.String("circuit", "bnrE-like", "served circuit to route against")
+		pinsF      = flag.String("pins", "2,1;40,4", "wire pins as x,y;x,y;...")
+		wireBase   = flag.Int("wire", 9000, "base wire id (incremented per request)")
+		deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline (0 = server default)")
+		commit     = flag.Bool("commit", false, "commit each routed path")
+		client     = flag.String("client", "locusload", "client identity for rate limiting")
+		sweepF     = flag.String("sweep", "", "comma-separated qps steps (overrides -qps)")
+	)
+	flag.Parse()
+	if *proto != "json" && *proto != "bin" {
+		log.Fatal("-proto must be json or bin")
+	}
+	pins, err := parsePins(*pinsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := []float64{*qps}
+	if *sweepF != "" {
+		steps = steps[:0]
+		for _, s := range strings.Split(*sweepF, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				log.Fatalf("bad -sweep step %q", s)
+			}
+			steps = append(steps, v)
+		}
+	}
+
+	cfg := runConfig{
+		addr: *addr, proto: *proto, conns: *conns,
+		circuit: *circuitF, pins: pins, wireBase: *wireBase,
+		deadlineMS: *deadlineMS, commit: *commit, client: *client,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	sustained := 0.0
+	for _, step := range steps {
+		if *warmup > 0 {
+			if _, err := cfg.run(step, *warmup); err != nil {
+				log.Fatal(err)
+			}
+		}
+		row, err := cfg.run(step, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := enc.Encode(row); err != nil {
+			log.Fatal(err)
+		}
+		// A step is sustained when successful throughput kept pace with
+		// the offered schedule: ok-per-elapsed, not ok-per-scheduled, so a
+		// run that finished late (the open loop backed up) doesn't count.
+		if row.AchievedQPS >= 0.95*step && step > sustained {
+			sustained = step
+		}
+	}
+	if len(steps) > 1 {
+		if err := enc.Encode(map[string]any{"proto": *proto, "max_sustained_qps": sustained}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runConfig is everything one measured step needs.
+type runConfig struct {
+	addr, proto string
+	conns       int
+	circuit     string
+	pins        []geom.Point
+	wireBase    int
+	deadlineMS  int64
+	commit      bool
+	client      string
+}
+
+// row is one step's JSON result.
+type row struct {
+	Proto       string  `json:"proto"`
+	TargetQPS   float64 `json:"target_qps"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Expired     int     `json:"expired"`
+	Errors      int     `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Latency     latency `json:"latency_us"`
+}
+
+type latency struct {
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	P999 int64 `json:"p999"`
+	Max  int64 `json:"max"`
+}
+
+// result is one request's outcome: the HTTP-equivalent status code and
+// the latency from scheduled arrival to response.
+type result struct {
+	code int
+	lat  time.Duration
+}
+
+// run offers qps for d and aggregates outcomes. The arrival schedule is
+// fixed up front (start + i*interval); workers pull arrival indices from
+// a channel and sleep until each one's scheduled time, so a slow server
+// backs up latency, never the offered schedule.
+func (c runConfig) run(qps float64, d time.Duration) (row, error) {
+	n := int(qps * d.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(d) / float64(n))
+	workers := c.conns
+	if workers > n {
+		workers = n
+	}
+	arrivals := make(chan int, n)
+	for i := 0; i < n; i++ {
+		arrivals <- i
+	}
+	close(arrivals)
+
+	results := make(chan result, n)
+	errs := make(chan error, workers)
+	start := time.Now().Add(10 * time.Millisecond)
+	for w := 0; w < workers; w++ {
+		go func() {
+			sh, err := c.newShooter()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sh.close()
+			for i := range arrivals {
+				at := start.Add(time.Duration(i) * interval)
+				if wait := time.Until(at); wait > 0 {
+					time.Sleep(wait)
+				}
+				code, err := sh.shoot(c, i)
+				if err != nil {
+					// Transport failure: count as an error outcome and
+					// reconnect for the next arrival.
+					results <- result{code: -1, lat: time.Since(at)}
+					sh.close()
+					if sh, err = c.newShooter(); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				results <- result{code: code, lat: time.Since(at)}
+			}
+			errs <- nil
+		}()
+	}
+	var out row
+	out.Proto = c.proto
+	out.TargetQPS = qps
+	var lats []time.Duration
+	done := 0
+	for done < workers {
+		select {
+		case err := <-errs:
+			if err != nil {
+				return row{}, err
+			}
+			done++
+		case r := <-results:
+			out.Sent++
+			switch {
+			case r.code == 200:
+				out.OK++
+				lats = append(lats, r.lat)
+			case r.code == 429:
+				out.Shed++
+			case r.code == 504:
+				out.Expired++
+			default:
+				out.Errors++
+			}
+		}
+	}
+	close(results)
+	for r := range results {
+		out.Sent++
+		switch {
+		case r.code == 200:
+			out.OK++
+			lats = append(lats, r.lat)
+		case r.code == 429:
+			out.Shed++
+		case r.code == 504:
+			out.Expired++
+		default:
+			out.Errors++
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		out.AchievedQPS = round1(float64(out.OK) / elapsed.Seconds())
+	}
+	out.Latency = percentiles(lats)
+	return out, nil
+}
+
+// percentiles computes the latency sinks in microseconds.
+func percentiles(lats []time.Duration) latency {
+	if len(lats) == 0 {
+		return latency{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(p float64) int64 {
+		i := int(p * float64(len(lats)-1))
+		return lats[i].Microseconds()
+	}
+	return latency{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		P999: at(0.999),
+		Max:  lats[len(lats)-1].Microseconds(),
+	}
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
+
+// shooter is one pooled connection: an HTTP client slot or a binary
+// wire.Conn, firing one request at a time.
+type shooter struct {
+	http *http.Client
+	url  string
+	bin  *wire.Conn
+}
+
+func (c runConfig) newShooter() (*shooter, error) {
+	if c.proto == "bin" {
+		conn, err := wire.Dial(c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("dial %s: %w", c.addr, err)
+		}
+		return &shooter{bin: conn}, nil
+	}
+	// One transport per shooter keeps exactly one TCP connection per
+	// worker, matching the bin side's pool shape.
+	return &shooter{
+		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}},
+		url:  "http://" + c.addr + "/route",
+	}, nil
+}
+
+func (s *shooter) close() {
+	if s == nil {
+		return
+	}
+	if s.bin != nil {
+		s.bin.Close()
+	}
+	if s.http != nil {
+		s.http.CloseIdleConnections()
+	}
+}
+
+// shoot fires request i and returns the HTTP-equivalent status code.
+func (s *shooter) shoot(c runConfig, i int) (int, error) {
+	if s.bin != nil {
+		resp, err := s.bin.Do(&wire.Request{
+			Circuit:        c.circuit,
+			WireID:         c.wireBase + i,
+			Pins:           c.pins,
+			DeadlineMillis: c.deadlineMS,
+			Commit:         c.commit,
+			Client:         c.client,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return resp.Status.HTTPStatus(), nil
+	}
+	body := jsonBody{
+		Circuit: c.circuit, Wire: c.wireBase + i, Commit: c.commit, DeadlineMillis: c.deadlineMS,
+	}
+	for _, p := range c.pins {
+		body.Pins = append(body.Pins, [2]int{p.X, p.Y})
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", c.client)
+	resp, err := s.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reused; the decoded body is not needed.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// jsonBody mirrors locusd's /route request document.
+type jsonBody struct {
+	Circuit        string   `json:"circuit"`
+	Wire           int      `json:"wire"`
+	Pins           [][2]int `json:"pins"`
+	Commit         bool     `json:"commit"`
+	DeadlineMillis int64    `json:"deadline_ms"`
+}
+
+// parsePins parses "x,y;x,y;..." into points.
+func parsePins(s string) ([]geom.Point, error) {
+	var pins []geom.Point
+	for _, part := range strings.Split(s, ";") {
+		var x, y int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d,%d", &x, &y); err != nil {
+			return nil, fmt.Errorf("bad pin %q (want x,y)", part)
+		}
+		pins = append(pins, geom.Pt(x, y))
+	}
+	if len(pins) < 2 {
+		return nil, fmt.Errorf("need >= 2 pins, got %d", len(pins))
+	}
+	return pins, nil
+}

@@ -77,19 +77,21 @@ func (s *Server) edfLoop(sc *servedCircuit, sh *shard) {
 			}
 		}
 		// First arrival seen: open the window. More arrivals only bump
-		// the wake channel; the queue orders them.
+		// the wake channel; the queue orders them. The loop condition
+		// re-checks the queue depth before every wait: a burst of >=
+		// MaxBatch pushes coalesces into the single buffered wake (often
+		// consumed by the empty-queue wait above), so waiting for another
+		// signal would sleep the whole window with a full batch already
+		// queued.
 		timer := time.NewTimer(s.cfg.BatchWindow)
 	window:
-		for {
+		for q.Len() < s.cfg.MaxBatch {
 			select {
 			case <-timer.C:
 				break window
 			case <-s.stop:
 				break window
 			case <-q.C():
-				if q.Len() >= s.cfg.MaxBatch {
-					break window
-				}
 			}
 		}
 		timer.Stop()
@@ -196,7 +198,9 @@ func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 	view := route.ArrayView{A: sh.arr}
 	for i, p := range batch {
 		if p.ctx.Err() != nil {
-			s.count(&s.met.expired)
+			// The waiter usually counted this expiry already (ctx.Done
+			// fires for it too); countExpired keeps the tally at one.
+			s.countExpired(p)
 			p.done <- outcome{err: ErrDeadline}
 			continue
 		}

@@ -69,12 +69,14 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	for _, p := range body.Pins {
 		wire.Pins = append(wire.Pins, geom.Pt(p[0], p[1]))
 	}
-	deadline := s.cfg.DefaultDeadline
+	// An explicit deadline_ms bounds the request here; otherwise Route
+	// applies the server's default, the same as for any embedder.
+	ctx := r.Context()
 	if body.DeadlineMillis > 0 {
-		deadline = time.Duration(body.DeadlineMillis) * time.Millisecond
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.DeadlineMillis)*time.Millisecond)
+		defer cancel()
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
-	defer cancel()
 
 	resp, err := s.Route(ctx, RouteRequest{
 		Circuit: body.Circuit,

@@ -164,6 +164,10 @@ type pending struct {
 	// goroutine and a preempting one: whoever flips true->false releases
 	// the gate, exactly once.
 	gateHeld atomic.Bool
+	// expired arbitrates the met.expired count the same way: the waiter
+	// (ctx.Done) and the shard loop (stale entry in process) can both
+	// notice the expiry, but only the first to flip it counts.
+	expired atomic.Bool
 }
 
 type outcome struct {
@@ -312,6 +316,16 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 		return RouteResponse{}, err
 	}
 	now := time.Now()
+	// The default deadline is a service property, not a transport one:
+	// an embedder calling Route with a plain context gets the same
+	// criticality floor as an HTTP caller omitting deadline_ms. Without
+	// it, EDF would sort plain-context requests least-critical forever
+	// and evict them first at every full gate.
+	if _, has := ctx.Deadline(); !has && s.cfg.DefaultDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		defer cancel()
+	}
 	deadline, _ := ctx.Deadline()
 
 	// Policy chain: gatekeepers, then the result cache. The whole block
@@ -342,7 +356,12 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 			resp.BatchIndex = 0
 			resp.WaitMicros = 0
 			s.count(&s.met.cacheHits)
-			s.chain.Observe(time.Now(), false)
+			// A cached answer exercised no evaluation path: it is
+			// evidence of nothing. Observing it as success would let a
+			// half-open breaker's single probe "confirm" recovery off a
+			// stale stored result, so the admission is released
+			// neutrally instead — the probe slot goes back unspent.
+			s.chain.Release()
 			return resp, nil
 		}
 	}
@@ -372,7 +391,7 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 		select {
 		case sh.queue <- p:
 		case <-ctx.Done():
-			s.count(&s.met.expired)
+			s.countExpired(p)
 			s.chain.Observe(time.Now(), true)
 			return RouteResponse{}, ErrDeadline
 		}
@@ -397,9 +416,17 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 	case <-ctx.Done():
 		// The shard will still evaluate (or expire) the entry; its
 		// buffered done send is discarded.
-		s.count(&s.met.expired)
+		s.countExpired(p)
 		s.chain.Observe(time.Now(), true)
 		return RouteResponse{}, ErrDeadline
+	}
+}
+
+// countExpired counts p in met.expired exactly once, whichever of its
+// waiter goroutine or its shard loop notices the expiry first.
+func (s *Server) countExpired(p *pending) {
+	if p.expired.CompareAndSwap(false, true) {
+		s.count(&s.met.expired)
 	}
 }
 

@@ -210,9 +210,10 @@ func TestPreemptExpiredVictimNotDoubleCounted(t *testing.T) {
 		Policy:      policy.Config{EDF: true},
 	})
 
-	// Park a no-deadline request in the EDF queue, then cancel its
-	// caller: the request is counted expired and releases its gate
-	// slot, but its entry stays queued until a window closes.
+	// Park a request in the EDF queue (a plain context picks up the 5s
+	// default deadline), then cancel its caller: the request is counted
+	// expired and releases its gate slot, but its entry stays queued
+	// until a window closes.
 	ctx, cancel := context.WithCancel(context.Background())
 	routed := make(chan error, 1)
 	go func() {
@@ -232,12 +233,14 @@ func TestPreemptExpiredVictimNotDoubleCounted(t *testing.T) {
 	}
 
 	// Refill the gate so the next arrival must preempt; the only
-	// candidate victim is the stale entry.
+	// candidate victim is the stale entry. The arrival's 2s deadline is
+	// strictly tighter than the victim's defaulted 5s, so EvictSlackest
+	// really hands back the stale entry.
 	if !s.gate.TryEnter() {
 		t.Fatal("gate refused after the cancelled request released it")
 	}
 	defer s.gate.Leave()
-	tight, tcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	tight, tcancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer tcancel()
 	if _, err := s.Route(tight, RouteRequest{Circuit: "svc", Wire: testWire(2)}); !errors.Is(err, ErrShed) {
 		t.Fatalf("arrival err = %v, want ErrShed (stale victim yields no usable slot)", err)

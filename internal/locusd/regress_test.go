@@ -1,0 +1,196 @@
+package locusd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/policy"
+)
+
+// testWireAt builds a wire with explicit pins inside the test circuit's
+// grid, for requests that must not collide with testWire's cache key.
+func testWireAt(id, x0, y0, x1, y1 int) circuit.Wire {
+	return circuit.Wire{ID: id, Pins: []circuit.Pin{{X: x0, Y: y0}, {X: x1, Y: y1}}}
+}
+
+// TestExpiredCountedOnce pins the expired double-count regression: a
+// request whose deadline expires while queued is noticed twice — by its
+// own waiter (ctx.Done) and by the shard loop finding the stale entry —
+// but must be counted in met.expired exactly once. Both dispatch
+// disciplines share the counting path, so both are pinned.
+func TestExpiredCountedOnce(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		policy policy.Config
+	}{
+		{"fifo", policy.Config{}},
+		{"edf", policy.Config{EDF: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := newServer(t, Config{
+				Shards:      1,
+				BatchWindow: 200 * time.Millisecond,
+				Policy:      mode.policy,
+			})
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			if _, err := s.Route(ctx, RouteRequest{Circuit: "svc", Wire: testWire(1)}); !errors.Is(err, ErrDeadline) {
+				t.Fatalf("Route err = %v, want ErrDeadline", err)
+			}
+			// Let the batch window close: the shard loop now sees the
+			// expired entry and, before the fix, counted it again.
+			time.Sleep(600 * time.Millisecond)
+			if got := s.vars().Expired; got != 1 {
+				t.Errorf("expired = %d, want exactly 1 (waiter and shard loop double-counted)", got)
+			}
+		})
+	}
+}
+
+// TestEDFFullBatchNoStall pins the full-batch stall regression: a burst
+// of >= MaxBatch pushes coalesces into the EDF queue's single buffered
+// wake, which the loop's empty-queue wait consumes — so the old window
+// loop, waiting for a *new* signal before re-checking the depth, slept
+// the whole BatchWindow with a full batch already queued. The fixed loop
+// checks q.Len() >= MaxBatch before every wait, so dispatch latency must
+// be far below the window.
+func TestEDFFullBatchNoStall(t *testing.T) {
+	const window = 3 * time.Second
+
+	// MaxBatch 1 is the deterministic degenerate burst: the one Push
+	// signal is always consumed by the empty-queue wait, so the old loop
+	// always slept the full window before dispatching.
+	t.Run("single-fills-batch", func(t *testing.T) {
+		s := newServer(t, Config{
+			Shards:      1,
+			BatchWindow: window,
+			MaxBatch:    1,
+			Policy:      policy.Config{EDF: true},
+		})
+		// Let the shard loop park in its empty-queue wait first, so the
+		// push's one wake signal is provably consumed there.
+		time.Sleep(100 * time.Millisecond)
+		start := time.Now()
+		if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(1)}); err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > window/3 {
+			t.Errorf("full batch dispatched after %v, want << %v window", elapsed, window)
+		}
+	})
+
+	t.Run("burst", func(t *testing.T) {
+		const n = 4
+		s := newServer(t, Config{
+			Shards:      1,
+			BatchWindow: window,
+			MaxBatch:    n,
+			Policy:      policy.Config{EDF: true},
+		})
+		time.Sleep(100 * time.Millisecond)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(i)}); err != nil {
+					t.Errorf("Route %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if elapsed := time.Since(start); elapsed > window/2 {
+			t.Errorf("burst of %d (= MaxBatch) dispatched after %v, want << %v window", n, elapsed, window)
+		}
+	})
+}
+
+// TestDefaultDeadlineAppliedInRoute pins the embedder-bypass regression
+// at the Server level (pkg/locusroute carries the Service-level pin): a
+// Route call with a plain context must pick up Config.DefaultDeadline
+// rather than riding a zero deadline — here the default expires the
+// request inside a wide batch window instead of letting it wait the
+// window out.
+func TestDefaultDeadlineAppliedInRoute(t *testing.T) {
+	s := newServer(t, Config{
+		Shards:          1,
+		BatchWindow:     2 * time.Second,
+		DefaultDeadline: 100 * time.Millisecond,
+		Policy:          policy.Config{EDF: true},
+	})
+	start := time.Now()
+	_, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(1)})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("plain-context Route err = %v, want ErrDeadline from the default deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("default deadline fired after %v, want ~100ms (deadline not applied in Route)", elapsed)
+	}
+}
+
+// TestCacheHitKeepsBreakerHalfOpen pins the fabricated-probe regression:
+// a half-open breaker's single probe answered from the result cache
+// exercised no evaluation path, so it must release the probe slot
+// (staying half-open) rather than report success and close. The pin is
+// behavioural: after the cached "probe", one real failure must re-open
+// the breaker immediately — half-open state trips on a single failed
+// probe, where a (wrongly) closed breaker would need the full
+// consecutive-failure threshold again.
+func TestCacheHitKeepsBreakerHalfOpen(t *testing.T) {
+	const cooldown = 250 * time.Millisecond
+	s := newServer(t, Config{
+		Shards:      1,
+		BatchWindow: 30 * time.Millisecond,
+		Policy: policy.Config{
+			BreakerFailures: 3,
+			BreakerCooldown: cooldown,
+			CacheEntries:    8,
+		},
+	})
+
+	// Warm the cache while the breaker is closed.
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(1)}); err != nil {
+		t.Fatalf("warmup Route: %v", err)
+	}
+
+	// Trip the breaker with three guaranteed expiries on a different
+	// wire set (the warm cache must not answer these).
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		if _, err := s.Route(ctx, RouteRequest{Circuit: "svc", Wire: testWireAt(10+i, 3, 2, 30, 5)}); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("expiry %d: err = %v, want ErrDeadline", i, err)
+		}
+		cancel()
+	}
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(2)}); !errors.Is(err, policy.ErrBreakerOpen) {
+		t.Fatalf("tripped breaker err = %v, want ErrBreakerOpen", err)
+	}
+
+	// After the cooldown, the first arrival is the half-open probe — and
+	// it hits the warm cache.
+	time.Sleep(cooldown + 100*time.Millisecond)
+	resp, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(1)})
+	if err != nil {
+		t.Fatalf("cached probe err = %v, want nil", err)
+	}
+	if !resp.Cached {
+		t.Fatal("probe request was not served from the cache; the regression path was not exercised")
+	}
+
+	// The breaker must still be half-open: a single real failure now
+	// re-opens it. A breaker wrongly closed by the cached probe would
+	// absorb this failure (streak 1 of 3) and keep admitting.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := s.Route(ctx, RouteRequest{Circuit: "svc", Wire: testWireAt(20, 3, 2, 30, 5)}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("post-probe failure err = %v, want ErrDeadline", err)
+	}
+	if _, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(3)}); !errors.Is(err, policy.ErrBreakerOpen) {
+		t.Errorf("err after failed half-open probe = %v, want ErrBreakerOpen (cache hit closed the breaker on no evidence)", err)
+	}
+}

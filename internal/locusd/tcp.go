@@ -1,0 +1,257 @@
+package locusd
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locusroute/internal/backend"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/policy"
+	"locusroute/internal/wire"
+)
+
+// TCPServer serves the binary route protocol (internal/wire) on raw TCP,
+// funneling every frame into the same Server.Route core as the JSON
+// endpoints — the two transports differ only in encoding cost, which is
+// the point: cmd/locusload measures that difference, echoing the paper's
+// finding that message packing, not compute, dominates the MP router.
+//
+// The lifecycle mirrors net/http.Server: Serve blocks on a listener,
+// Shutdown stops accepting, interrupts idle connections, and waits for
+// in-flight exchanges to write their responses.
+type TCPServer struct {
+	s *Server
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	handlers  sync.WaitGroup
+	draining  atomic.Bool
+}
+
+// NewTCPServer wraps s with the binary transport.
+func NewTCPServer(s *Server) *TCPServer {
+	return &TCPServer{
+		s:         s,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// ErrTCPServerClosed reports a Serve loop ended by Shutdown, the analog
+// of http.ErrServerClosed.
+var ErrTCPServerClosed = errors.New("locusd: tcp server closed")
+
+// Serve accepts connections on l until Shutdown. Each connection is one
+// sequential request/response stream (the client pipelines by pooling
+// connections, not frames).
+func (t *TCPServer) Serve(l net.Listener) error {
+	t.mu.Lock()
+	if t.draining.Load() {
+		t.mu.Unlock()
+		l.Close()
+		return ErrTCPServerClosed
+	}
+	t.listeners[l] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.listeners, l)
+		t.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if t.draining.Load() {
+				return ErrTCPServerClosed
+			}
+			return err
+		}
+		t.mu.Lock()
+		if t.draining.Load() {
+			t.mu.Unlock()
+			nc.Close()
+			return ErrTCPServerClosed
+		}
+		t.conns[nc] = struct{}{}
+		t.handlers.Add(1)
+		t.mu.Unlock()
+		go func() {
+			defer t.handlers.Done()
+			t.serveConn(nc)
+			t.mu.Lock()
+			delete(t.conns, nc)
+			t.mu.Unlock()
+			nc.Close()
+		}()
+	}
+}
+
+// Shutdown stops accepting, wakes connections blocked reading their next
+// frame, and waits for in-flight exchanges to finish writing. If ctx
+// expires first the remaining connections are force-closed.
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	t.draining.Store(true)
+	t.mu.Lock()
+	for l := range t.listeners {
+		l.Close()
+	}
+	// A connection parked in ReadFrame holds no request; an expired read
+	// deadline returns it an error, and the drain check in its loop exits
+	// it cleanly. A connection mid-exchange ignores this until its next
+	// read, after its response is written.
+	for nc := range t.conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	t.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { t.handlers.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		for nc := range t.conns {
+			nc.Close()
+		}
+		t.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// serveConn drains one connection's frame stream. Framing and transport
+// errors end the stream; a payload that frames correctly but fails to
+// decode is answered with StatusBadRequest and the stream continues, the
+// TCP analog of HTTP's per-request 400.
+func (t *TCPServer) serveConn(nc net.Conn) {
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	var rbuf, wbuf []byte
+	client := ""
+	if host, _, err := net.SplitHostPort(nc.RemoteAddr().String()); err == nil {
+		client = host
+	} else {
+		client = nc.RemoteAddr().String()
+	}
+	for {
+		payload, err := wire.ReadFrame(br, rbuf)
+		if err != nil {
+			// io.EOF at a frame boundary is the clean goodbye; everything
+			// else (torn frame, oversized prefix, read-deadline wake) just
+			// ends the stream — there is no frame to answer.
+			return
+		}
+		rbuf = payload
+		resp := t.exchange(payload, client)
+		wbuf, err = wire.AppendResponseFrame(wbuf[:0], &resp)
+		if err != nil {
+			// Response fields out of protocol domain (cannot happen for
+			// Route outputs); nothing sane to send.
+			return
+		}
+		if _, err := bw.Write(wbuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if t.draining.Load() {
+			// In-flight response written; don't start another exchange
+			// during drain.
+			return
+		}
+	}
+}
+
+// exchange decodes one request payload, routes it, and builds the
+// response frame's fields.
+func (t *TCPServer) exchange(payload []byte, client string) wire.Response {
+	req, err := wire.DecodeRequest(payload)
+	if err != nil {
+		return wire.Response{Status: wire.StatusBadRequest, Message: err.Error()}
+	}
+	if req.Client != "" {
+		client = req.Client
+	}
+	w := circuit.Wire{ID: req.WireID}
+	for _, p := range req.Pins {
+		w.Pins = append(w.Pins, geom.Pt(p.X, p.Y))
+	}
+	// An explicit deadline bounds the request here; otherwise Route
+	// applies the server's default, exactly as for JSON callers.
+	ctx := context.Background()
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
+	resp, err := t.s.Route(ctx, RouteRequest{
+		Circuit: req.Circuit,
+		Wire:    w,
+		Commit:  req.Commit,
+		Client:  client,
+	})
+	if err != nil {
+		return t.s.wireError(err)
+	}
+	return wire.Response{
+		Status:        wire.StatusOK,
+		Shard:         resp.Shard,
+		WireID:        resp.WireID,
+		Cost:          resp.Cost,
+		PathCells:     resp.PathCells,
+		CellsExamined: resp.CellsExamined,
+		BatchSize:     resp.BatchSize,
+		BatchIndex:    resp.BatchIndex,
+		Committed:     resp.Committed,
+		Cached:        resp.Cached,
+		WaitMicros:    resp.WaitMicros,
+	}
+}
+
+// wireError maps a service error to its binary response, carrying the
+// same status vocabulary and Retry-After values as writeError does for
+// HTTP — wire.Status.HTTPStatus() of the mapped code always equals
+// statusFor(err), which TestTCPErrorEquivalence pins.
+func (s *Server) wireError(err error) wire.Response {
+	resp := wire.Response{Message: err.Error()}
+	var rle *policy.RateLimitedError
+	var boe *policy.BreakerOpenError
+	var oge *backend.OutsideGridError
+	switch {
+	case errors.Is(err, ErrShed), errors.Is(err, policy.ErrEvicted):
+		resp.Status = wire.StatusShed
+		resp.RetryAfterSeconds = s.RetryAfterSeconds()
+	case errors.As(err, &rle):
+		resp.Status = wire.StatusRateLimited
+		resp.RetryAfterSeconds = ceilSeconds(rle.RetryAfter)
+	case errors.As(err, &boe):
+		resp.Status = wire.StatusBreakerOpen
+		resp.RetryAfterSeconds = ceilSeconds(boe.RetryAfter)
+	case errors.Is(err, policy.ErrRateLimited):
+		resp.Status = wire.StatusRateLimited
+	case errors.Is(err, policy.ErrBreakerOpen):
+		resp.Status = wire.StatusBreakerOpen
+	case errors.Is(err, ErrDraining):
+		resp.Status = wire.StatusDraining
+	case errors.Is(err, ErrDeadline):
+		resp.Status = wire.StatusDeadline
+	case errors.Is(err, policy.ErrDeadlineInfeasible):
+		resp.Status = wire.StatusInfeasible
+	case errors.Is(err, ErrUnknownCircuit):
+		resp.Status = wire.StatusUnknownCircuit
+	case errors.As(err, &oge):
+		resp.Status = wire.StatusBadRequest
+	default:
+		resp.Status = wire.StatusBadRequest
+	}
+	return resp
+}

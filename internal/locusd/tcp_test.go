@@ -1,0 +1,313 @@
+package locusd
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locusroute/internal/geom"
+	"locusroute/internal/wire"
+)
+
+// startTCP stands up the binary transport over s on a loopback listener
+// and registers cleanup; it returns the dial address and the TCPServer.
+func startTCP(t testing.TB, s *Server) (string, *TCPServer) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := NewTCPServer(s)
+	served := make(chan error, 1)
+	go func() { served <- tcp.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := tcp.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-served; !errors.Is(err, ErrTCPServerClosed) {
+			t.Errorf("Serve returned %v, want ErrTCPServerClosed", err)
+		}
+	})
+	return l.Addr().String(), tcp
+}
+
+// TestTCPServeBasic routes wires over one binary connection: sequential
+// exchanges reuse the stream, and concurrent clients each get their own.
+func TestTCPServeBasic(t *testing.T) {
+	s := newServer(t, Config{Shards: 2, BatchWindow: time.Millisecond})
+	addr, _ := startTCP(t, s)
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Do(&wire.Request{Circuit: "svc", WireID: 7 + i,
+			Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}})
+		if err != nil {
+			t.Fatalf("Do %d: %v", i, err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("Do %d: status %v (%s)", i, resp.Status, resp.Message)
+		}
+		if resp.WireID != 7+i || resp.Cost <= 0 || resp.PathCells <= 0 {
+			t.Errorf("Do %d: degenerate evaluation %+v", i, resp)
+		}
+	}
+
+	// Concurrent connections exercise the accept loop and per-conn
+	// goroutines under -race.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				t.Errorf("Dial %d: %v", g, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 5; i++ {
+				resp, err := c.Do(&wire.Request{Circuit: "svc", WireID: g*10 + i,
+					Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}})
+				if err != nil {
+					t.Errorf("conn %d Do %d: %v", g, i, err)
+					return
+				}
+				if resp.Status != wire.StatusOK {
+					t.Errorf("conn %d Do %d: status %v", g, i, resp.Status)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestTCPHTTPEquivalence pins the cross-transport contract: the same
+// request through the binary listener and the JSON endpoint, against the
+// same server, yields identical RouteResponse fields (shard, cost, path
+// cells, batch shape, flags — everything but the timing-dependent
+// wait_us).
+func TestTCPHTTPEquivalence(t *testing.T) {
+	s := newServer(t, Config{Shards: 1, BatchWindow: time.Millisecond})
+	addr, _ := startTCP(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bin, err := c.Do(&wire.Request{Circuit: "svc", WireID: 7,
+		Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Status != wire.StatusOK {
+		t.Fatalf("bin status %v (%s)", bin.Status, bin.Message)
+	}
+
+	code, doc := postRoute(t, ts, `{"circuit":"svc","wire":7,"pins":[[2,1],[40,4]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("http status %d: %v", code, doc)
+	}
+	for name, pair := range map[string][2]int64{
+		"shard":          {int64(bin.Shard), int64(doc["shard"].(float64))},
+		"wire":           {int64(bin.WireID), int64(doc["wire"].(float64))},
+		"cost":           {bin.Cost, int64(doc["cost"].(float64))},
+		"path_cells":     {int64(bin.PathCells), int64(doc["path_cells"].(float64))},
+		"cells_examined": {int64(bin.CellsExamined), int64(doc["cells_examined"].(float64))},
+		"batch_size":     {int64(bin.BatchSize), int64(doc["batch_size"].(float64))},
+		"batch_index":    {int64(bin.BatchIndex), int64(doc["batch_index"].(float64))},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s: bin %d != http %d", name, pair[0], pair[1])
+		}
+	}
+	if bin.Committed != doc["committed"].(bool) || bin.Cached != doc["cached"].(bool) {
+		t.Errorf("flag mismatch: bin %+v, http %v", bin, doc)
+	}
+}
+
+// TestTCPErrorEquivalence pins the error vocabulary across transports:
+// each failure mode's binary Status must map (via HTTPStatus) to exactly
+// the code the JSON endpoint reports for the same request.
+func TestTCPErrorEquivalence(t *testing.T) {
+	s := newServer(t, Config{Shards: 1, BatchWindow: time.Millisecond})
+	addr, _ := startTCP(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cases := []struct {
+		name string
+		bin  wire.Request
+		json string
+		want wire.Status
+	}{
+		{"unknown circuit",
+			wire.Request{Circuit: "nope", WireID: 1, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}},
+			`{"circuit":"nope","wire":1,"pins":[[2,1],[40,4]]}`,
+			wire.StatusUnknownCircuit},
+		{"out-of-grid pin",
+			wire.Request{Circuit: "svc", WireID: 1, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(5000, 4)}},
+			`{"circuit":"svc","wire":1,"pins":[[2,1],[5000,4]]}`,
+			wire.StatusBadRequest},
+		{"single pin",
+			wire.Request{Circuit: "svc", WireID: 1, Pins: []geom.Point{geom.Pt(2, 1)}},
+			`{"circuit":"svc","wire":1,"pins":[[2,1]]}`,
+			wire.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := c.Do(&tc.bin)
+		if err != nil {
+			t.Fatalf("%s: Do: %v", tc.name, err)
+		}
+		if resp.Status != tc.want {
+			t.Errorf("%s: bin status %v, want %v", tc.name, resp.Status, tc.want)
+		}
+		if resp.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+		code, _ := postRoute(t, ts, tc.json)
+		if got := resp.Status.HTTPStatus(); got != code {
+			t.Errorf("%s: bin HTTPStatus %d != json code %d", tc.name, got, code)
+		}
+	}
+}
+
+// TestTCPShedRetryAfterEquivalence saturates a one-slot gate and checks
+// a shed binary frame carries the same RetryAfterSeconds the JSON
+// endpoint puts in its Retry-After header — both derived from the same
+// backlog estimate at the same queue depth.
+func TestTCPShedRetryAfterEquivalence(t *testing.T) {
+	s := newServer(t, Config{
+		Shards:      1,
+		BatchWindow: 2 * time.Second,
+		MaxBatch:    4,
+		MaxInFlight: 1,
+	})
+	addr, _ := startTCP(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park one request in the batch window to hold the only gate slot.
+	hold := make(chan error, 1)
+	go func() {
+		_, err := s.Route(context.Background(), RouteRequest{Circuit: "svc", Wire: testWire(1)})
+		hold <- err
+	}()
+	for i := 0; s.InFlight() == 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1 (holder not admitted)", s.InFlight())
+	}
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bin, err := c.Do(&wire.Request{Circuit: "svc", WireID: 9,
+		Pins: []geom.Point{geom.Pt(3, 2), geom.Pt(30, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Status != wire.StatusShed {
+		t.Fatalf("bin status %v (%s), want StatusShed", bin.Status, bin.Message)
+	}
+	if bin.RetryAfterSeconds < 1 {
+		t.Errorf("shed frame RetryAfterSeconds = %d, want >= 1", bin.RetryAfterSeconds)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/route", "application/json",
+		strings.NewReader(`{"circuit":"svc","wire":9,"pins":[[3,2],[30,5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("http status %d, want 429", resp.StatusCode)
+	}
+	hdr, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After header %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if hdr != bin.RetryAfterSeconds {
+		t.Errorf("Retry-After: http %d != bin %d", hdr, bin.RetryAfterSeconds)
+	}
+	if got := bin.Status.HTTPStatus(); got != resp.StatusCode {
+		t.Errorf("bin HTTPStatus %d != http %d", got, resp.StatusCode)
+	}
+
+	if err := <-hold; err != nil {
+		t.Fatalf("held request: %v", err)
+	}
+}
+
+// TestTCPBadPayloadKeepsConn checks a well-framed but undecodable
+// payload is answered with StatusBadRequest and the stream survives —
+// the binary analog of HTTP's per-request 400.
+func TestTCPBadPayloadKeepsConn(t *testing.T) {
+	s := newServer(t, Config{Shards: 1, BatchWindow: time.Millisecond})
+	addr, _ := startTCP(t, s)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	readResp := func() *wire.Response {
+		t.Helper()
+		payload, err := wire.ReadFrame(br, nil)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse: %v", err)
+		}
+		return resp
+	}
+
+	// A 3-byte garbage payload, framed correctly.
+	if _, err := nc.Write([]byte{3, 0, 0, 0, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	resp := readResp()
+	if resp.Status != wire.StatusBadRequest || resp.Message == "" {
+		t.Fatalf("garbage payload: %+v, want StatusBadRequest with message", resp)
+	}
+
+	// The stream continues: a valid request still routes.
+	frame, err := wire.AppendRequestFrame(nil, &wire.Request{Circuit: "svc", WireID: 1,
+		Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if resp := readResp(); resp.Status != wire.StatusOK {
+		t.Errorf("status after bad payload %v, want StatusOK", resp.Status)
+	}
+}

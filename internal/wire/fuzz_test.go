@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes to the request decoder: it
+// must never panic, and anything it accepts must re-encode to the same
+// bytes — the same decode-encode contract internal/msg's fuzzer pins.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, r := range sampleRequests() {
+		buf, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, frameRequest})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequest(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out, err := AppendRequest(nil, r)
+		if err != nil {
+			t.Fatalf("decoded request failed to re-encode: %v (%+v)", err, r)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, r := range sampleResponses() {
+		buf, err := AppendResponse(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, frameResponse, byte(StatusOK)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		out, err := AppendResponse(nil, r)
+		if err != nil {
+			t.Fatalf("decoded response failed to re-encode: %v (%+v)", err, r)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

@@ -1,0 +1,524 @@
+// Package wire is the binary route-request protocol of locusd: the
+// service-layer answer to the paper's finding that message packing cost,
+// not compute, dominates the MP router — at millions of requests the
+// HTTP/JSON hot path is mostly encoding overhead. The protocol reuses
+// internal/msg's packed-field discipline (fixed little-endian fields
+// where the domain is bounded, minimal varints where it is not) and its
+// fuzz contract: decoders never panic, and anything a decoder accepts
+// re-encodes to the identical bytes.
+//
+// Framing is length-prefixed over a byte stream (TCP):
+//
+//	uint32 LE payload length | payload (<= MaxFrame bytes)
+//
+// Every payload starts with a version byte and a frame-kind byte, so the
+// protocol can grow new frame types and incompatible revisions without
+// guesswork on either side. Version 1 defines two frames:
+//
+//	request  (client -> server)
+//	  version=1, kind=1, flags (bit0 commit), uvarint wire id,
+//	  uvarint deadline_ms, str8 circuit, str8 client,
+//	  uvarint pin count, pin count x (uint16 LE x, uint16 LE y)
+//
+//	response (server -> client)
+//	  version=1, kind=2, status byte
+//	  status OK: uvarint shard, uvarint wire id, uvarint cost,
+//	    uvarint path cells, uvarint cells examined, uvarint batch size,
+//	    uvarint batch index, uvarint wait micros,
+//	    flags (bit0 committed, bit1 cached)
+//	  status != OK: uvarint retry-after seconds (0 = no hint),
+//	    str16 message
+//
+// str8 is a 1-byte length followed by raw bytes (<= 255); str16 a 2-byte
+// LE length (<= MaxMessage). Varints are unsigned LEB128 and must be
+// minimal: a decoder rejecting non-canonical encodings is what makes the
+// decode-encode round trip exact, which the fuzz tests enforce the same
+// way internal/msg's do.
+//
+// The JSON/HTTP endpoints remain the compatibility layer; this protocol
+// is additive and carries exactly the same request and response fields.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"locusroute/internal/geom"
+)
+
+// Version is the protocol revision this package speaks. A frame whose
+// version byte differs is rejected whole — fields are not renegotiated
+// per frame.
+const Version = 1
+
+// Frame kinds.
+const (
+	frameRequest  = 1
+	frameResponse = 2
+)
+
+// Size bounds. Oversized fields are encode and decode errors, never
+// silent truncations.
+const (
+	// MaxFrame bounds one framed payload; ReadFrame rejects larger
+	// length prefixes before allocating.
+	MaxFrame = 1 << 20
+	// MaxName bounds the circuit and client identity strings (str8).
+	MaxName = 255
+	// MaxMessage bounds a response's error message (str16).
+	MaxMessage = 1 << 12
+	// MaxPins bounds a request's pin list.
+	MaxPins = 1 << 12
+	// maxCoord matches internal/msg's 16-bit grid coordinate domain.
+	maxCoord = 1<<16 - 1
+	// maxID bounds wire ids to the portable int range.
+	maxID = 1<<31 - 1
+)
+
+// Request flag bits.
+const (
+	flagCommit = 1 << 0
+	reqFlagAll = flagCommit
+)
+
+// Response flag bits.
+const (
+	flagCommitted = 1 << 0
+	flagCached    = 1 << 1
+	respFlagAll   = flagCommitted | flagCached
+)
+
+// Status is a response's outcome code. The zero value is success; the
+// non-zero codes mirror the HTTP error vocabulary of the JSON layer so
+// the two transports report identical outcomes.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	// StatusBadRequest rejects a malformed or invalid request (bad
+	// payload, out-of-grid pins, too few pins).
+	StatusBadRequest
+	// StatusUnknownCircuit rejects a request naming an unserved circuit.
+	StatusUnknownCircuit
+	// StatusShed rejects a request at a full admission gate, including
+	// criticality eviction; RetryAfterSeconds carries the backlog
+	// estimate.
+	StatusShed
+	// StatusRateLimited rejects a request over its client's token
+	// bucket; RetryAfterSeconds carries the refill time.
+	StatusRateLimited
+	// StatusDraining rejects new work during graceful shutdown.
+	StatusDraining
+	// StatusBreakerOpen rejects while the circuit breaker is open;
+	// RetryAfterSeconds carries the cooldown remainder.
+	StatusBreakerOpen
+	// StatusDeadline reports a deadline that expired while the request
+	// was queued or mid-batch.
+	StatusDeadline
+	// StatusInfeasible rejects a deadline below the admission floor.
+	StatusInfeasible
+
+	statusMax = StatusInfeasible
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusUnknownCircuit:
+		return "unknown-circuit"
+	case StatusShed:
+		return "shed"
+	case StatusRateLimited:
+		return "rate-limited"
+	case StatusDraining:
+		return "draining"
+	case StatusBreakerOpen:
+		return "breaker-open"
+	case StatusDeadline:
+		return "deadline"
+	case StatusInfeasible:
+		return "infeasible"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// HTTPStatus maps the code to the HTTP status the JSON layer reports for
+// the same outcome — the cross-transport equivalence the tests pin.
+func (s Status) HTTPStatus() int {
+	switch s {
+	case StatusOK:
+		return 200
+	case StatusUnknownCircuit:
+		return 404
+	case StatusShed, StatusRateLimited:
+		return 429
+	case StatusDraining, StatusBreakerOpen:
+		return 503
+	case StatusDeadline, StatusInfeasible:
+		return 504
+	}
+	return 400
+}
+
+// Request is one route request: the binary twin of the JSON /route body
+// plus the client identity the HTTP layer carries as a header.
+type Request struct {
+	// Circuit names a preloaded circuit (<= MaxName bytes).
+	Circuit string
+	// WireID labels the wire (non-negative).
+	WireID int
+	// Pins are the wire terminals; coordinates must fit 16 bits.
+	Pins []geom.Point
+	// DeadlineMillis bounds queue wait + evaluation (0 = the server's
+	// default deadline).
+	DeadlineMillis int64
+	// Commit places the evaluated path on the serving replica.
+	Commit bool
+	// Client identifies the caller for rate limiting ("" = the remote
+	// host, as for HTTP).
+	Client string
+}
+
+// Response is one route outcome: on StatusOK the evaluation fields of
+// the JSON RouteResponse, otherwise the error vocabulary (retry hint +
+// message).
+type Response struct {
+	Status Status
+
+	// Evaluation fields, meaningful only on StatusOK.
+	Shard         int
+	WireID        int
+	Cost          int64
+	PathCells     int
+	CellsExamined int
+	BatchSize     int
+	BatchIndex    int
+	Committed     bool
+	Cached        bool
+	WaitMicros    int64
+
+	// Error fields, meaningful only on non-OK statuses.
+	RetryAfterSeconds int
+	Message           string
+}
+
+// AppendRequest appends r's payload (no length prefix) to dst.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if len(r.Circuit) > MaxName {
+		return nil, fmt.Errorf("wire: circuit name %d bytes (max %d)", len(r.Circuit), MaxName)
+	}
+	if len(r.Client) > MaxName {
+		return nil, fmt.Errorf("wire: client identity %d bytes (max %d)", len(r.Client), MaxName)
+	}
+	if r.WireID < 0 || r.WireID > maxID {
+		return nil, fmt.Errorf("wire: wire id %d outside [0, %d]", r.WireID, maxID)
+	}
+	if r.DeadlineMillis < 0 {
+		return nil, fmt.Errorf("wire: negative deadline %d ms", r.DeadlineMillis)
+	}
+	if len(r.Pins) > MaxPins {
+		return nil, fmt.Errorf("wire: %d pins (max %d)", len(r.Pins), MaxPins)
+	}
+	var flags byte
+	if r.Commit {
+		flags |= flagCommit
+	}
+	dst = append(dst, Version, frameRequest, flags)
+	dst = binary.AppendUvarint(dst, uint64(r.WireID))
+	dst = binary.AppendUvarint(dst, uint64(r.DeadlineMillis))
+	dst = appendStr8(dst, r.Circuit)
+	dst = appendStr8(dst, r.Client)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Pins)))
+	for _, p := range r.Pins {
+		if p.X < 0 || p.X > maxCoord || p.Y < 0 || p.Y > maxCoord {
+			return nil, fmt.Errorf("wire: pin %v outside the 16-bit coordinate domain", p)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(p.X))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(p.Y))
+	}
+	return dst, nil
+}
+
+// DecodeRequest unmarshals a request payload produced by AppendRequest.
+// Anything it accepts re-encodes to the identical bytes.
+func DecodeRequest(buf []byte) (*Request, error) {
+	d := decoder{buf: buf}
+	d.expect("version", Version)
+	d.expect("frame kind", frameRequest)
+	flags := d.byte("flags")
+	r := &Request{}
+	r.WireID = int(d.uvarint("wire id", maxID))
+	r.DeadlineMillis = int64(d.uvarint("deadline", 1<<62))
+	r.Circuit = d.str8("circuit")
+	r.Client = d.str8("client")
+	npins := int(d.uvarint("pin count", MaxPins))
+	if d.err == nil && flags&^byte(reqFlagAll) != 0 {
+		d.err = fmt.Errorf("wire: unknown request flags %#x", flags)
+	}
+	for i := 0; i < npins && d.err == nil; i++ {
+		x := d.u16("pin x")
+		y := d.u16("pin y")
+		r.Pins = append(r.Pins, geom.Pt(int(x), int(y)))
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	r.Commit = flags&flagCommit != 0
+	return r, nil
+}
+
+// AppendResponse appends r's payload (no length prefix) to dst.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	if r.Status > statusMax {
+		return nil, fmt.Errorf("wire: unknown status %d", r.Status)
+	}
+	dst = append(dst, Version, frameResponse, byte(r.Status))
+	if r.Status == StatusOK {
+		for _, f := range []struct {
+			name string
+			v    int64
+		}{
+			{"shard", int64(r.Shard)},
+			{"wire id", int64(r.WireID)},
+			{"cost", r.Cost},
+			{"path cells", int64(r.PathCells)},
+			{"cells examined", int64(r.CellsExamined)},
+			{"batch size", int64(r.BatchSize)},
+			{"batch index", int64(r.BatchIndex)},
+			{"wait micros", r.WaitMicros},
+		} {
+			if f.v < 0 {
+				return nil, fmt.Errorf("wire: negative %s %d", f.name, f.v)
+			}
+			dst = binary.AppendUvarint(dst, uint64(f.v))
+		}
+		var flags byte
+		if r.Committed {
+			flags |= flagCommitted
+		}
+		if r.Cached {
+			flags |= flagCached
+		}
+		return append(dst, flags), nil
+	}
+	if r.RetryAfterSeconds < 0 {
+		return nil, fmt.Errorf("wire: negative retry-after %d", r.RetryAfterSeconds)
+	}
+	if len(r.Message) > MaxMessage {
+		return nil, fmt.Errorf("wire: message %d bytes (max %d)", len(r.Message), MaxMessage)
+	}
+	dst = binary.AppendUvarint(dst, uint64(r.RetryAfterSeconds))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Message)))
+	return append(dst, r.Message...), nil
+}
+
+// DecodeResponse unmarshals a response payload produced by
+// AppendResponse. Anything it accepts re-encodes to the identical bytes.
+func DecodeResponse(buf []byte) (*Response, error) {
+	d := decoder{buf: buf}
+	d.expect("version", Version)
+	d.expect("frame kind", frameResponse)
+	status := Status(d.byte("status"))
+	if d.err == nil && status > statusMax {
+		d.err = fmt.Errorf("wire: unknown status %d", status)
+	}
+	r := &Response{Status: status}
+	if d.err == nil && status == StatusOK {
+		r.Shard = int(d.uvarint("shard", maxID))
+		r.WireID = int(d.uvarint("wire id", maxID))
+		r.Cost = int64(d.uvarint("cost", 1<<62))
+		r.PathCells = int(d.uvarint("path cells", maxID))
+		r.CellsExamined = int(d.uvarint("cells examined", maxID))
+		r.BatchSize = int(d.uvarint("batch size", maxID))
+		r.BatchIndex = int(d.uvarint("batch index", maxID))
+		r.WaitMicros = int64(d.uvarint("wait micros", 1<<62))
+		flags := d.byte("flags")
+		if d.err == nil && flags&^byte(respFlagAll) != 0 {
+			d.err = fmt.Errorf("wire: unknown response flags %#x", flags)
+		}
+		r.Committed = flags&flagCommitted != 0
+		r.Cached = flags&flagCached != 0
+	} else if d.err == nil {
+		r.RetryAfterSeconds = int(d.uvarint("retry-after", maxID))
+		r.Message = d.str16("message")
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AppendRequestFrame appends the framed (length-prefixed) request to
+// dst, ready for a single Write.
+func AppendRequestFrame(dst []byte, r *Request) ([]byte, error) {
+	return appendFrame(dst, func(dst []byte) ([]byte, error) { return AppendRequest(dst, r) })
+}
+
+// AppendResponseFrame appends the framed (length-prefixed) response to
+// dst, ready for a single Write.
+func AppendResponseFrame(dst []byte, r *Response) ([]byte, error) {
+	return appendFrame(dst, func(dst []byte) ([]byte, error) { return AppendResponse(dst, r) })
+}
+
+// appendFrame reserves the length prefix, appends the payload, and
+// back-fills the prefix.
+func appendFrame(dst []byte, payload func([]byte) ([]byte, error)) ([]byte, error) {
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := payload(dst)
+	if err != nil {
+		return nil, err
+	}
+	n := len(dst) - at - 4
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d bytes (max %d)", n, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(dst[at:], uint32(n))
+	return dst, nil
+}
+
+// ReadFrame reads one length-prefixed payload, reusing buf when it is
+// large enough. It returns io.EOF only on a clean boundary (no bytes
+// read); a frame cut short mid-payload is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendStr8 appends a 1-byte-length string; the caller has bounded it.
+func appendStr8(dst []byte, s string) []byte {
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+// decoder is a cursor over one payload with sticky error state: every
+// accessor returns the zero value once an error is recorded, and finish
+// rejects trailing bytes — a decoded value therefore describes the whole
+// payload exactly.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *decoder) byte(name string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated at %s", name)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) expect(name string, want byte) {
+	if got := d.byte(name); d.err == nil && got != want {
+		d.fail("%s %d, want %d", name, got, want)
+	}
+}
+
+func (d *decoder) u16(name string) uint16 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+2 > len(d.buf) {
+		d.fail("truncated at %s", name)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+// uvarint decodes a minimal unsigned varint bounded by max. Rejecting
+// non-minimal encodings (a multi-byte varint whose last byte is zero)
+// keeps decode-encode an exact round trip.
+func (d *decoder) uvarint(name string, max uint64) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at %s", name)
+		return 0
+	}
+	if n > 1 && d.buf[d.off+n-1] == 0 {
+		d.fail("non-minimal varint at %s", name)
+		return 0
+	}
+	d.off += n
+	if v > max {
+		d.fail("%s %d exceeds %d", name, v, max)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) str8(name string) string {
+	n := int(d.byte(name))
+	return d.take(name, n)
+}
+
+func (d *decoder) str16(name string) string {
+	n := int(d.u16(name))
+	if d.err == nil && n > MaxMessage {
+		d.fail("%s %d bytes (max %d)", name, n, MaxMessage)
+		return ""
+	}
+	return d.take(name, n)
+}
+
+func (d *decoder) take(name string, n int) string {
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("truncated at %s", name)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"locusroute/internal/geom"
+)
+
+// sampleRequests covers the request field space: flags, empty and
+// populated strings, zero and boundary pins.
+func sampleRequests() []*Request {
+	return []*Request{
+		{Circuit: "bnrE", WireID: 7, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}},
+		{Circuit: "svc", WireID: 0, Pins: []geom.Point{geom.Pt(0, 0)}, Commit: true},
+		{Circuit: "c", WireID: maxID, Pins: []geom.Point{geom.Pt(maxCoord, maxCoord)},
+			DeadlineMillis: 250, Client: "loadgen-3"},
+		{Circuit: "", WireID: 1, Pins: nil, DeadlineMillis: 1 << 40},
+	}
+}
+
+// sampleResponses covers both response shapes: OK with every evaluation
+// field and flag combination, and each error status with and without a
+// retry hint.
+func sampleResponses() []*Response {
+	return []*Response{
+		{Status: StatusOK, Shard: 3, WireID: 7, Cost: 412, PathCells: 38, CellsExamined: 512,
+			BatchSize: 4, BatchIndex: 2, Committed: true, WaitMicros: 1200},
+		{Status: StatusOK, Cached: true},
+		{Status: StatusOK, Committed: true, Cached: true, Cost: 1 << 40},
+		{Status: StatusShed, RetryAfterSeconds: 2, Message: "at capacity"},
+		{Status: StatusRateLimited, RetryAfterSeconds: 1, Message: "client over limit"},
+		{Status: StatusBreakerOpen, RetryAfterSeconds: 5, Message: "breaker open"},
+		{Status: StatusDeadline, Message: "deadline exceeded"},
+		{Status: StatusDraining},
+		{Status: StatusUnknownCircuit, Message: "no circuit \"x\""},
+		{Status: StatusBadRequest, Message: "pin outside grid"},
+		{Status: StatusInfeasible, Message: "deadline below admission floor"},
+	}
+}
+
+// TestRequestRoundTrip checks encode->decode is the identity over the
+// request samples.
+func TestRequestRoundTrip(t *testing.T) {
+	for _, r := range sampleRequests() {
+		buf, err := AppendRequest(nil, r)
+		if err != nil {
+			t.Fatalf("AppendRequest(%+v): %v", r, err)
+		}
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%+v): %v", r, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", r, got)
+		}
+	}
+}
+
+// TestResponseRoundTrip checks encode->decode is the identity over the
+// response samples, including that error fields don't leak into OK
+// frames and vice versa.
+func TestResponseRoundTrip(t *testing.T) {
+	for _, r := range sampleResponses() {
+		buf, err := AppendResponse(nil, r)
+		if err != nil {
+			t.Fatalf("AppendResponse(%+v): %v", r, err)
+		}
+		got, err := DecodeResponse(buf)
+		if err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", r, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", r, got)
+		}
+	}
+}
+
+// TestFrameRoundTrip checks the length-prefixed framing through a byte
+// stream, including back-to-back frames on one reader.
+func TestFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	reqs := sampleRequests()
+	for _, r := range reqs {
+		var err error
+		stream, err = AppendRequestFrame(stream, r)
+		if err != nil {
+			t.Fatalf("AppendRequestFrame: %v", err)
+		}
+	}
+	rd := bytes.NewReader(stream)
+	var buf []byte
+	for i, want := range reqs {
+		var err error
+		buf, err = ReadFrame(rd, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("DecodeRequest %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d mismatch:\n in: %+v\nout: %+v", i, want, got)
+		}
+	}
+	if _, err := ReadFrame(rd, buf); err != io.EOF {
+		t.Errorf("ReadFrame at clean end = %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameErrors checks the framing layer's failure modes: a
+// truncated payload is ErrUnexpectedEOF, an oversized prefix is rejected
+// before allocation.
+func TestReadFrameErrors(t *testing.T) {
+	frame, err := AppendRequestFrame(nil, sampleRequests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-2]), nil); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated payload: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame[:2]), nil); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated prefix: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(huge[:]), nil); err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Errorf("oversized prefix: err = %v, want MaxFrame rejection", err)
+	}
+}
+
+// TestDecodeRejections walks the decoder's rejection rules: wrong
+// version, wrong kind, unknown flags and statuses, non-minimal varints,
+// and trailing bytes all fail loudly.
+func TestDecodeRejections(t *testing.T) {
+	req, err := AppendRequest(nil, sampleRequests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := AppendResponse(nil, sampleResponses()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(buf []byte, at int, b byte) []byte {
+		out := append([]byte(nil), buf...)
+		out[at] = b
+		return out
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"bad version", mutate(req, 0, 9), "version"},
+		{"response as request", resp, "frame kind"},
+		{"unknown request flags", mutate(req, 2, 0x80), "flags"},
+		{"trailing bytes", append(append([]byte(nil), req...), 0), "trailing"},
+		// wireID 7 is a 1-byte varint at offset 3; 0x87 0x00 is the same
+		// value non-minimally.
+		{"non-minimal varint", append(append(append([]byte(nil), req[:3]...), 0x87, 0x00), req[4:]...), "non-minimal"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRequest(c.buf); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+
+	if _, err := DecodeResponse(mutate(resp, 2, byte(statusMax)+1)); err == nil || !strings.Contains(err.Error(), "status") {
+		t.Errorf("unknown status: err = %v, want status rejection", err)
+	}
+	if _, err := DecodeResponse(req); err == nil || !strings.Contains(err.Error(), "frame kind") {
+		t.Errorf("request as response: err = %v, want frame kind rejection", err)
+	}
+}
+
+// TestEncodeRejections checks the encoder refuses out-of-domain fields
+// rather than truncating them.
+func TestEncodeRejections(t *testing.T) {
+	reqCases := []*Request{
+		{Circuit: strings.Repeat("x", MaxName+1)},
+		{Client: strings.Repeat("x", MaxName+1)},
+		{WireID: -1},
+		{WireID: maxID + 1},
+		{DeadlineMillis: -1},
+		{Pins: make([]geom.Point, MaxPins+1)},
+		{Pins: []geom.Point{geom.Pt(maxCoord+1, 0)}},
+		{Pins: []geom.Point{geom.Pt(0, -1)}},
+	}
+	for _, r := range reqCases {
+		if _, err := AppendRequest(nil, r); err == nil {
+			t.Errorf("AppendRequest accepted out-of-domain %+v", r)
+		}
+	}
+	respCases := []*Response{
+		{Status: statusMax + 1},
+		{Status: StatusOK, Cost: -1},
+		{Status: StatusShed, RetryAfterSeconds: -1},
+		{Status: StatusShed, Message: strings.Repeat("x", MaxMessage+1)},
+	}
+	for _, r := range respCases {
+		if _, err := AppendResponse(nil, r); err == nil {
+			t.Errorf("AppendResponse accepted out-of-domain %+v", r)
+		}
+	}
+}
+
+// TestStatusHTTPEquivalence pins the status-to-HTTP map against the JSON
+// layer's vocabulary, so the two transports can never drift silently.
+func TestStatusHTTPEquivalence(t *testing.T) {
+	want := map[Status]int{
+		StatusOK:             200,
+		StatusBadRequest:     400,
+		StatusUnknownCircuit: 404,
+		StatusShed:           429,
+		StatusRateLimited:    429,
+		StatusDraining:       503,
+		StatusBreakerOpen:    503,
+		StatusDeadline:       504,
+		StatusInfeasible:     504,
+	}
+	for s, code := range want {
+		if got := s.HTTPStatus(); got != code {
+			t.Errorf("%v.HTTPStatus() = %d, want %d", s, got, code)
+		}
+	}
+}

@@ -123,6 +123,36 @@ func TestServiceEpochAdvancesOnCommit(t *testing.T) {
 	}
 }
 
+// TestServiceDefaultDeadlineApplied pins the embedder regression: a
+// Service caller routing with a plain context must pick up
+// WithDefaultDeadline inside Route itself — the default was previously
+// applied only by the HTTP layer, so embedded requests rode a zero
+// deadline (least critical forever under EDF). Here the 100ms default
+// must expire the request inside a 2s batch window instead of letting
+// it wait the window out and be served.
+func TestServiceDefaultDeadlineApplied(t *testing.T) {
+	c := serviceCircuit(t)
+	svc, err := NewService([]*Circuit{c},
+		WithShards(1),
+		WithBatchWindow(2*time.Second),
+		WithDefaultDeadline(100*time.Millisecond),
+		WithEDFScheduling(),
+	)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	start := time.Now()
+	_, err = svc.Route(context.Background(), ServiceRequest{Circuit: c.Name, Wire: c.Wires[0]})
+	if !errors.Is(err, ErrServiceDeadline) {
+		t.Fatalf("plain-context Route err = %v, want ErrServiceDeadline from the default deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("default deadline fired after %v, want ~100ms (default not applied in Route)", elapsed)
+	}
+}
+
 // TestServiceDeadlineAdmission verifies WithDeadlineAdmission rejects
 // infeasible deadlines up front with the typed sentinel.
 func TestServiceDeadlineAdmission(t *testing.T) {
