@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: verify build test race bench bench-route bench-policy bench-locusd paper
+.PHONY: verify build test race bench bench-route bench-policy bench-locusd bench-partition smoke-partition paper
 
 verify: ## build, vet, full tests, and race-test the concurrent packages
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/... ./internal/locusd/... ./internal/policy/...
+	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/... ./internal/locusd/... ./internal/policy/... ./internal/part/...
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,29 @@ bench-locusd:
 		-sweep 1000,2000,4000,6000,8000,12000 -duration 4s -warmup 1s -conns 32; \
 	/tmp/locusload-bench -addr 127.0.0.1:18348 -proto bin \
 		-sweep 1000,2000,4000,6000,8000,12000 -duration 4s -warmup 1s -conns 32
+
+# Partition-parallel routing benchmarks on the 10x-scaled bnrE preset;
+# compare against BENCH_partition.json (record GOMAXPROCS with the
+# numbers — partition speedup needs real cores).
+bench-partition:
+	$(GO) test -run '^$$' -bench 'Scaled' -benchmem -benchtime 1x ./internal/part/
+
+# CI smoke for the partition backend: partitions=1 must reproduce the
+# sequential route hash exactly, partitions=4 must be deterministic
+# across runs, and the observed wall-clock ratio is left in
+# /tmp/partition-smoke.txt as a build artifact.
+smoke-partition:
+	$(GO) run ./cmd/paper -table partition -partitions 1 | tee /tmp/partition-p1.txt
+	$(GO) run ./cmd/paper -table partition -partitions 4 | tee /tmp/partition-p4a.txt
+	$(GO) run ./cmd/paper -table partition -partitions 4 > /tmp/partition-p4b.txt
+	grep -q 'partitioned p=1 .*yes *$$' /tmp/partition-p1.txt
+	h4a=$$(grep 'partitioned p=4' /tmp/partition-p4a.txt | awk '{print $$(NF-1)}'); \
+	h4b=$$(grep 'partitioned p=4' /tmp/partition-p4b.txt | awk '{print $$(NF-1)}'); \
+	test -n "$$h4a" && test "$$h4a" = "$$h4b"
+	{ echo "partition smoke $$(date -u +%Y-%m-%dT%H:%M:%SZ)"; \
+	  grep -h 'sequential\|partitioned' /tmp/partition-p1.txt /tmp/partition-p4a.txt; } \
+	  > /tmp/partition-smoke.txt
+	@echo "smoke-partition: OK (artifact at /tmp/partition-smoke.txt)"
 
 # Full paper-table benchmarks (several minutes).
 bench:

@@ -6,7 +6,14 @@
 //
 //	circuitgen -bench bnrE -o bnrE.ckt          # write a benchmark file
 //	circuitgen -bench MDC -describe             # print statistics only
+//	circuitgen -bench bnrE -scale 10 -o big.ckt # 10x-scaled preset
 //	circuitgen -channels 8 -grids 128 -wires 200 -seed 7 -o custom.ckt
+//
+// -scale N multiplies the preset (or custom) dimensions: N times the
+// wires spread over a grid with about N times the cells, keeping wire
+// density comparable (see circuit.Scaled). The 10x bnrE-like preset is
+// the benchmark circuit for partition-parallel routing
+// (BENCH_partition.json).
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 		wires    = flag.Int("wires", 200, "number of wires")
 		meanSpan = flag.Float64("meanspan", 14, "mean horizontal span of short wires")
 		longFrac = flag.Float64("longfrac", 0.1, "fraction of long wires")
+		scale    = flag.Int("scale", 1, "scale the preset up N times (wires xN, grid cells ~xN)")
 		out      = flag.String("o", "", "output file (default stdout)")
 		describe = flag.Bool("describe", false, "print statistics instead of the circuit")
 	)
@@ -47,6 +55,9 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown benchmark %q (want bnrE or MDC)", *bench)
+	}
+	if *scale > 1 {
+		params = circuit.Scaled(params, *scale)
 	}
 
 	c, err := circuit.Generate(params)

@@ -73,6 +73,7 @@ func main() {
 		backendKind = flag.String("backend", string(locusroute.Sequential),
 			fmt.Sprintf("baseline routing backend: one of %v", locusroute.Kinds()))
 		procs       = flag.Int("procs", 16, "processors for the baseline backend")
+		partitions  = flag.Int("partitions", 0, "leaf regions for the partitioned baseline backend (0 = backend default)")
 		shards      = flag.Int("shards", 4, "serving replicas per circuit")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long a shard waits to grow a batch")
 		maxBatch    = flag.Int("max-batch", 64, "max wires per batch")
@@ -93,6 +94,7 @@ func main() {
 	cfg := locusd.Config{
 		Backend:         locusroute.Kind(*backendKind),
 		Procs:           *procs,
+		Partitions:      *partitions,
 		Shards:          *shards,
 		BatchWindow:     *batchWindow,
 		MaxBatch:        *maxBatch,

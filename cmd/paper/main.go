@@ -11,6 +11,7 @@
 //	paper -table locality      # Section 5.3.3 locality measure
 //	paper -table comparison    # Section 5.2 SM vs MP
 //	paper -table critpath      # critical-path attribution (traced runs)
+//	paper -table partition     # partition-parallel speedup sweep
 //	paper -trace out.json      # Perfetto trace of the standard schedule
 //
 // Every independent simulation fans out across -par workers; results are
@@ -38,11 +39,12 @@ func main() {
 	common.AddPar(flag.CommandLine, "output is identical at every value")
 	common.AddObs(flag.CommandLine)
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network, ordering, topology, robustness, critpath")
-		all      = flag.Bool("all", false, "regenerate every table")
-		procs    = flag.Int("procs", 16, "processor count for tables that do not sweep it")
-		iters    = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
-		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the standard schedule to this file (requires -par 1)")
+		table      = flag.String("table", "", "table to regenerate: 1-6, blocking, mixed, locality, comparison, packets, distribution, ownership, network, ordering, topology, robustness, critpath, partition")
+		all        = flag.Bool("all", false, "regenerate every table")
+		procs      = flag.Int("procs", 16, "processor count for tables that do not sweep it")
+		iters      = flag.Int("iters", experiments.DefaultSetup().Iterations, "routing iterations")
+		partitions = flag.Int("partitions", 0, "restrict the partition table's sweep to one leaf count (0 sweeps 1, 2, 4, 8)")
+		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the standard schedule to this file (requires -par 1)")
 	)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -67,6 +69,9 @@ func main() {
 	s.Iterations = *iters
 	s.Pool = common.Pool()
 	s.Obs = common.Collector()
+	if *partitions > 0 {
+		s.Partitions = []int{*partitions}
+	}
 	bnrE := experiments.BnrE()
 	mdc := experiments.MDC()
 

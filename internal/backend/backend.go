@@ -26,7 +26,7 @@ import (
 	"locusroute/internal/trace"
 )
 
-// Kind identifies one of the five backend implementations.
+// Kind identifies one of the six backend implementations.
 type Kind string
 
 const (
@@ -44,10 +44,15 @@ const (
 	// MPLive is the message passing router on real goroutines whose only
 	// interaction is marshalled packets over channels.
 	MPLive Kind = "mp-live"
+	// Partitioned is the partition-parallel router: a recursive bisection
+	// of the grid whose leaf regions route concurrently on one shared
+	// cost array, with boundary-crossing wires reconciled serially at
+	// each tree level. One partition is bit-identical to Sequential.
+	Partitioned Kind = "partitioned"
 )
 
 // Kinds lists every backend kind in a stable order.
-func Kinds() []Kind { return []Kind{Sequential, SMLive, SMTraced, MPDES, MPLive} }
+func Kinds() []Kind { return []Kind{Sequential, SMLive, SMTraced, MPDES, MPLive, Partitioned} }
 
 // Circuit, Wire and Pin alias the repository's circuit model so callers
 // of the public API can name them without reaching into internal
@@ -222,6 +227,8 @@ func New(kind Kind, opts ...Option) (Backend, error) {
 		return NewMessagePassing(opts...)
 	case MPLive:
 		return NewLiveMessagePassing(opts...)
+	case Partitioned:
+		return NewPartitioned(opts...)
 	}
 	return nil, fmt.Errorf("locusroute: unknown backend kind %q (want one of %v)", kind, Kinds())
 }

@@ -5,8 +5,11 @@ import (
 	"time"
 
 	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
 	"locusroute/internal/mp"
 	"locusroute/internal/obs"
+	"locusroute/internal/par"
+	"locusroute/internal/part"
 	"locusroute/internal/route"
 	"locusroute/internal/sm"
 )
@@ -20,6 +23,21 @@ func NewSequential(opts ...Option) (Backend, error) {
 		return nil, err
 	}
 	return &seqBackend{cfg: c}, nil
+}
+
+// NewPartitioned constructs the partition-parallel router: the grid is
+// recursively bisected into WithPartitions leaf regions whose wires
+// route concurrently on one shared cost array (wires are classified by
+// pin-bounding-box footprint into the deepest region containing them),
+// while boundary-crossing wires route serially at their tree level
+// against the merged state. With one partition the result is
+// bit-identical to the sequential backend.
+func NewPartitioned(opts ...Option) (Backend, error) {
+	c := apply(opts)
+	if err := c.reject(Partitioned); err != nil {
+		return nil, err
+	}
+	return &partBackend{cfg: c}, nil
 }
 
 // NewSharedMemory constructs the shared memory router on real
@@ -118,7 +136,23 @@ func (b *seqBackend) Procs() int { return 1 }
 
 func (b *seqBackend) Route(ctx context.Context, req Request) (Result, error) {
 	return run(ctx, req, func() (Result, error) {
-		res, arr := route.Sequential(req.Circuit, b.cfg.params(req.Iterations))
+		params := b.cfg.params(req.Iterations)
+		var res route.Result
+		var arr *costarray.CostArray
+		var pdoc *obs.PartitionDoc
+		if b.cfg.negotiated != nil {
+			// Negotiated congestion on the sequential shape: the
+			// single-leaf partition driver, which routes every wire in ID
+			// order on one goroutine.
+			pres, parr, st, err := part.Route(req.Circuit, params,
+				part.Config{Partitions: 1, Negotiated: b.cfg.negotiated})
+			if err != nil {
+				return Result{}, err
+			}
+			res, arr, pdoc = pres, parr, partitionDoc(st)
+		} else {
+			res, arr = route.Sequential(req.Circuit, params)
+		}
 		out := Result{
 			Backend:       Sequential,
 			Circuit:       req.Circuit.Name,
@@ -131,10 +165,69 @@ func (b *seqBackend) Route(ctx context.Context, req Request) (Result, error) {
 		}
 		observe(b.cfg.collector, obs.Run{
 			Name: runName(req), Backend: string(Sequential), Circuit: req.Circuit.Name, Procs: 1,
-			Quality: &obs.Quality{CircuitHeight: res.CircuitHeight, Occupancy: res.Occupancy},
+			Quality:   &obs.Quality{CircuitHeight: res.CircuitHeight, Occupancy: res.Occupancy},
+			Partition: pdoc,
 		})
 		return out, nil
 	})
+}
+
+// partBackend is the partition-parallel implementation.
+type partBackend struct{ cfg config }
+
+func (b *partBackend) Kind() Kind { return Partitioned }
+func (b *partBackend) Procs() int { return b.cfg.procs }
+
+func (b *partBackend) Route(ctx context.Context, req Request) (Result, error) {
+	return run(ctx, req, func() (Result, error) {
+		// The pool bounds concurrent region routing at the configured
+		// processor count; the routing itself is a pure function of
+		// (circuit, params, partitions), so the bound affects only wall
+		// time, never results.
+		pcfg := part.Config{
+			Partitions: b.cfg.partitions,
+			Workers:    par.New(b.cfg.procs),
+			Negotiated: b.cfg.negotiated,
+		}
+		res, arr, st, err := part.Route(req.Circuit, b.cfg.params(req.Iterations), pcfg)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{
+			Backend:       Partitioned,
+			Circuit:       req.Circuit.Name,
+			Procs:         b.cfg.procs,
+			CircuitHeight: res.CircuitHeight,
+			Occupancy:     res.Occupancy,
+			WiresRouted:   res.WiresRouted,
+			CellsExamined: res.CellsExamined,
+			Final:         arr,
+		}
+		observe(b.cfg.collector, obs.Run{
+			Name: runName(req), Backend: string(Partitioned), Circuit: req.Circuit.Name, Procs: b.cfg.procs,
+			Quality:   &obs.Quality{CircuitHeight: res.CircuitHeight, Occupancy: res.Occupancy},
+			Partition: partitionDoc(st),
+		})
+		return out, nil
+	})
+}
+
+// partitionDoc renders partition stats into the obs section.
+func partitionDoc(st *part.Stats) *obs.PartitionDoc {
+	if st == nil {
+		return nil
+	}
+	return &obs.PartitionDoc{
+		Partitions:      st.Partitions,
+		Depth:           st.Depth,
+		BoundaryWires:   st.BoundaryWires,
+		BoundaryFrac:    st.BoundaryFrac(),
+		LevelWires:      st.LevelWires,
+		RegionWallNs:    st.RegionWallNs,
+		NegotiatedIters: st.NegotiatedIters,
+		OverusedCells:   st.OverusedCells,
+		PresFacFinal:    st.PresFacFinal,
+	}
 }
 
 // smBackend covers the live and traced shared memory implementations.

@@ -8,6 +8,7 @@ import (
 	"locusroute/internal/geom"
 	"locusroute/internal/mp"
 	"locusroute/internal/obs"
+	"locusroute/internal/part"
 	"locusroute/internal/route"
 	"locusroute/internal/tracev"
 )
@@ -58,6 +59,10 @@ type config struct {
 	dynamic     bool
 	strict      bool
 	blockingSet bool
+
+	partitions    int
+	partitionsSet bool
+	negotiated    *part.Negotiated
 
 	collector *obs.Collector
 	tracer    *tracev.Tracer
@@ -168,6 +173,32 @@ func WithStrictOwnership() Option {
 	return func(c *config) { c.strict = true; c.method = assignLocality }
 }
 
+// WithPartitions sets the partitioned backend's leaf-region count:
+// recursive bisection splits the grid into n regions routed
+// concurrently. 1 reproduces the sequential backend bit-for-bit; the
+// default is part.DefaultPartitions (4), a machine-independent constant
+// so the routing stays a pure function of its inputs. Partitioned
+// backend only.
+func WithPartitions(n int) Option {
+	return func(c *config) { c.partitions = n; c.partitionsSet = true }
+}
+
+// Negotiated aliases the negotiated-congestion schedule configuration
+// (internal/part): pres_fac start/multiplier/cap, history increment,
+// cell capacity, and the pass bound. The zero value of every field
+// selects its default.
+type Negotiated = part.Negotiated
+
+// WithNegotiatedCongestion switches routing to the PathFinder/VPR-style
+// negotiated-congestion schedule: a first pass routes by length, later
+// passes escalate a present-congestion factor, charge history to cells
+// that stay overused, and rip up only the wires crossing them. Applies
+// to the sequential and partitioned backends; it is orthogonal to
+// partitioning.
+func WithNegotiatedCongestion(n Negotiated) Option {
+	return func(c *config) { c.negotiated = &n }
+}
+
 // WithObserver attaches a collector: every Route appends its run's
 // observability document (quality, per-node times, traffic, phases) to
 // col. The run itself is byte-identical with or without an observer.
@@ -217,6 +248,21 @@ func (c *config) reject(kind Kind) error {
 	}
 	if c.method == assignDynamic && mpKind {
 		return fmt.Errorf("locusroute: WithDynamicOrder is the shared memory distributed loop; message passing uses WithDynamicWires")
+	}
+	if c.partitionsSet {
+		if kind != Partitioned {
+			return fmt.Errorf("locusroute: WithPartitions applies to the %s backend, not %s", Partitioned, kind)
+		}
+		if c.partitions < 1 {
+			return fmt.Errorf("locusroute: partition count %d must be positive", c.partitions)
+		}
+	}
+	if c.negotiated != nil && kind != Sequential && kind != Partitioned {
+		return fmt.Errorf("locusroute: WithNegotiatedCongestion applies to the %s and %s backends, not %s",
+			Sequential, Partitioned, kind)
+	}
+	if kind == Partitioned && c.method != assignDefault {
+		return fmt.Errorf("locusroute: the partitioned backend distributes wires by footprint; %s does not apply", c.method)
 	}
 	if kind == Sequential {
 		if c.procsSet && c.procs != 1 {

@@ -1,0 +1,5 @@
+//go:build race
+
+package backend
+
+const raceEnabled = true

@@ -100,6 +100,32 @@ func MDCLike(seed int64) GenParams {
 	}
 }
 
+// Scaled returns p blown up by the given factor: the wire count grows
+// scale×, and the grid grows by a pair of per-axis factors whose product
+// is ~scale (floor/ceil of sqrt), so wire-length statistics and density
+// stay roughly constant while the circuit gets big enough for intra-
+// circuit parallelism to pay. The long-wire fraction shrinks by the
+// vertical factor so the number of grid-spanning wires — which become
+// boundary wires under any partition — grows only linearly rather than
+// with the wire count. scale <= 1 returns p unchanged.
+func Scaled(p GenParams, scale int) GenParams {
+	if scale <= 1 {
+		return p
+	}
+	kc := 1
+	for (kc+1)*(kc+1) <= scale {
+		kc++
+	}
+	kg := (scale + kc - 1) / kc
+	p.Name = fmt.Sprintf("%s-x%d", p.Name, scale)
+	p.Channels *= kc
+	p.Grids *= kg
+	p.Wires *= scale
+	p.LongFrac /= float64(kc)
+	p.ClusterCount *= kc
+	return p
+}
+
 // Generate builds a synthetic circuit from params. The same params always
 // produce the same circuit.
 func Generate(params GenParams) (*Circuit, error) {

@@ -64,6 +64,9 @@ type Setup struct {
 	// unbounded; par.New(1) is the serial mode. Results are merged in
 	// submission order, so output never depends on the pool's capacity.
 	Pool *par.Pool
+	// Partitions is the leaf-count sweep of the partition table (nil
+	// sweeps 1, 2, 4, 8). Only the "partition" table reads it.
+	Partitions []int
 }
 
 // DefaultSetup returns the 16-processor configuration most tables use.

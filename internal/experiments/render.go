@@ -8,10 +8,11 @@ import (
 
 // TableNames returns the tables `paper -all` regenerates, in print
 // order. The robustness sweep is not included (it is far slower than
-// everything else combined), and neither is the traced critical-path
+// everything else combined), nor is the traced critical-path
 // comparison (its rows come from event-traced runs; keeping it out of
-// -all keeps the golden output byte-identical with tracing off);
-// request either by name.
+// -all keeps the golden output byte-identical with tracing off), nor
+// the partition sweep (its Time column is real wall clock, which no
+// golden output can pin); request any of them by name.
 func TableNames() []string {
 	return []string{
 		"1", "2", "blocking", "mixed", "3", "comparison", "4", "5", "6",
@@ -25,8 +26,9 @@ func TableNames() []string {
 func RobustnessSeeds() []int64 { return []int64{1, 2, 3, 4, 5} }
 
 // Render regenerates one named table (a TableNames entry, "robustness",
-// or "critpath") and returns its rendered text. bnrE is the primary
-// benchmark circuit; mdc joins it for the two-circuit locality tables.
+// "critpath", or "partition") and returns its rendered text. bnrE is
+// the primary benchmark circuit; mdc joins it for the two-circuit
+// locality tables.
 func Render(name string, bnrE, mdc *circuit.Circuit, s Setup) (string, error) {
 	both := []*circuit.Circuit{bnrE, mdc}
 	switch name {
@@ -84,6 +86,9 @@ func Render(name string, bnrE, mdc *circuit.Circuit, s Setup) (string, error) {
 	case "critpath":
 		rows, err := CritPath(bnrE, s)
 		return render(RenderCritPath, rows, err)
+	case "partition":
+		rows, err := Partition(bnrE, s, s.Partitions)
+		return render(RenderPartition, rows, err)
 	default:
 		return "", fmt.Errorf("experiments: unknown table %q", name)
 	}

@@ -191,11 +191,16 @@ func (s *Server) preempt(deadline time.Time) bool {
 }
 
 // process evaluates one batch against the shard's replica. Only one
-// loop calls process for a given shard, so the array and scratch need
-// no locks. EDF batches arrive deadline-ordered; FIFO batches arrive
-// in arrival order — either way BatchIndex records the commit order.
+// loop calls process for a given shard, so the array needs no lock;
+// the routing scratch is borrowed from the server's grid-keyed pool
+// for the batch and returned afterwards, so the per-request cost stays
+// at the reused-scratch allocation floor (see backend.ScratchPool).
+// EDF batches arrive deadline-ordered; FIFO batches arrive in arrival
+// order — either way BatchIndex records the commit order.
 func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 	view := route.ArrayView{A: sh.arr}
+	scratch := s.scratch.Get(sc.circ.Grid)
+	defer s.scratch.Put(sc.circ.Grid, scratch)
 	for i, p := range batch {
 		if p.ctx.Err() != nil {
 			// The waiter usually counted this expiry already (ctx.Done
@@ -205,7 +210,7 @@ func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 			continue
 		}
 		wait := time.Since(p.enqueued)
-		ev := sh.scratch.RouteWire(view, &p.req.Wire, s.cfg.Router)
+		ev := scratch.RouteWire(view, &p.req.Wire, s.cfg.Router)
 		committed := false
 		if p.req.Commit {
 			route.Commit(view, ev.Path)

@@ -5,10 +5,9 @@
 // At startup each circuit is routed once through a pkg/locusroute
 // backend; the resulting cost array is the baseline congestion state.
 // Each circuit is then served by a set of shards, each owning a private
-// clone of that array plus a reusable route.Scratch — the service-layer
-// echo of the paper's replicated views: requests never contend on a
-// shared array, and a committed wire lands only on the replica that
-// served it.
+// clone of that array — the service-layer echo of the paper's
+// replicated views: requests never contend on a shared array, and a
+// committed wire lands only on the replica that served it.
 //
 // The request path is a policy chain (internal/policy) around a batching
 // core. Admission runs deadline feasibility, per-client rate limiting
@@ -21,8 +20,9 @@
 // original batching core at zero measurable cost (BENCH_policy.json).
 //
 // Requests that arrive at a shard within one batching window are grouped
-// and evaluated back to back through the shard's scratch space (one
-// Scratch per shard is what makes the steady state allocation-free). A
+// and evaluated back to back through a route.Scratch borrowed from a
+// grid-keyed backend.ScratchPool for the batch (reused scratch space is
+// what makes the steady state allocation-free). A
 // par.Gate bounds admitted requests — a full gate sheds load with HTTP
 // 429 rather than queueing without bound — and a par.Pool bounds how
 // many shards evaluate batches at once.
@@ -56,6 +56,11 @@ type Config struct {
 	// Procs is the processor count for the baseline backend (ignored for
 	// Sequential; default 16, the paper's machine size).
 	Procs int
+	// Partitions is the leaf-region count for the partitioned baseline
+	// backend: big circuits route their baseline with intra-request
+	// parallelism. Only meaningful when Backend is Partitioned (0 keeps
+	// the backend's default of 4).
+	Partitions int
 	// Shards is the number of serving replicas per circuit (default 4).
 	Shards int
 	// BatchWindow is how long a shard waits for more requests after the
@@ -175,13 +180,15 @@ type outcome struct {
 	err  error
 }
 
-// shard is one serving replica: a private cost array, a private scratch,
-// and a queue drained by its batching loop.
+// shard is one serving replica: a private cost array and a queue
+// drained by its batching loop. Routing scratch space is not owned by
+// the shard — batches borrow it from the server's grid-keyed pool
+// (backend.ScratchPool), so idle replicas hold no scratch memory and
+// every circuit with the same grid shares one warm set.
 type shard struct {
-	id      int
-	arr     *costarray.CostArray
-	scratch *route.Scratch
-	queue   chan *pending // FIFO dispatch; unused under EDF
+	id    int
+	arr   *costarray.CostArray
+	queue chan *pending // FIFO dispatch; unused under EDF
 }
 
 // servedCircuit is one preloaded circuit and its replicas.
@@ -228,6 +235,11 @@ type Server struct {
 	names       []string // stable iteration order for /circuits and /debug/vars
 	totalShards int
 
+	// scratch pools routing scratch space per grid shape; batches borrow
+	// a Scratch for their whole run and return it, keeping the serving
+	// path at the reused-scratch allocation floor.
+	scratch backend.ScratchPool
+
 	met      metrics
 	draining atomic.Bool
 	closing  sync.Once
@@ -247,6 +259,9 @@ func New(cfg Config, circuits ...*circuit.Circuit) (*Server, error) {
 	opts := []backend.Option{backend.WithRouter(cfg.Router)}
 	if cfg.Backend != backend.Sequential {
 		opts = append(opts, backend.WithProcs(cfg.Procs))
+	}
+	if cfg.Partitions > 0 && cfg.Backend == backend.Partitioned {
+		opts = append(opts, backend.WithPartitions(cfg.Partitions))
 	}
 	be, err := backend.New(cfg.Backend, opts...)
 	if err != nil {
@@ -275,10 +290,9 @@ func New(cfg Config, circuits ...*circuit.Circuit) (*Server, error) {
 		}
 		for i := 0; i < cfg.Shards; i++ {
 			sh := &shard{
-				id:      i,
-				arr:     base.Final.Clone(),
-				scratch: route.NewScratch(c.Grid),
-				queue:   make(chan *pending, cfg.MaxInFlight),
+				id:    i,
+				arr:   base.Final.Clone(),
+				queue: make(chan *pending, cfg.MaxInFlight),
 			}
 			sc.shards = append(sc.shards, sh)
 			s.loops.Add(1)

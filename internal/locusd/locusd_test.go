@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"locusroute/internal/backend"
 	"locusroute/internal/circuit"
 	"locusroute/internal/par"
 )
@@ -380,5 +381,28 @@ func TestConcurrentLoad(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("Close did not return under load drain")
+	}
+}
+
+// TestPartitionedBaseline stands the service up on the partitioned
+// backend: the baseline routing at startup uses intra-request
+// parallelism, and serving behaves exactly as with the sequential
+// baseline.
+func TestPartitionedBaseline(t *testing.T) {
+	s := newServer(t, Config{
+		Backend:     backend.Partitioned,
+		Partitions:  4,
+		Shards:      1,
+		BatchWindow: time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, doc := postRoute(t, ts, `{"circuit":"svc","wire":7,"pins":[[2,1],[40,4]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, doc)
+	}
+	if doc["cost"] == nil || doc["path_cells"].(float64) <= 0 {
+		t.Errorf("degenerate evaluation: %v", doc)
 	}
 }

@@ -9,10 +9,11 @@
 //
 // # Document schema (locusroute.obs/v2)
 //
-// v2 is additive over v1: it introduces the optional per-run
-// "crit_path" section (the simulated-time critical path extracted from
-// an event trace); every v1 field is unchanged, so v1 consumers can
-// read v2 documents by ignoring the new section.
+// v2 is additive over v1: it introduces optional per-run sections —
+// "crit_path" (the simulated-time critical path extracted from an event
+// trace) and "partition" (the partitioned backend's tree decomposition
+// and boundary-wire load); every v1 field is unchanged, so v1 consumers
+// can read v2 documents by ignoring the new sections.
 //
 // A Snapshot is one JSON object per command invocation:
 //
@@ -38,7 +39,8 @@
 //	  "cache":   [...],          // SM: coherence bus traffic per line size
 //	  "trace":   {"reads": R, "writes": W, "refs": N},
 //	  "phases":  [{"name": "iteration 0", "wall_ns": W}, ...], // live backends
-//	  "crit_path": {...}         // MP DES with tracing: critical-path breakdown
+//	  "crit_path": {...},        // MP DES with tracing: critical-path breakdown
+//	  "partition": {...}         // partitioned backend: tree + boundary load
 //	}
 //
 // The per-node breakdown (the paper's Section 5.1.3 lens) is exhaustive
@@ -144,6 +146,36 @@ type CritPathStep struct {
 	Bytes    int64 `json:"bytes,omitempty"`
 }
 
+// PartitionDoc describes how the partitioned backend decomposed one run
+// (schema v2, additive like crit_path): the realised partition tree, the
+// boundary-wire load that limits its concurrency, per-region routing
+// wall time, and — when the negotiated-congestion schedule ran — how the
+// negotiation went.
+type PartitionDoc struct {
+	// Partitions is the number of leaf regions realised; Depth is the
+	// bisection tree depth (0 = single leaf, the sequential shape).
+	Partitions int `json:"partitions"`
+	Depth      int `json:"depth"`
+	// BoundaryWires counts wires that cross a partition cut and route
+	// serially at their tree level; BoundaryFrac is their share of the
+	// circuit's wires.
+	BoundaryWires int     `json:"boundary_wires"`
+	BoundaryFrac  float64 `json:"boundary_frac"`
+	// LevelWires[d] is the number of wires classified at tree depth d
+	// (the last entry is the concurrent leaf work).
+	LevelWires []int `json:"level_wires,omitempty"`
+	// RegionWallNs is the wall-clock routing time of each leaf region in
+	// left-to-right order, summed over iterations.
+	RegionWallNs []int64 `json:"region_wall_ns,omitempty"`
+	// NegotiatedIters, OverusedCells and PresFacFinal describe the
+	// negotiated-congestion schedule when it was enabled: passes
+	// consumed, overused cells remaining at exit (0 = converged), and
+	// the final pres_fac.
+	NegotiatedIters int     `json:"negotiated_iters,omitempty"`
+	OverusedCells   int     `json:"overused_cells,omitempty"`
+	PresFacFinal    float64 `json:"pres_fac_final,omitempty"`
+}
+
 // CritPathDoc is the critical path extracted from a run's event trace
 // (schema v2). The six category sums partition TotalNs exactly, the same
 // way a NodeTimes entry partitions one node's life — but here the
@@ -167,19 +199,20 @@ type CritPathDoc struct {
 
 // Run is the observability document of one routing execution.
 type Run struct {
-	Name      string       `json:"name"`
-	Backend   string       `json:"backend"`
-	Circuit   string       `json:"circuit,omitempty"`
-	Procs     int          `json:"procs,omitempty"`
-	Quality   *Quality     `json:"quality,omitempty"`
-	SimTimeNs int64        `json:"sim_time_ns,omitempty"`
-	Nodes     []NodeTimes  `json:"nodes,omitempty"`
-	Network   *NetworkDoc  `json:"network,omitempty"`
-	Messages  []KindCount  `json:"messages,omitempty"`
-	Cache     []CacheDoc   `json:"cache,omitempty"`
-	Trace     *TraceDoc    `json:"trace,omitempty"`
-	Phases    []PhaseDoc   `json:"phases,omitempty"`
-	CritPath  *CritPathDoc `json:"crit_path,omitempty"`
+	Name      string        `json:"name"`
+	Backend   string        `json:"backend"`
+	Circuit   string        `json:"circuit,omitempty"`
+	Procs     int           `json:"procs,omitempty"`
+	Quality   *Quality      `json:"quality,omitempty"`
+	SimTimeNs int64         `json:"sim_time_ns,omitempty"`
+	Nodes     []NodeTimes   `json:"nodes,omitempty"`
+	Network   *NetworkDoc   `json:"network,omitempty"`
+	Messages  []KindCount   `json:"messages,omitempty"`
+	Cache     []CacheDoc    `json:"cache,omitempty"`
+	Trace     *TraceDoc     `json:"trace,omitempty"`
+	Phases    []PhaseDoc    `json:"phases,omitempty"`
+	CritPath  *CritPathDoc  `json:"crit_path,omitempty"`
+	Partition *PartitionDoc `json:"partition,omitempty"`
 }
 
 // Snapshot is the complete document of one command invocation.

@@ -1,0 +1,147 @@
+package part
+
+import (
+	"testing"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/costarray"
+	"locusroute/internal/par"
+	"locusroute/internal/route"
+)
+
+func genCircuit(t testing.TB, gen func(int64) circuit.GenParams, seed int64) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.Generate(gen(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPartitionsOneMatchesSequential is the equivalence pin of the
+// issue: with one partition the tree is a single leaf holding every
+// wire in ID order, so the driver must reproduce route.Sequential's
+// result and final cost array byte-for-byte — across multiple seeds and
+// both benchmark shapes.
+func TestPartitionsOneMatchesSequential(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		fn   func(int64) circuit.GenParams
+	}{{"bnrE", circuit.BnrELike}, {"MDC", circuit.MDCLike}} {
+		for _, seed := range []int64{1, 2, 3} {
+			c := genCircuit(t, gen.fn, seed)
+			params := route.DefaultParams()
+			wantRes, wantArr := route.Sequential(c, params)
+			gotRes, gotArr, st, err := Route(c, params, Config{Partitions: 1})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", gen.name, seed, err)
+			}
+			if gotRes != wantRes {
+				t.Errorf("%s seed %d: result %+v, sequential %+v", gen.name, seed, gotRes, wantRes)
+			}
+			if !gotArr.Equal(wantArr) {
+				t.Errorf("%s seed %d: cost arrays differ", gen.name, seed)
+			}
+			if st.Partitions != 1 || st.BoundaryWires != 0 || st.Depth != 0 {
+				t.Errorf("%s seed %d: single-leaf stats %+v", gen.name, seed, st)
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers pins the scheduling-independence
+// argument: the routing is a pure function of (circuit, params,
+// partitions), so any worker-pool capacity — including none — must
+// produce identical results and identical cost arrays.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	c := genCircuit(t, circuit.BnrELike, 1)
+	params := route.DefaultParams()
+	type out struct {
+		res route.Result
+		arr *costarray.CostArray
+	}
+	var runs []out
+	for _, pool := range []*par.Pool{nil, par.New(1), par.New(4), par.New(4)} {
+		res, arr, _, err := Route(c, params, Config{Partitions: 4, Workers: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, out{res, arr})
+	}
+	for i, r := range runs[1:] {
+		if r.res != runs[0].res {
+			t.Errorf("run %d result %+v != run 0 %+v", i+1, r.res, runs[0].res)
+		}
+		if !r.arr.Equal(runs[0].arr) {
+			t.Errorf("run %d cost array differs from run 0", i+1)
+		}
+	}
+}
+
+func TestPartitionedStats(t *testing.T) {
+	c := genCircuit(t, circuit.BnrELike, 1)
+	params := route.DefaultParams()
+	res, arr, st, err := Route(c, params, Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitions != 4 {
+		t.Errorf("realised %d partitions, want 4", st.Partitions)
+	}
+	if st.TotalWires != len(c.Wires) {
+		t.Errorf("TotalWires %d, want %d", st.TotalWires, len(c.Wires))
+	}
+	sum := 0
+	for _, n := range st.LevelWires {
+		sum += n
+	}
+	if sum != st.TotalWires {
+		t.Errorf("LevelWires sums to %d, want %d", sum, st.TotalWires)
+	}
+	leafWires := st.LevelWires[len(st.LevelWires)-1]
+	if st.BoundaryWires != st.TotalWires-leafWires {
+		t.Errorf("BoundaryWires %d inconsistent with levels %v", st.BoundaryWires, st.LevelWires)
+	}
+	if st.BoundaryWires == 0 || st.BoundaryWires == st.TotalWires {
+		t.Errorf("bnrE at 4 partitions should mix region and boundary wires, got %d/%d",
+			st.BoundaryWires, st.TotalWires)
+	}
+	if len(st.RegionWallNs) != st.Partitions {
+		t.Errorf("RegionWallNs has %d entries, want %d", len(st.RegionWallNs), st.Partitions)
+	}
+	if f := st.BoundaryFrac(); f <= 0 || f >= 1 {
+		t.Errorf("BoundaryFrac %v out of (0,1)", f)
+	}
+	if res.WiresRouted != len(c.Wires)*params.Iterations {
+		t.Errorf("WiresRouted %d, want %d", res.WiresRouted, len(c.Wires)*params.Iterations)
+	}
+	if res.CircuitHeight <= 0 || res.Occupancy <= 0 {
+		t.Errorf("degenerate quality metrics %+v", res)
+	}
+	// The committed wire mass must match: sum of cells equals the sum of
+	// final path lengths, independent of partitioning.
+	var mass int64
+	for _, v := range arr.Cells() {
+		mass += int64(v)
+	}
+	if mass <= 0 {
+		t.Error("empty cost array after routing")
+	}
+}
+
+// TestPartitionQualityClose checks partitioning does not wreck routing
+// quality: the partitioned circuit height stays within a modest factor
+// of sequential (the wires are the same; only the order differs).
+func TestPartitionQualityClose(t *testing.T) {
+	c := genCircuit(t, circuit.BnrELike, 1)
+	params := route.DefaultParams()
+	seqRes, _ := route.Sequential(c, params)
+	partRes, _, _, err := Route(c, params, Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partRes.CircuitHeight > seqRes.CircuitHeight*3/2 {
+		t.Errorf("partitioned height %d vs sequential %d: more than 1.5x worse",
+			partRes.CircuitHeight, seqRes.CircuitHeight)
+	}
+}

@@ -1,0 +1,208 @@
+package part
+
+import (
+	"testing"
+
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/route"
+)
+
+// checkTree verifies the structural invariants every tree must satisfy:
+// children partition their parent exactly, leaves tile the grid with no
+// overlap, and depths are consistent.
+func checkTree(t *testing.T, tr *Tree) {
+	t.Helper()
+	nodes := tr.Nodes()
+	if nodes[0].Rect != tr.Grid().Bounds() {
+		t.Fatalf("root rect %v != grid bounds %v", nodes[0].Rect, tr.Grid().Bounds())
+	}
+	for i, n := range nodes {
+		if n.Leaf() {
+			continue
+		}
+		l, r := nodes[n.Left], nodes[n.Right]
+		if l.Depth != n.Depth+1 || r.Depth != n.Depth+1 {
+			t.Fatalf("node %d depth %d: children depths %d/%d", i, n.Depth, l.Depth, r.Depth)
+		}
+		if l.Rect.Overlaps(r.Rect) {
+			t.Fatalf("node %d: children overlap: %v and %v", i, l.Rect, r.Rect)
+		}
+		if l.Rect.Area()+r.Rect.Area() != n.Rect.Area() {
+			t.Fatalf("node %d: children %v+%v do not partition %v", i, l.Rect, r.Rect, n.Rect)
+		}
+		if !n.Rect.ContainsRect(l.Rect) || !n.Rect.ContainsRect(r.Rect) {
+			t.Fatalf("node %d: child escapes parent %v", i, n.Rect)
+		}
+	}
+	area := 0
+	leaves := tr.LeafIndices()
+	for i, li := range leaves {
+		area += nodes[li].Rect.Area()
+		for _, lj := range leaves[:i] {
+			if nodes[li].Rect.Overlaps(nodes[lj].Rect) {
+				t.Fatalf("leaves %d and %d overlap", li, lj)
+			}
+		}
+	}
+	if area != tr.Grid().Cells() {
+		t.Fatalf("leaf union covers %d cells, grid has %d", area, tr.Grid().Cells())
+	}
+}
+
+func TestTreeShapes(t *testing.T) {
+	g := geom.Grid{Channels: 10, Grids: 341}
+	for _, leaves := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
+		tr, err := NewTree(g, leaves)
+		if err != nil {
+			t.Fatalf("NewTree(%d): %v", leaves, err)
+		}
+		if tr.Leaves() != leaves {
+			t.Errorf("NewTree(%d): realised %d leaves", leaves, tr.Leaves())
+		}
+		checkTree(t, tr)
+	}
+	if tr, err := NewTree(g, 1); err != nil || tr.Depth() != 0 || len(tr.Nodes()) != 1 {
+		t.Errorf("single-leaf tree should be one root node, got %d nodes (err %v)", len(tr.Nodes()), err)
+	}
+}
+
+func TestTreeDegenerate(t *testing.T) {
+	// A 1x1 grid cannot split at all; a 1xN grid only splits along X.
+	tr, err := NewTree(geom.Grid{Channels: 1, Grids: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 1 {
+		t.Errorf("1x1 grid: want 1 leaf, got %d", tr.Leaves())
+	}
+	tr, err = NewTree(geom.Grid{Channels: 1, Grids: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 4 {
+		t.Errorf("1x4 grid: want 4 leaves, got %d", tr.Leaves())
+	}
+	checkTree(t, tr)
+	if _, err := NewTree(geom.Grid{}, 2); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	if _, err := NewTree(geom.Grid{Channels: 2, Grids: 2}, 0); err == nil {
+		t.Error("zero leaves accepted")
+	}
+}
+
+func TestClassifyDeepest(t *testing.T) {
+	g := geom.Grid{Channels: 16, Grids: 64}
+	tr, err := NewTree(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := tr.Nodes()
+	for _, li := range tr.LeafIndices() {
+		r := nodes[li].Rect
+		// A footprint strictly inside a leaf classifies to that leaf.
+		fp := geom.Rect{X0: r.X0, Y0: r.Y0, X1: r.X0 + 1, Y1: r.Y0 + 1}
+		if got := tr.Classify(fp); got != li {
+			t.Errorf("footprint %v in leaf %v classified to node %d", fp, r, got)
+		}
+	}
+	// The whole grid classifies to the root.
+	if got := tr.Classify(g.Bounds()); got != 0 {
+		t.Errorf("grid-wide footprint classified to node %d, want root", got)
+	}
+	// An empty footprint classifies to the root.
+	if got := tr.Classify(geom.Rect{}); got != 0 {
+		t.Errorf("empty footprint classified to node %d, want root", got)
+	}
+	// A footprint straddling the root cut classifies to the root and
+	// overlaps both children — the symmetric boundary condition.
+	root := nodes[0]
+	l, r := nodes[root.Left], nodes[root.Right]
+	var fp geom.Rect
+	if l.Rect.X1 == r.Rect.X0 { // vertical cut
+		fp = geom.Rect{X0: l.Rect.X1 - 1, Y0: 0, X1: r.Rect.X0 + 1, Y1: 1}
+	} else {
+		fp = geom.Rect{X0: 0, Y0: l.Rect.Y1 - 1, X1: 1, Y1: r.Rect.Y0 + 1}
+	}
+	if got := tr.Classify(fp); got != 0 {
+		t.Errorf("cut-straddling footprint %v classified to node %d, want root", fp, got)
+	}
+	if !fp.Overlaps(l.Rect) || !fp.Overlaps(r.Rect) {
+		t.Errorf("straddling footprint %v should overlap both children", fp)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	g := geom.Grid{Channels: 10, Grids: 100}
+	w := &circuit.Wire{ID: 0, Pins: []geom.Point{geom.Pt(10, 3), geom.Pt(40, 6)}}
+	fp := Footprint(w, route.Params{VHVDetourChannels: 2}, g)
+	want := geom.Rect{X0: 10, Y0: 1, X1: 41, Y1: 9}
+	if fp != want {
+		t.Errorf("footprint %v, want %v", fp, want)
+	}
+	// Detour clamps to the grid.
+	w2 := &circuit.Wire{ID: 1, Pins: []geom.Point{geom.Pt(0, 0), geom.Pt(5, 9)}}
+	fp2 := Footprint(w2, route.Params{VHVDetourChannels: 5}, g)
+	want2 := geom.Rect{X0: 0, Y0: 0, X1: 6, Y1: 10}
+	if fp2 != want2 {
+		t.Errorf("clamped footprint %v, want %v", fp2, want2)
+	}
+	// Zero detour is the pin bounding box; negative is treated as zero.
+	fp3 := Footprint(w, route.Params{VHVDetourChannels: -1}, g)
+	want3 := geom.Rect{X0: 10, Y0: 3, X1: 41, Y1: 7}
+	if fp3 != want3 {
+		t.Errorf("no-detour footprint %v, want %v", fp3, want3)
+	}
+	if fp := Footprint(&circuit.Wire{ID: 2}, route.Params{}, g); !fp.Empty() {
+		t.Errorf("pinless wire footprint %v, want empty", fp)
+	}
+}
+
+// TestFootprintCoversKernel pins the containment theorem the whole
+// package rests on: every cell the kernel reads or writes while routing
+// a wire lies inside Footprint. A tracking view records all touched
+// cells; any escape is a soundness bug in partition-parallel routing.
+func TestFootprintCoversKernel(t *testing.T) {
+	c, err := circuit.Generate(circuit.BnrELike(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := route.DefaultParams()
+	tv := &touchView{grid: c.Grid, cost: make([]int32, c.Grid.Cells())}
+	s := route.NewScratch(c.Grid)
+	for i := range c.Wires {
+		w := &c.Wires[i]
+		fp := Footprint(w, params, c.Grid)
+		tv.reset()
+		ev := s.RouteWire(tv, w, params)
+		route.Commit(tv, ev.Path)
+		route.RipUp(tv, ev.Path)
+		for _, p := range tv.touched {
+			if !p.In(fp) {
+				t.Fatalf("wire %d touched %v outside footprint %v", w.ID, p, fp)
+			}
+		}
+	}
+}
+
+// touchView records every cell the kernel reads or writes.
+type touchView struct {
+	grid    geom.Grid
+	cost    []int32
+	touched []geom.Point
+}
+
+func (v *touchView) reset() { v.touched = v.touched[:0] }
+
+func (v *touchView) Grid() geom.Grid { return v.grid }
+
+func (v *touchView) Cost(x, y int) int32 {
+	v.touched = append(v.touched, geom.Pt(x, y))
+	return v.cost[y*v.grid.Grids+x]
+}
+
+func (v *touchView) AddCost(x, y int, d int32) {
+	v.touched = append(v.touched, geom.Pt(x, y))
+	v.cost[y*v.grid.Grids+x] += d
+}

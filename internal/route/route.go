@@ -53,6 +53,12 @@ func DefaultParams() Params {
 	return Params{Iterations: 3, MaxHVHCandidates: DefaultHVHCandidates, VHVDetourChannels: 1}
 }
 
+// Normalized returns p with the defaults every routing driver applies
+// (Iterations floored at 1, MaxHVHCandidates defaulted). Exported so
+// alternative drivers (internal/part) reproduce Sequential's parameter
+// handling exactly.
+func (p Params) Normalized() Params { return p.withDefaults() }
+
 func (p Params) withDefaults() Params {
 	if p.Iterations <= 0 {
 		p.Iterations = 1

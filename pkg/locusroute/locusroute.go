@@ -40,7 +40,7 @@ import (
 	"locusroute/internal/backend"
 )
 
-// Kind identifies one of the five backend implementations.
+// Kind identifies one of the six backend implementations.
 type Kind = backend.Kind
 
 const (
@@ -58,6 +58,11 @@ const (
 	// MPLive is the message passing router on real goroutines whose only
 	// interaction is marshalled packets over channels.
 	MPLive = backend.MPLive
+	// Partitioned is the partition-parallel router: a recursive bisection
+	// of the grid whose leaf regions route concurrently on one shared
+	// cost array, with boundary-crossing wires reconciled serially at
+	// each tree level. One partition is bit-identical to Sequential.
+	Partitioned = backend.Partitioned
 )
 
 // Kinds lists every backend kind in a stable order.
@@ -171,3 +176,12 @@ func NewMessagePassing(opts ...Option) (Backend, error) { return backend.NewMess
 func NewLiveMessagePassing(opts ...Option) (Backend, error) {
 	return backend.NewLiveMessagePassing(opts...)
 }
+
+// NewPartitioned constructs the partition-parallel router: recursive
+// bisection splits the grid into WithPartitions leaf regions whose
+// wires route concurrently on one shared cost array (footprint
+// containment makes the regions race-free), while wires crossing a
+// partition boundary are reconciled serially at each tree level. With
+// one partition the schedule, and therefore the output, is
+// bit-identical to the sequential backend.
+func NewPartitioned(opts ...Option) (Backend, error) { return backend.NewPartitioned(opts...) }

@@ -84,6 +84,26 @@ func WithDynamicWires() Option { return backend.WithDynamicWires() }
 // assignment. Message passing DES backend only.
 func WithStrictOwnership() Option { return backend.WithStrictOwnership() }
 
+// WithPartitions sets the partitioned backend's leaf-region count:
+// recursive bisection splits the grid into n regions routed
+// concurrently. 1 reproduces the sequential backend bit-for-bit; the
+// default is 4, a machine-independent constant so the routing stays a
+// pure function of its inputs. Partitioned backend only.
+func WithPartitions(n int) Option { return backend.WithPartitions(n) }
+
+// Negotiated aliases the negotiated-congestion schedule configuration:
+// pres_fac start/multiplier/cap, history increment, cell capacity, and
+// the pass bound. The zero value of every field selects its default.
+type Negotiated = backend.Negotiated
+
+// WithNegotiatedCongestion switches routing to the PathFinder/VPR-style
+// negotiated-congestion schedule: a first pass routes by length, later
+// passes escalate a present-congestion factor, charge history to cells
+// that stay overused, and rip up only the wires crossing them. Applies
+// to the sequential and partitioned backends; it is orthogonal to
+// partitioning.
+func WithNegotiatedCongestion(n Negotiated) Option { return backend.WithNegotiatedCongestion(n) }
+
 // WithObserver attaches a collector: every Route appends its run's
 // observability document (quality, per-node times, traffic, phases) to
 // col. The run itself is byte-identical with or without an observer.
