@@ -117,7 +117,7 @@ func (r *runner) routeNegotiated(neg *Negotiated, st *Stats) route.Result {
 	// Initial pass: all wires, no rip-up; with auto capacity the
 	// pressure term is off, so wires route by length and expose where
 	// congestion actually lands.
-	r.walk(0, func(n int) { r.routeNode(n, false, nil) })
+	r.walk(0, func(n int) { r.routeNode(n, false, r.wires[n]) })
 	if nv.capacity <= 0 {
 		nv.capacity = autoCapacity(r.arr)
 	}

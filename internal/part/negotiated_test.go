@@ -5,6 +5,7 @@ import (
 
 	"locusroute/internal/circuit"
 	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
 	"locusroute/internal/route"
 )
 
@@ -78,6 +79,62 @@ func TestNegotiatedReroutesUnderPressure(t *testing.T) {
 	}
 	if full.WiresRouted <= first.WiresRouted {
 		t.Errorf("no rerouting happened: %d vs %d wire routings", full.WiresRouted, first.WiresRouted)
+	}
+}
+
+// TestNegotiatedRipUpLimitedToCongestedRegion pins the advertised
+// rip-up discipline under partitioning: reroute passes touch only wires
+// crossing overused cells, so tree nodes with no such wires route
+// nothing. The circuit is built by hand so congestion is provably
+// confined to one leaf: a 40x8 grid bisects at x=20; five identical
+// flat wires stack on channel 1 of the left region (overused at
+// capacity 1, and with zero detour allowance they have no alternative
+// path, so the schedule never converges and runs every pass), while
+// three wires in the right region occupy disjoint channels and never
+// cross an overused cell. Every reroute pass must therefore route
+// exactly the five congested wires — a regression guard against
+// treating an absent per-node reroute set as "reroute everything".
+func TestNegotiatedRipUpLimitedToCongestedRegion(t *testing.T) {
+	g := geom.Grid{Grids: 40, Channels: 8}
+	c := &circuit.Circuit{Name: "confined-congestion", Grid: g}
+	add := func(x0, y0, x1, y1 int) {
+		c.Wires = append(c.Wires, circuit.Wire{
+			ID:   len(c.Wires),
+			Pins: []circuit.Pin{geom.Pt(x0, y0), geom.Pt(x1, y1)},
+		})
+	}
+	const congested = 5
+	for k := 0; k < congested; k++ {
+		add(2, 1, 8, 1)
+	}
+	add(25, 2, 30, 2)
+	add(25, 4, 30, 4)
+	add(25, 6, 30, 6)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	params := route.Params{Iterations: 1, VHVDetourChannels: 0}
+	res, _, st, err := Route(c, params, Config{
+		Partitions: 2,
+		Negotiated: &Negotiated{Capacity: 1, MaxIters: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitions != 2 || st.BoundaryWires != 0 {
+		t.Fatalf("test premise broken: want 2 leaves and no boundary wires, got %+v", st)
+	}
+	if st.NegotiatedIters <= 1 {
+		t.Fatalf("NegotiatedIters %d: expected reroute passes (left region is overused)", st.NegotiatedIters)
+	}
+	if st.OverusedCells == 0 {
+		t.Fatal("expected the stacked wires to stay overused (they have no alternative path)")
+	}
+	want := len(c.Wires) + (st.NegotiatedIters-1)*congested
+	if res.WiresRouted != want {
+		t.Errorf("WiresRouted %d, want %d (initial pass over %d wires + %d reroute passes over the %d congested wires only)",
+			res.WiresRouted, want, len(c.Wires), st.NegotiatedIters-1, congested)
 	}
 }
 

@@ -120,7 +120,7 @@ func Route(c *circuit.Circuit, params route.Params, cfg Config) (route.Result, *
 		res = r.routeNegotiated(cfg.Negotiated, st)
 	} else {
 		for iter := 0; iter < params.Iterations; iter++ {
-			r.walk(0, func(n int) { r.routeNode(n, iter > 0, nil) })
+			r.walk(0, func(n int) { r.routeNode(n, iter > 0, r.wires[n]) })
 		}
 		res = r.result()
 	}
@@ -173,17 +173,15 @@ func (r *runner) walk(n int, fn func(n int)) {
 	fn(n)
 }
 
-// routeNode routes node n's wires in ID order against the shared array,
-// replicating route.Sequential's per-wire operation sequence: rip-up the
-// previous path (when ripUp), evaluate, measure path cost against the
-// authoritative array, commit. With active non-nil only the listed wires
-// route (negotiated reroute passes); active must be a subset of the
-// node's wires in ID order.
-func (r *runner) routeNode(n int, ripUp bool, active []int) {
-	ws := r.wires[n]
-	if active != nil {
-		ws = active
-	}
+// routeNode routes the listed wires of node n in ID order against the
+// shared array, replicating route.Sequential's per-wire operation
+// sequence: rip-up the previous path (when ripUp), evaluate, measure
+// path cost against the authoritative array, commit. ws must be a
+// subset of r.wires[n] in ID order; callers pass r.wires[n] itself for
+// a full pass. A nil or empty list routes nothing — there is no
+// "no filter" sentinel, so a reroute pass with nothing to do at this
+// node cannot accidentally rip up the node's whole wire set.
+func (r *runner) routeNode(n int, ripUp bool, ws []int) {
 	if len(ws) == 0 {
 		return
 	}
