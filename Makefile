@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: verify build test race bench bench-route bench-policy bench-locusd bench-partition smoke-partition paper
+.PHONY: verify build test race bench bench-route bench-policy bench-locusd bench-partition bench-reqtrace smoke-partition paper
 
 verify: ## build, vet, full tests, and race-test the concurrent packages
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/... ./internal/locusd/... ./internal/policy/... ./internal/part/...
+	$(GO) test -race ./internal/sm/... ./internal/mp/... ./internal/sim/... ./internal/locusd/... ./internal/policy/... ./internal/part/... ./internal/wire/... ./internal/reqtrace/...
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,12 @@ bench-locusd:
 		-sweep 1000,2000,4000,6000,8000,12000 -duration 4s -warmup 1s -conns 32; \
 	/tmp/locusload-bench -addr 127.0.0.1:18348 -proto bin \
 		-sweep 1000,2000,4000,6000,8000,12000 -duration 4s -warmup 1s -conns 32
+
+# Request-tracing overhead benchmarks; compare against
+# BENCH_reqtrace.json — the disabled row must stay under 5 ns/op and
+# 0 allocs/op (the acceptance budget for leaving the hooks compiled in).
+bench-reqtrace:
+	$(GO) test -run '^$$' -bench Span -benchmem -benchtime 3s ./internal/reqtrace/
 
 # Partition-parallel routing benchmarks on the 10x-scaled bnrE preset;
 # compare against BENCH_partition.json (record GOMAXPROCS with the

@@ -12,6 +12,8 @@
 //	       [-admit-floor 0] [-rate-limit 0] [-rate-burst 0]
 //	       [-breaker-failures 0] [-breaker-cooldown 1s] [-cache-size 0]
 //	       [-edf]
+//	       [-trace] [-trace-sample 1] [-trace-capacity 4096]
+//	       [-slow-log-threshold 0] [-log-format text|json] [-pprof]
 //
 // The policy flags assemble the request-path chain (internal/policy):
 // deadline admission, per-client token-bucket rate limiting, a circuit
@@ -19,6 +21,17 @@
 // the criticality scheduler (-edf: earliest-deadline-first batches,
 // least-critical-first shedding). Each element is off by default and
 // costs nothing while disabled.
+//
+// The tracing flags enable request-scoped observability
+// (internal/reqtrace): -trace assigns every request a process-unique id
+// (or adopts the caller's, via the X-Locus-Request-Id header or the
+// binary protocol's traced frames) and returns a per-stage latency
+// breakdown with each response; -trace-sample retains every Nth
+// finished request in the capture ring (-trace-capacity records);
+// -slow-log-threshold logs any request at or over the threshold with
+// its full stage breakdown, and implies -trace. All daemon logging goes
+// through one log/slog logger on stderr; -log-format selects the text
+// (default) or JSON handler.
 //
 // On startup each circuit is routed once through the selected backend;
 // the resulting cost array seeds the serving replicas. Endpoints:
@@ -28,6 +41,9 @@
 //	GET  /healthz     200 ok / 503 draining
 //	GET  /metrics     Prometheus text exposition
 //	GET  /debug/vars  counters and histograms as JSON
+//	GET  /debug/trace Chrome-trace capture of the next ?sec=N seconds
+//	                  (requires -trace or -slow-log-threshold)
+//	GET  /debug/pprof net/http/pprof profiles (requires -pprof)
 //
 // -listen-bin additionally serves the length-prefixed binary route
 // protocol (internal/wire) on a raw TCP listener, funneling into the
@@ -43,7 +59,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -55,12 +71,11 @@ import (
 	"locusroute/internal/circuit"
 	"locusroute/internal/cli"
 	"locusroute/internal/locusd"
+	"locusroute/internal/reqtrace"
 	"locusroute/pkg/locusroute"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("locusd: ")
 	common := cli.New("locusd")
 	common.AddPar(flag.CommandLine, "bounds concurrent batch evaluations")
 	common.AddCircuitFile(flag.CommandLine)
@@ -80,15 +95,38 @@ func main() {
 		maxInFlight = flag.Int("max-in-flight", 256, "admitted requests before shedding 429s")
 		deadline    = flag.Duration("deadline", 5*time.Second, "default per-request deadline")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown bound for completing in-flight requests")
+		trace       = flag.Bool("trace", false, "enable request tracing: ids, stage breakdowns, /debug/trace")
+		traceSample = flag.Int("trace-sample", 1, "retain every Nth finished request in the capture ring (0 = only live-capture windows)")
+		traceCap    = flag.Int("trace-capacity", reqtrace.DefaultCapacity, "capture ring size in records")
+		slowLog     = flag.Duration("slow-log-threshold", 0, "log requests at or over this wall latency with their stage breakdown (0 = off; implies -trace)")
+		logFormat   = flag.String("log-format", "text", "log handler: text or json")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintln(os.Stderr, "locusd: -log-format must be text or json")
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
 	if err := common.Validate(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	circuits, err := loadCircuits(common, *bench, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	cfg := locusd.Config{
@@ -102,11 +140,20 @@ func main() {
 		DefaultDeadline: *deadline,
 		Pool:            common.Pool(),
 		Policy:          common.Policy(),
+		EnablePProf:     *pprofFlag,
 	}
-	log.Printf("routing %d circuit(s) through the %s backend...", len(circuits), *backendKind)
+	if *trace || *slowLog > 0 {
+		cfg.Tracer = reqtrace.New(reqtrace.Options{
+			Capacity: *traceCap,
+			Sample:   *traceSample,
+			SlowLog:  *slowLog,
+			Logger:   logger,
+		})
+	}
+	logger.Info(fmt.Sprintf("routing %d circuit(s) through the %s backend...", len(circuits), *backendKind))
 	srv, err := locusd.New(cfg, circuits...)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -116,7 +163,7 @@ func main() {
 	if *listenBin != "" {
 		l, err := net.Listen("tcp", *listenBin)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		binSrv = locusd.NewTCPServer(srv)
 		go func() {
@@ -124,7 +171,7 @@ func main() {
 				errc <- err
 			}
 		}()
-		log.Printf("binary protocol on %s", l.Addr())
+		logger.Info(fmt.Sprintf("binary protocol on %s", l.Addr()))
 	}
 	elems := "none"
 	if els := srv.Chain().Elements(); len(els) > 0 {
@@ -134,16 +181,17 @@ func main() {
 		}
 		elems = strings.Join(names, ",")
 	}
-	log.Printf("serving on %s (%d shards/circuit, window %v, gate %d, policy %s)",
-		*addr, *shards, *batchWindow, *maxInFlight, elems)
+	logger.Info(fmt.Sprintf("serving on %s (%d shards/circuit, window %v, gate %d, policy %s)",
+		*addr, *shards, *batchWindow, *maxInFlight, elems),
+		"trace", cfg.Tracer.Enabled(), "pprof", *pprofFlag)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("%v: draining...", sig)
+		logger.Info(fmt.Sprintf("%v: draining...", sig))
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// Drain: refuse new work, let in-flight requests finish (bounded by
@@ -152,15 +200,15 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if binSrv != nil {
 		if err := binSrv.Shutdown(ctx); err != nil {
-			log.Printf("bin shutdown: %v", err)
+			logger.Warn("bin shutdown", "err", err)
 		}
 	}
 	srv.Close()
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }
 
 // loadCircuits builds the serving set: the -circuit file when given,

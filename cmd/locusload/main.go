@@ -10,7 +10,7 @@
 //	          [-duration 10s] [-warmup 1s] [-conns 8]
 //	          [-circuit bnrE-like] [-pins "2,1;40,4"] [-wire 9000]
 //	          [-deadline-ms 0] [-commit] [-client locusload]
-//	          [-sweep "100,200,400,800"]
+//	          [-sweep "100,200,400,800"] [-stages]
 //
 // -proto selects the transport: json posts to locusd's HTTP /route,
 // bin speaks the length-prefixed binary protocol (internal/wire) against
@@ -22,6 +22,13 @@
 //
 //	{"proto","target_qps","sent","ok","shed","expired","errors",
 //	 "achieved_qps","latency_us":{"p50","p90","p99","p999","max"}}
+//
+// -stages requests traced responses (the binary protocol's traced
+// frames, or the stage breakdown locusd's JSON responses carry when
+// tracing is on) and adds "stages_us": the mean per-stage server-side
+// latency over successful requests, keyed by stage name. The row shows
+// where wall time went — queueing, batching, routing or commit — as
+// measured by the server, complementing the client-side latency_us.
 //
 // Latency is measured from each request's *scheduled* arrival, so time
 // spent waiting for a free connection counts against the server. A sweep
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"locusroute/internal/geom"
+	"locusroute/internal/reqtrace"
 	"locusroute/internal/wire"
 )
 
@@ -64,6 +72,7 @@ func main() {
 		commit     = flag.Bool("commit", false, "commit each routed path")
 		client     = flag.String("client", "locusload", "client identity for rate limiting")
 		sweepF     = flag.String("sweep", "", "comma-separated qps steps (overrides -qps)")
+		stages     = flag.Bool("stages", false, "request traced responses and report mean per-stage server latency (stages_us)")
 	)
 	flag.Parse()
 	if *proto != "json" && *proto != "bin" {
@@ -89,6 +98,7 @@ func main() {
 		addr: *addr, proto: *proto, conns: *conns,
 		circuit: *circuitF, pins: pins, wireBase: *wireBase,
 		deadlineMS: *deadlineMS, commit: *commit, client: *client,
+		stages: *stages,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	sustained := 0.0
@@ -129,6 +139,7 @@ type runConfig struct {
 	deadlineMS  int64
 	commit      bool
 	client      string
+	stages      bool
 }
 
 // row is one step's JSON result.
@@ -142,6 +153,10 @@ type row struct {
 	Errors      int     `json:"errors"`
 	AchievedQPS float64 `json:"achieved_qps"`
 	Latency     latency `json:"latency_us"`
+	// StagesUS is the mean server-side latency per stage over OK
+	// responses, in microseconds, present only under -stages against a
+	// tracing-enabled server.
+	StagesUS map[string]float64 `json:"stages_us,omitempty"`
 }
 
 type latency struct {
@@ -157,6 +172,15 @@ type latency struct {
 type result struct {
 	code int
 	lat  time.Duration
+	st   stageNs
+}
+
+// stageNs is one traced response's server-side stage breakdown; ok is
+// false when the response carried none (untraced run, or tracing off
+// server-side).
+type stageNs struct {
+	ok bool
+	ns [reqtrace.NumStages]int64
 }
 
 // run offers qps for d and aggregates outcomes. The arrival schedule is
@@ -195,7 +219,7 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 				if wait := time.Until(at); wait > 0 {
 					time.Sleep(wait)
 				}
-				code, err := sh.shoot(c, i)
+				code, st, err := sh.shoot(c, i)
 				if err != nil {
 					// Transport failure: count as an error outcome and
 					// reconnect for the next arrival.
@@ -207,7 +231,7 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 					}
 					continue
 				}
-				results <- result{code: code, lat: time.Since(at)}
+				results <- result{code: code, lat: time.Since(at), st: st}
 			}
 			errs <- nil
 		}()
@@ -216,6 +240,28 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 	out.Proto = c.proto
 	out.TargetQPS = qps
 	var lats []time.Duration
+	var stageSum [reqtrace.NumStages]int64
+	stageN := 0
+	tally := func(r result) {
+		out.Sent++
+		switch {
+		case r.code == 200:
+			out.OK++
+			lats = append(lats, r.lat)
+			if r.st.ok {
+				stageN++
+				for k, v := range r.st.ns {
+					stageSum[k] += v
+				}
+			}
+		case r.code == 429:
+			out.Shed++
+		case r.code == 504:
+			out.Expired++
+		default:
+			out.Errors++
+		}
+	}
 	done := 0
 	for done < workers {
 		select {
@@ -225,40 +271,26 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 			}
 			done++
 		case r := <-results:
-			out.Sent++
-			switch {
-			case r.code == 200:
-				out.OK++
-				lats = append(lats, r.lat)
-			case r.code == 429:
-				out.Shed++
-			case r.code == 504:
-				out.Expired++
-			default:
-				out.Errors++
-			}
+			tally(r)
 		}
 	}
 	close(results)
 	for r := range results {
-		out.Sent++
-		switch {
-		case r.code == 200:
-			out.OK++
-			lats = append(lats, r.lat)
-		case r.code == 429:
-			out.Shed++
-		case r.code == 504:
-			out.Expired++
-		default:
-			out.Errors++
-		}
+		tally(r)
 	}
 	elapsed := time.Since(start)
 	if elapsed > 0 {
 		out.AchievedQPS = round1(float64(out.OK) / elapsed.Seconds())
 	}
 	out.Latency = percentiles(lats)
+	if stageN > 0 {
+		out.StagesUS = make(map[string]float64)
+		for k, sum := range stageSum {
+			if sum > 0 {
+				out.StagesUS[reqtrace.Stage(k).String()] = round1(float64(sum) / float64(stageN) / 1e3)
+			}
+		}
+	}
 	return out, nil
 }
 
@@ -319,21 +351,34 @@ func (s *shooter) close() {
 	}
 }
 
-// shoot fires request i and returns the HTTP-equivalent status code.
-func (s *shooter) shoot(c runConfig, i int) (int, error) {
+// shoot fires request i and returns the HTTP-equivalent status code and
+// any server-side stage breakdown (-stages only).
+func (s *shooter) shoot(c runConfig, i int) (int, stageNs, error) {
 	if s.bin != nil {
 		resp, err := s.bin.Do(&wire.Request{
-			Circuit:        c.circuit,
-			WireID:         c.wireBase + i,
-			Pins:           c.pins,
+			Circuit: c.circuit,
+			WireID:  c.wireBase + i,
+			Pins:    c.pins,
+			// Traced asks for a traced response frame: the server echoes
+			// its minted request id and the per-stage latency pairs.
+			Traced:         c.stages,
 			DeadlineMillis: c.deadlineMS,
 			Commit:         c.commit,
 			Client:         c.client,
 		})
 		if err != nil {
-			return 0, err
+			return 0, stageNs{}, err
 		}
-		return resp.Status.HTTPStatus(), nil
+		var st stageNs
+		if resp.Traced && len(resp.Stages) > 0 {
+			st.ok = true
+			for _, p := range resp.Stages {
+				if int(p.Stage) < len(st.ns) {
+					st.ns[p.Stage] += p.Ns
+				}
+			}
+		}
+		return resp.Status.HTTPStatus(), st, nil
 	}
 	body := jsonBody{
 		Circuit: c.circuit, Wire: c.wireBase + i, Commit: c.commit, DeadlineMillis: c.deadlineMS,
@@ -343,22 +388,45 @@ func (s *shooter) shoot(c runConfig, i int) (int, error) {
 	}
 	buf, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, stageNs{}, err
 	}
 	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(buf))
 	if err != nil {
-		return 0, err
+		return 0, stageNs{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Client", c.client)
 	resp, err := s.http.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, stageNs{}, err
 	}
-	// Drain so the connection is reused; the decoded body is not needed.
+	var st stageNs
+	if c.stages && resp.StatusCode == 200 {
+		// A tracing-enabled server annotates every JSON response with its
+		// stage breakdown; decode it instead of discarding the body.
+		var doc jsonStages
+		if json.NewDecoder(resp.Body).Decode(&doc) == nil && len(doc.Stages) > 0 {
+			st.ok = true
+			for _, sp := range doc.Stages {
+				if code, ok := reqtrace.StageByName(sp.Stage); ok {
+					st.ns[code] += sp.Ns
+				}
+			}
+		}
+	}
+	// Drain so the connection is reused; any undecoded rest is not needed.
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, st, nil
+}
+
+// jsonStages is the slice of locusd's /route response document that
+// -stages consumes.
+type jsonStages struct {
+	Stages []struct {
+		Stage string `json:"stage"`
+		Ns    int64  `json:"ns"`
+	} `json:"stages"`
 }
 
 // jsonBody mirrors locusd's /route request document.

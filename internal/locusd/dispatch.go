@@ -201,6 +201,8 @@ func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 	view := route.ArrayView{A: sh.arr}
 	scratch := s.scratch.Get(sc.circ.Grid)
 	defer s.scratch.Put(sc.circ.Grid, scratch)
+	tr := s.cfg.Tracer
+	batchStart := tr.Now() // 0 when tracing is disabled
 	for i, p := range batch {
 		if p.ctx.Err() != nil {
 			// The waiter usually counted this expiry already (ctx.Done
@@ -210,12 +212,30 @@ func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 			continue
 		}
 		wait := time.Since(p.enqueued)
+		// Stage stamps ride the done channel back to the waiter; the
+		// shard never touches p.span (the waiter may have abandoned or
+		// finished it already — p.traced is the immutable mirror).
+		// batchStart is shared by the whole batch — request i's batch
+		// stage is the time earlier members spent routing.
+		traced := p.traced
+		var t [4]int64
+		if traced {
+			t[0] = batchStart
+			t[1] = tr.Now()
+		}
 		ev := scratch.RouteWire(view, &p.req.Wire, s.cfg.Router)
+		if traced {
+			t[2] = tr.Now()
+			t[3] = t[2] // no commit: the commit stage charges zero
+		}
 		committed := false
 		if p.req.Commit {
 			route.Commit(view, ev.Path)
 			sc.epoch.Add(1)
 			committed = true
+			if traced {
+				t[3] = tr.Now()
+			}
 		}
 		s.met.mu.Lock()
 		s.met.served++
@@ -237,7 +257,7 @@ func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 			BatchIndex:    i,
 			Committed:     committed,
 			WaitMicros:    wait.Microseconds(),
-		}}
+		}, t: t, traced: traced}
 	}
 }
 

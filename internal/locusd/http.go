@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"locusroute/internal/backend"
@@ -16,7 +19,14 @@ import (
 	"locusroute/internal/geom"
 	"locusroute/internal/obs"
 	"locusroute/internal/policy"
+	"locusroute/internal/reqtrace"
 )
+
+// RequestIDHeader carries the request id on both directions of the HTTP
+// transport: a client sets it to have the server adopt its id, and the
+// server always echoes the effective id (adopted or minted) when tracing
+// is enabled — on errors too, so a 429 remains attributable.
+const RequestIDHeader = "X-Locus-Request-Id"
 
 // routeBody is the POST /route request document.
 type routeBody struct {
@@ -36,15 +46,20 @@ type routeBody struct {
 // errorBody is every non-200 JSON response.
 type errorBody struct {
 	Error string `json:"error"`
+	// RequestID is the traced request's echoed id; empty when tracing is
+	// disabled or the failure happened before a span existed.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
 //
-//	POST /route       route one wire           -> RouteResponse
-//	GET  /circuits    served circuits           -> circuitsDoc
-//	GET  /healthz     liveness + drain state    -> healthDoc (503 draining)
-//	GET  /metrics     Prometheus text exposition
-//	GET  /debug/vars  counters + histograms as stable-order JSON
+//	POST /route        route one wire           -> RouteResponse
+//	GET  /circuits     served circuits           -> circuitsDoc
+//	GET  /healthz      liveness + drain state    -> healthDoc (503 draining)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/vars   counters + histograms as stable-order JSON
+//	GET  /debug/trace  live request-trace capture (Chrome trace JSON)
+//	GET  /debug/pprof/ net/http/pprof (only with Config.EnablePProf)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", s.handleRoute)
@@ -52,17 +67,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	if s.cfg.EnablePProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST /route"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST /route"})
 		return
 	}
 	var body routeBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
 	wire := circuit.Wire{ID: body.Wire}
@@ -83,9 +106,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		Wire:    wire,
 		Commit:  body.Commit,
 		Client:  clientIdentity(r),
+		TraceID: r.Header.Get(RequestIDHeader),
 	})
+	if resp.RequestID != "" {
+		w.Header().Set(RequestIDHeader, resp.RequestID)
+	}
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, err, resp.RequestID)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -108,7 +135,7 @@ func clientIdentity(r *http.Request) string {
 // evictions report the estimated backlog drain time (queue state, not a
 // constant), rate limits report the client's token refill time, and an
 // open breaker reports its cooldown remainder.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error, requestID string) {
 	code := statusFor(err)
 	var rle *policy.RateLimitedError
 	var boe *policy.BreakerOpenError
@@ -120,7 +147,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &boe):
 		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(boe.RetryAfter)))
 	}
-	writeJSON(w, code, errorBody{err.Error()})
+	writeJSON(w, code, errorBody{Error: err.Error(), RequestID: requestID})
 }
 
 // ceilSeconds rounds a duration up to whole seconds, minimum 1 — the
@@ -149,6 +176,60 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	}
 	return http.StatusBadRequest
+}
+
+// handleTrace serves GET /debug/trace?sec=N: it opens a live capture
+// window on the request tracer, blocks for the window (like pprof's
+// /debug/pprof/profile), and writes every request that finished inside
+// it as a Chrome/Perfetto trace document. 404 when tracing is disabled.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "request tracing disabled (enable it with -trace-sample/-slow-log-threshold or locusroute.WithRequestTracing)"})
+		return
+	}
+	sec := 1.0
+	if q := r.URL.Query().Get("sec"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad sec %q: want a positive number of seconds", q)})
+			return
+		}
+		sec = v
+	}
+	// Cap below the drain grace period so a capture in flight at
+	// shutdown cannot hold the HTTP server open indefinitely.
+	if sec > 60 {
+		sec = 60
+	}
+	dur := time.Duration(sec * float64(time.Second))
+	from, to := tr.CaptureFor(dur)
+	time.Sleep(dur)
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChrome(w, from, to)
+}
+
+// buildInfo resolves the binary's go version and VCS revision once, for
+// the locusd_build_info gauge and /debug/vars — the correlation key
+// between a trace capture and the binary that produced it.
+var buildInfo = sync.OnceValue(func() buildInfoDoc {
+	doc := buildInfoDoc{GoVersion: "unknown", Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return doc
+	}
+	doc.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			doc.Revision = s.Value
+		}
+	}
+	return doc
+})
+
+type buildInfoDoc struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
 }
 
 // circuitDoc is one /circuits entry.
@@ -218,6 +299,8 @@ type elementVarsDoc struct {
 // varsDoc is the /debug/vars document; field order is the struct order,
 // so the rendering is stable.
 type varsDoc struct {
+	Build     buildInfoDoc      `json:"build"`
+	StartUnix int64             `json:"start_unix"`
 	UptimeMS  int64             `json:"uptime_ms"`
 	Draining  bool              `json:"draining"`
 	InFlight  int               `json:"in_flight"`
@@ -234,11 +317,18 @@ type varsDoc struct {
 	BatchSize *obs.HistogramDoc `json:"batch_size,omitempty"`
 	WaitUs    *obs.HistogramDoc `json:"wait_us,omitempty"`
 	RouteCost *obs.HistogramDoc `json:"route_cost,omitempty"`
+	// Trace is present only when request tracing is enabled: the ring
+	// counters and the per-stage latency histograms (µs), keyed by the
+	// reqtrace stage names.
+	Trace   *reqtrace.Stats              `json:"trace,omitempty"`
+	StageUs map[string]*obs.HistogramDoc `json:"stage_us,omitempty"`
 }
 
 func (s *Server) vars() varsDoc {
 	s.met.mu.Lock()
 	doc := varsDoc{
+		Build:     buildInfo(),
+		StartUnix: s.started.Unix(),
 		UptimeMS:  time.Since(s.started).Milliseconds(),
 		Draining:  s.Draining(),
 		InFlight:  s.InFlight(),
@@ -254,6 +344,16 @@ func (s *Server) vars() varsDoc {
 		BatchSize: s.met.batchSize.Doc(),
 		WaitUs:    s.met.waitUs.Doc(),
 		RouteCost: s.met.routeCost.Doc(),
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		st := tr.Stats()
+		doc.Trace = &st
+		doc.StageUs = make(map[string]*obs.HistogramDoc, int(reqtrace.NumStages))
+		for i := reqtrace.Stage(0); i < reqtrace.NumStages; i++ {
+			if d := s.met.stageUs[i].Doc(); d != nil {
+				doc.StageUs[i.String()] = d
+			}
+		}
 	}
 	s.met.mu.Unlock()
 	for _, el := range s.chain.Elements() {
@@ -287,6 +387,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pt.Counter("locusd_cache_hits_total", "requests answered from the result cache", v.CacheHits)
 	pt.Gauge("locusd_in_flight", "admitted requests currently in flight", int64(v.InFlight))
 	pt.Gauge("locusd_capacity", "admission gate capacity", int64(v.Capacity))
+	pt.Gauge("locusd_build_info", "build metadata as labels, value always 1", 1,
+		obs.Label{Name: "go_version", Value: v.Build.GoVersion},
+		obs.Label{Name: "revision", Value: v.Build.Revision})
+	pt.Gauge("locusd_start_time_seconds", "unix time the process started serving", v.StartUnix)
+	pt.Gauge("locusd_uptime_seconds", "seconds since the process started serving", v.UptimeMS/1000)
+	draining := int64(0)
+	if v.Draining {
+		draining = 1
+	}
+	pt.Gauge("locusd_draining", "1 while the server is draining (refusing new work)", draining)
+	if v.Trace != nil {
+		pt.Counter("locusd_trace_finished_total", "requests that completed a trace span", int64(v.Trace.Finished))
+		pt.Counter("locusd_trace_slow_total", "slow-request log lines emitted", int64(v.Trace.Slow))
+		pt.Counter("locusd_trace_dropped_total", "trace records overwritten in the ring", int64(v.Trace.Dropped))
+		pt.Gauge("locusd_trace_retained", "trace records currently retained", int64(v.Trace.Retained))
+	}
 	// Element counters share metric names across elements (the element
 	// label distinguishes series), so the help text is the first
 	// element's; PromText guarantees one HELP/TYPE pair per name.
@@ -303,6 +419,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pt.Histogram("locusd_batch_size", "wires per evaluated batch", v.BatchSize)
 	pt.Histogram("locusd_wait_us", "microseconds from admission to evaluation", v.WaitUs)
 	pt.Histogram("locusd_route_cost", "chosen path cost per evaluation", v.RouteCost)
+	// Stage histograms share one metric name; the stage label
+	// distinguishes series. Microseconds rather than the conventional
+	// seconds because obs.Histogram buckets are integer powers of two —
+	// exact integer math, same convention as locusd_wait_us.
+	for i := reqtrace.Stage(0); i < reqtrace.NumStages; i++ {
+		if d := v.StageUs[i.String()]; d != nil {
+			pt.Histogram("locusd_stage_us", "per-stage request latency in microseconds", d,
+				obs.Label{Name: "stage", Value: i.String()})
+		}
+	}
 	w.Header().Set("Content-Type", obs.ContentType)
 	_, _ = w.Write(pt.Bytes())
 }

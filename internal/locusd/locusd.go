@@ -43,6 +43,7 @@ import (
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
 	"locusroute/internal/policy"
+	"locusroute/internal/reqtrace"
 	"locusroute/internal/route"
 )
 
@@ -83,6 +84,15 @@ type Config struct {
 	// Policy configures the request-path chain; the zero value disables
 	// every element, leaving the original FIFO round-robin path.
 	Policy policy.Config
+	// Tracer enables request-lifecycle tracing (internal/reqtrace):
+	// request ids, per-stage spans, stage histograms, the slow-request
+	// log, and /debug/trace live capture. Nil disables all of it — the
+	// request path pays one pointer test and zero allocations.
+	Tracer *reqtrace.Tracer
+	// EnablePProf mounts net/http/pprof on the server's mux under
+	// /debug/pprof/ (off by default: the profile endpoints can block and
+	// expose symbol tables, so exposing them is an explicit decision).
+	EnablePProf bool
 }
 
 // withDefaults fills the zero fields.
@@ -141,6 +151,11 @@ type RouteRequest struct {
 	// Client identifies the caller for per-client rate limiting (the
 	// HTTP layer fills it from the X-Client header or the remote host).
 	Client string
+	// TraceID is a caller-supplied request id to adopt (HTTP carries it
+	// as X-Locus-Request-Id, the binary protocol on traced frames).
+	// Empty mints a server id; longer than reqtrace.MaxTraceID is
+	// rejected, never clamped. Ignored when tracing is disabled.
+	TraceID string
 }
 
 // RouteResponse reports one evaluation.
@@ -156,7 +171,25 @@ type RouteResponse struct {
 	Committed     bool   `json:"committed"`
 	Cached        bool   `json:"cached"`
 	WaitMicros    int64  `json:"wait_us"`
+
+	// RequestID and Stages are present only when tracing is enabled: the
+	// echoed request id and the per-stage breakdown whose durations sum
+	// to the request's wall latency exactly.
+	RequestID string        `json:"request_id,omitempty"`
+	Stages    []StageSample `json:"stages,omitempty"`
 }
+
+// StageSample is one stage's share of a traced request's latency.
+type StageSample struct {
+	// Code is the reqtrace.Stage index, carried for the binary protocol;
+	// the JSON layer names the stage instead.
+	Code  uint8  `json:"-"`
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+}
+
+// ErrTraceID rejects an oversized caller-supplied trace id.
+var ErrTraceID = fmt.Errorf("locusd: trace id exceeds %d bytes", reqtrace.MaxTraceID)
 
 // pending is one admitted request waiting for its shard.
 type pending struct {
@@ -173,11 +206,25 @@ type pending struct {
 	// (ctx.Done) and the shard loop (stale entry in process) can both
 	// notice the expiry, but only the first to flip it counts.
 	expired atomic.Bool
+	// span is the request's trace span; inert when tracing is disabled.
+	// Only the waiter goroutine touches it — the shard loop reports its
+	// stage stamps through the done channel (outcome.t) instead, so a
+	// waiter that abandoned on ctx.Done never races a late stamp.
+	span reqtrace.Span
+	// traced mirrors span.Traced() for the shard loop, which must not
+	// read the span itself: the waiter finishes it on ctx.Done while the
+	// shard may still be processing this entry. Immutable once enqueued.
+	traced bool
 }
 
 type outcome struct {
 	resp RouteResponse
 	err  error
+	// t are the shard-side stage boundaries on the tracer clock — batch
+	// start, eval start, eval end, commit end — valid when traced. The
+	// channel handoff gives the waiter a happens-before copy.
+	t      [4]int64
+	traced bool
 }
 
 // shard is one serving replica: a private cost array and a queue
@@ -223,6 +270,10 @@ type metrics struct {
 	batchSize obs.Histogram
 	waitUs    obs.Histogram
 	routeCost obs.Histogram
+	// stageUs are the per-stage latency histograms (microseconds), fed
+	// only for traced requests; a stage that did not run observes
+	// nothing.
+	stageUs [reqtrace.NumStages]obs.Histogram
 }
 
 // Server is the routing service. Create with New, serve its Handler,
@@ -318,16 +369,22 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 	// Close's inflight.Wait, so its shard loop is still running.
 	s.inflight.Add(1)
 	defer s.inflight.Done()
+	if len(req.TraceID) > reqtrace.MaxTraceID {
+		s.count(&s.met.rejected)
+		return RouteResponse{}, ErrTraceID
+	}
+	span := s.cfg.Tracer.Begin(req.TraceID, req.Circuit, req.Client, req.Wire.ID)
 	if s.draining.Load() {
-		return RouteResponse{}, ErrDraining
+		return s.fail(&span, reqtrace.OutcomeDenied, ErrDraining)
 	}
 	sc, ok := s.circuits[req.Circuit]
 	if !ok {
-		return RouteResponse{}, fmt.Errorf("%w %q (serving %v)", ErrUnknownCircuit, req.Circuit, s.names)
+		return s.fail(&span, reqtrace.OutcomeRejected,
+			fmt.Errorf("%w %q (serving %v)", ErrUnknownCircuit, req.Circuit, s.names))
 	}
 	if err := backend.ValidateWires(sc.circ.Grid, []circuit.Wire{req.Wire}); err != nil {
 		s.count(&s.met.rejected)
-		return RouteResponse{}, err
+		return s.fail(&span, reqtrace.OutcomeRejected, err)
 	}
 	now := time.Now()
 	// The default deadline is a service property, not a transport one:
@@ -354,15 +411,29 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 			Deadline: deadline,
 			Commit:   req.Commit,
 		}
-		if err := s.chain.Admit(now, &preq); err != nil {
+		var err error
+		if span.Traced() {
+			err = s.chain.AdmitTimed(now, &preq, span.Element)
+		} else {
+			err = s.chain.Admit(now, &preq)
+		}
+		if err != nil {
 			s.count(&s.met.denied)
-			return RouteResponse{}, err
+			return s.fail(&span, reqtrace.OutcomeDenied, err)
 		}
 		// The epoch is captured before dispatch: a result evaluated
 		// while a commit lands is stored under the pre-commit epoch and
 		// can never be served against the new congestion state.
 		epoch = sc.epoch.Load()
-		if v, hit := s.chain.Lookup(&preq, epoch); hit {
+		var lookT time.Time
+		if span.Traced() {
+			lookT = time.Now()
+		}
+		v, hit := s.chain.Lookup(&preq, epoch)
+		if span.Traced() {
+			span.Element("cache", time.Since(lookT))
+		}
+		if hit {
 			resp := v.(RouteResponse)
 			resp.WireID = req.Wire.ID
 			resp.Cached = true
@@ -376,6 +447,8 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 			// stale stored result, so the admission is released
 			// neutrally instead — the probe slot goes back unspent.
 			s.chain.Release()
+			span.Mark(reqtrace.StageAdmit)
+			s.finishSpan(&span, reqtrace.OutcomeCached, &resp)
 			return resp, nil
 		}
 	}
@@ -391,11 +464,18 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 			// outcome, so release the admission neutrally — a half-open
 			// breaker gets its probe slot back instead of wedging open.
 			s.chain.Release()
-			return RouteResponse{}, ErrShed
+			return s.fail(&span, reqtrace.OutcomeShed, ErrShed)
 		}
 	}
 	p.gateHeld.Store(true)
 	defer s.releaseGate(p)
+
+	// Everything up to dispatch — validation, policy, cache, the gate —
+	// is the admit stage; the span moves into the pending entry so the
+	// waiter arm below can merge the shard's stamps into it.
+	span.Mark(reqtrace.StageAdmit)
+	p.span = span
+	p.traced = span.Traced()
 
 	if sched := s.chain.Sched(); sched != nil {
 		sched.NoteScheduled()
@@ -407,7 +487,8 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 		case <-ctx.Done():
 			s.countExpired(p)
 			s.chain.Observe(time.Now(), true)
-			return RouteResponse{}, ErrDeadline
+			p.span.Mark(reqtrace.StageQueue)
+			return s.fail(&p.span, reqtrace.OutcomeExpired, ErrDeadline)
 		}
 	}
 	select {
@@ -421,19 +502,79 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 			s.chain.Observe(time.Now(), errors.Is(out.err, ErrDeadline))
 		}
 		if out.err != nil {
-			return RouteResponse{}, out.err
+			oc := reqtrace.OutcomeExpired
+			if errors.Is(out.err, policy.ErrEvicted) {
+				oc = reqtrace.OutcomeEvicted
+			}
+			// The request died waiting: attribute the dead time to the
+			// queue stage, not the respond tail.
+			p.span.Mark(reqtrace.StageQueue)
+			return s.fail(&p.span, oc, out.err)
+		}
+		if out.traced {
+			p.span.MarkAt(reqtrace.StageQueue, out.t[0])
+			p.span.MarkAt(reqtrace.StageBatch, out.t[1])
+			p.span.MarkAt(reqtrace.StageRoute, out.t[2])
+			p.span.MarkAt(reqtrace.StageCommit, out.t[3])
+			p.span.SetShard(out.resp.Shard)
 		}
 		if s.chain != nil {
-			s.chain.Store(&preq, epoch, out.resp)
+			// The cache stores the evaluation, not the trace: a hit is a
+			// different request with its own id and breakdown.
+			stored := out.resp
+			stored.RequestID, stored.Stages = "", nil
+			s.chain.Store(&preq, epoch, stored)
 		}
-		return out.resp, nil
+		resp := out.resp
+		s.finishSpan(&p.span, reqtrace.OutcomeOK, &resp)
+		return resp, nil
 	case <-ctx.Done():
 		// The shard will still evaluate (or expire) the entry; its
 		// buffered done send is discarded.
 		s.countExpired(p)
 		s.chain.Observe(time.Now(), true)
-		return RouteResponse{}, ErrDeadline
+		p.span.Mark(reqtrace.StageQueue)
+		return s.fail(&p.span, reqtrace.OutcomeExpired, ErrDeadline)
 	}
+}
+
+// fail finishes sp for an error outcome. The returned response is empty
+// except for the echoed request id, which transports still surface so a
+// rejected or expired request remains attributable in client logs.
+func (s *Server) fail(sp *reqtrace.Span, oc reqtrace.Outcome, err error) (RouteResponse, error) {
+	var resp RouteResponse
+	s.finishSpan(sp, oc, &resp)
+	return resp, err
+}
+
+// finishSpan closes sp, feeds the per-stage histograms, and stamps resp
+// with the request id and breakdown. No-op for untraced spans.
+func (s *Server) finishSpan(sp *reqtrace.Span, oc reqtrace.Outcome, resp *RouteResponse) {
+	var rec reqtrace.Rec
+	if !sp.Finish(oc, &rec) {
+		return
+	}
+	s.met.mu.Lock()
+	for st := reqtrace.Stage(0); st < reqtrace.NumStages; st++ {
+		if ns := rec.Stages[st]; ns > 0 {
+			s.met.stageUs[st].Observe(ns / 1e3)
+		}
+	}
+	s.met.mu.Unlock()
+	resp.RequestID = rec.IDString()
+	resp.Stages = stageSamples(&rec)
+}
+
+// stageSamples renders a record's non-zero stages in stage order; the
+// nanosecond values sum to the record's wall latency exactly.
+func stageSamples(rec *reqtrace.Rec) []StageSample {
+	out := make([]StageSample, 0, 4)
+	for st := reqtrace.Stage(0); st < reqtrace.NumStages; st++ {
+		if ns := rec.Stages[st]; ns > 0 {
+			out = append(out, StageSample{Code: uint8(st), Stage: st.String(), Ns: ns})
+		}
+	}
+	return out
 }
 
 // countExpired counts p in met.expired exactly once, whichever of its

@@ -198,11 +198,20 @@ func (t *TCPServer) exchange(payload []byte, client string) wire.Response {
 		Wire:    w,
 		Commit:  req.Commit,
 		Client:  client,
+		TraceID: req.TraceID,
 	})
 	if err != nil {
-		return t.s.wireError(err)
+		wresp := t.s.wireError(err)
+		// A traced request gets a traced response even on failure, so
+		// the id the client correlates on is never dropped by an error.
+		if req.Traced && resp.RequestID != "" {
+			wresp.Traced = true
+			wresp.RequestID = resp.RequestID
+			wresp.Stages = wireStages(resp.Stages)
+		}
+		return wresp
 	}
-	return wire.Response{
+	wresp := wire.Response{
 		Status:        wire.StatusOK,
 		Shard:         resp.Shard,
 		WireID:        resp.WireID,
@@ -215,6 +224,29 @@ func (t *TCPServer) exchange(payload []byte, client string) wire.Response {
 		Cached:        resp.Cached,
 		WaitMicros:    resp.WaitMicros,
 	}
+	// The response frame kind follows the request frame kind: untraced
+	// (kind 1) requests always get kind-2 responses, so pre-tracing
+	// clients never see a frame they cannot decode. When tracing is
+	// disabled server-side, a traced request gets an untraced response —
+	// absence of the id tells the client tracing was off.
+	if req.Traced && resp.RequestID != "" {
+		wresp.Traced = true
+		wresp.RequestID = resp.RequestID
+		wresp.Stages = wireStages(resp.Stages)
+	}
+	return wresp
+}
+
+// wireStages converts a response's stage breakdown to protocol pairs.
+func wireStages(stages []StageSample) []wire.StagePair {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]wire.StagePair, len(stages))
+	for i, st := range stages {
+		out[i] = wire.StagePair{Stage: st.Code, Ns: st.Ns}
+	}
+	return out
 }
 
 // wireError maps a service error to its binary response, carrying the

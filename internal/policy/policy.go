@@ -175,6 +175,48 @@ func (c *Chain) Admit(now time.Time, req *Request) error {
 	return c.breaker.Admit(now, req)
 }
 
+// ElementTimer receives one element's admission-decision duration. The
+// serving layer threads a traced request's span recorder here.
+type ElementTimer func(element string, d time.Duration)
+
+// AdmitTimed is Admit with per-element attribution: timer receives each
+// enabled gatekeeper's decision time, including the one that rejects.
+// The untimed Admit stays the hot path — hosts call AdmitTimed only for
+// traced requests, so untraced admissions pay no extra clock reads.
+func (c *Chain) AdmitTimed(now time.Time, req *Request, timer ElementTimer) error {
+	if c == nil {
+		return nil
+	}
+	if timer == nil {
+		return c.Admit(now, req)
+	}
+	if c.deadline != nil {
+		t0 := time.Now()
+		err := c.deadline.Admit(now, req)
+		timer(c.deadline.Name(), time.Since(t0))
+		if err != nil {
+			return err
+		}
+	}
+	if c.limit != nil {
+		t0 := time.Now()
+		err := c.limit.Admit(now, req)
+		timer(c.limit.Name(), time.Since(t0))
+		if err != nil {
+			return err
+		}
+	}
+	if c.breaker != nil {
+		t0 := time.Now()
+		err := c.breaker.Admit(now, req)
+		timer(c.breaker.Name(), time.Since(t0))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Lookup consults the result cache; a commit request or a disabled cache
 // always misses. epoch is the host's current cost epoch for the circuit.
 func (c *Chain) Lookup(req *Request, epoch uint64) (any, bool) {

@@ -30,6 +30,9 @@ func chromeCat(k Kind) string {
 		return "net"
 	case KindBlocked, KindBarrier, KindChanBlock, KindChanWake:
 		return "sync"
+	case KindRequest, KindReqAdmit, KindReqQueue, KindReqBatch,
+		KindReqRoute, KindReqCommit, KindReqRespond:
+		return "request"
 	}
 	return "meta"
 }
@@ -51,6 +54,9 @@ func argKey(k Kind) string {
 		return "queue_depth"
 	case KindAccount:
 		return "category"
+	case KindRequest, KindReqAdmit, KindReqQueue, KindReqBatch,
+		KindReqRoute, KindReqCommit, KindReqRespond:
+		return "request_id"
 	}
 	return "arg"
 }

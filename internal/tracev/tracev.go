@@ -105,6 +105,26 @@ const (
 	// KindIteration spans one routing iteration on a track; Arg is the
 	// iteration index.
 	KindIteration
+
+	// Request-lifecycle kinds: the serving path's reqtrace export renders
+	// each locusd request as one KindRequest span tiled by stage
+	// sub-spans on a synthetic lane track. Arg is the process-unique
+	// request id on every one of them.
+
+	// KindRequest spans one serving-path request end to end.
+	KindRequest
+	// KindReqAdmit spans validation + the policy admission chain.
+	KindReqAdmit
+	// KindReqQueue spans the wait from dispatch to batch pickup.
+	KindReqQueue
+	// KindReqBatch spans the in-batch wait before this wire's evaluation.
+	KindReqBatch
+	// KindReqRoute spans the kernel evaluation of the request's wire.
+	KindReqRoute
+	// KindReqCommit spans the commit onto the serving replica.
+	KindReqCommit
+	// KindReqRespond spans the handoff back to the waiting caller.
+	KindReqRespond
 )
 
 // String names the kind for export and debugging.
@@ -132,6 +152,20 @@ func (k Kind) String() string {
 		return "account"
 	case KindIteration:
 		return "iteration"
+	case KindRequest:
+		return "request"
+	case KindReqAdmit:
+		return "admit"
+	case KindReqQueue:
+		return "queue"
+	case KindReqBatch:
+		return "batch"
+	case KindReqRoute:
+		return "route"
+	case KindReqCommit:
+		return "commit"
+	case KindReqRespond:
+		return "respond"
 	}
 	return "event"
 }

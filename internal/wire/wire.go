@@ -13,7 +13,10 @@
 //
 // Every payload starts with a version byte and a frame-kind byte, so the
 // protocol can grow new frame types and incompatible revisions without
-// guesswork on either side. Version 1 defines two frames:
+// guesswork on either side. Version 1 defines four frames — the traced
+// pair (kinds 3 and 4) was added for request tracing as new frame kinds
+// rather than a version bump, so old peers keep decoding kinds 1 and 2
+// byte-identically and reject the traced kinds cleanly:
 //
 //	request  (client -> server)
 //	  version=1, kind=1, flags (bit0 commit), uvarint wire id,
@@ -28,6 +31,15 @@
 //	    flags (bit0 committed, bit1 cached)
 //	  status != OK: uvarint retry-after seconds (0 = no hint),
 //	    str16 message
+//
+//	traced request (client -> server)
+//	  version=1, kind=3, then the kind-1 request layout after the kind
+//	  byte, then str8 trace id ("" = server mints one)
+//
+//	traced response (server -> client)
+//	  version=1, kind=4, then the kind-2 response layout after the kind
+//	  byte, then str8 request id, uvarint stage count (<= MaxStages),
+//	  stage count x (stage byte, uvarint nanoseconds)
 //
 // str8 is a 1-byte length followed by raw bytes (<= 255); str16 a 2-byte
 // LE length (<= MaxMessage). Varints are unsigned LEB128 and must be
@@ -55,8 +67,10 @@ const Version = 1
 
 // Frame kinds.
 const (
-	frameRequest  = 1
-	frameResponse = 2
+	frameRequest        = 1
+	frameResponse       = 2
+	frameRequestTraced  = 3
+	frameResponseTraced = 4
 )
 
 // Size bounds. Oversized fields are encode and decode errors, never
@@ -71,6 +85,8 @@ const (
 	MaxMessage = 1 << 12
 	// MaxPins bounds a request's pin list.
 	MaxPins = 1 << 12
+	// MaxStages bounds a traced response's stage list.
+	MaxStages = 32
 	// maxCoord matches internal/msg's 16-bit grid coordinate domain.
 	maxCoord = 1<<16 - 1
 	// maxID bounds wire ids to the portable int range.
@@ -183,6 +199,14 @@ type Request struct {
 	// Client identifies the caller for rate limiting ("" = the remote
 	// host, as for HTTP).
 	Client string
+	// Traced selects the traced request frame (kind 3), asking the
+	// server for a traced response that echoes the request id and the
+	// per-stage latency breakdown. Untraced requests encode exactly as
+	// they did before the traced pair existed.
+	Traced bool
+	// TraceID is the caller-supplied request id the server adopts ("" =
+	// the server mints one); carried only on traced frames.
+	TraceID string
 }
 
 // Response is one route outcome: on StatusOK the evaluation fields of
@@ -206,6 +230,23 @@ type Response struct {
 	// Error fields, meaningful only on non-OK statuses.
 	RetryAfterSeconds int
 	Message           string
+
+	// Traced selects the traced response frame (kind 4): the plain
+	// layout plus RequestID and Stages. Servers send it only in answer
+	// to traced requests.
+	Traced bool
+	// RequestID is the server-assigned (or adopted) request id.
+	RequestID string
+	// Stages is the per-stage latency breakdown; stage bytes index
+	// reqtrace's taxonomy, which this package does not interpret.
+	Stages []StagePair
+}
+
+// StagePair is one stage's share of a traced response's latency
+// breakdown.
+type StagePair struct {
+	Stage uint8
+	Ns    int64
 }
 
 // AppendRequest appends r's payload (no length prefix) to dst.
@@ -225,11 +266,21 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	if len(r.Pins) > MaxPins {
 		return nil, fmt.Errorf("wire: %d pins (max %d)", len(r.Pins), MaxPins)
 	}
+	if !r.Traced && r.TraceID != "" {
+		return nil, fmt.Errorf("wire: trace id set on an untraced request")
+	}
+	if len(r.TraceID) > MaxName {
+		return nil, fmt.Errorf("wire: trace id %d bytes (max %d)", len(r.TraceID), MaxName)
+	}
 	var flags byte
 	if r.Commit {
 		flags |= flagCommit
 	}
-	dst = append(dst, Version, frameRequest, flags)
+	kind := byte(frameRequest)
+	if r.Traced {
+		kind = frameRequestTraced
+	}
+	dst = append(dst, Version, kind, flags)
 	dst = binary.AppendUvarint(dst, uint64(r.WireID))
 	dst = binary.AppendUvarint(dst, uint64(r.DeadlineMillis))
 	dst = appendStr8(dst, r.Circuit)
@@ -242,6 +293,9 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(p.X))
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(p.Y))
 	}
+	if r.Traced {
+		dst = appendStr8(dst, r.TraceID)
+	}
 	return dst, nil
 }
 
@@ -250,9 +304,12 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 func DecodeRequest(buf []byte) (*Request, error) {
 	d := decoder{buf: buf}
 	d.expect("version", Version)
-	d.expect("frame kind", frameRequest)
+	kind := d.byte("frame kind")
+	if d.err == nil && kind != frameRequest && kind != frameRequestTraced {
+		d.fail("frame kind %d, want %d or %d", kind, frameRequest, frameRequestTraced)
+	}
 	flags := d.byte("flags")
-	r := &Request{}
+	r := &Request{Traced: d.err == nil && kind == frameRequestTraced}
 	r.WireID = int(d.uvarint("wire id", maxID))
 	r.DeadlineMillis = int64(d.uvarint("deadline", 1<<62))
 	r.Circuit = d.str8("circuit")
@@ -266,6 +323,9 @@ func DecodeRequest(buf []byte) (*Request, error) {
 		y := d.u16("pin y")
 		r.Pins = append(r.Pins, geom.Pt(int(x), int(y)))
 	}
+	if r.Traced {
+		r.TraceID = d.str8("trace id")
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -278,7 +338,14 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	if r.Status > statusMax {
 		return nil, fmt.Errorf("wire: unknown status %d", r.Status)
 	}
-	dst = append(dst, Version, frameResponse, byte(r.Status))
+	if !r.Traced && (r.RequestID != "" || len(r.Stages) > 0) {
+		return nil, fmt.Errorf("wire: trace fields set on an untraced response")
+	}
+	kind := byte(frameResponse)
+	if r.Traced {
+		kind = frameResponseTraced
+	}
+	dst = append(dst, Version, kind, byte(r.Status))
 	if r.Status == StatusOK {
 		for _, f := range []struct {
 			name string
@@ -305,17 +372,36 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		if r.Cached {
 			flags |= flagCached
 		}
-		return append(dst, flags), nil
+		dst = append(dst, flags)
+	} else {
+		if r.RetryAfterSeconds < 0 {
+			return nil, fmt.Errorf("wire: negative retry-after %d", r.RetryAfterSeconds)
+		}
+		if len(r.Message) > MaxMessage {
+			return nil, fmt.Errorf("wire: message %d bytes (max %d)", len(r.Message), MaxMessage)
+		}
+		dst = binary.AppendUvarint(dst, uint64(r.RetryAfterSeconds))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Message)))
+		dst = append(dst, r.Message...)
 	}
-	if r.RetryAfterSeconds < 0 {
-		return nil, fmt.Errorf("wire: negative retry-after %d", r.RetryAfterSeconds)
+	if r.Traced {
+		if len(r.RequestID) > MaxName {
+			return nil, fmt.Errorf("wire: request id %d bytes (max %d)", len(r.RequestID), MaxName)
+		}
+		if len(r.Stages) > MaxStages {
+			return nil, fmt.Errorf("wire: %d stages (max %d)", len(r.Stages), MaxStages)
+		}
+		dst = appendStr8(dst, r.RequestID)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Stages)))
+		for _, sp := range r.Stages {
+			if sp.Ns < 0 {
+				return nil, fmt.Errorf("wire: negative stage duration %d ns", sp.Ns)
+			}
+			dst = append(dst, sp.Stage)
+			dst = binary.AppendUvarint(dst, uint64(sp.Ns))
+		}
 	}
-	if len(r.Message) > MaxMessage {
-		return nil, fmt.Errorf("wire: message %d bytes (max %d)", len(r.Message), MaxMessage)
-	}
-	dst = binary.AppendUvarint(dst, uint64(r.RetryAfterSeconds))
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Message)))
-	return append(dst, r.Message...), nil
+	return dst, nil
 }
 
 // DecodeResponse unmarshals a response payload produced by
@@ -323,12 +409,15 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 func DecodeResponse(buf []byte) (*Response, error) {
 	d := decoder{buf: buf}
 	d.expect("version", Version)
-	d.expect("frame kind", frameResponse)
+	kind := d.byte("frame kind")
+	if d.err == nil && kind != frameResponse && kind != frameResponseTraced {
+		d.fail("frame kind %d, want %d or %d", kind, frameResponse, frameResponseTraced)
+	}
 	status := Status(d.byte("status"))
 	if d.err == nil && status > statusMax {
 		d.err = fmt.Errorf("wire: unknown status %d", status)
 	}
-	r := &Response{Status: status}
+	r := &Response{Status: status, Traced: d.err == nil && kind == frameResponseTraced}
 	if d.err == nil && status == StatusOK {
 		r.Shard = int(d.uvarint("shard", maxID))
 		r.WireID = int(d.uvarint("wire id", maxID))
@@ -347,6 +436,15 @@ func DecodeResponse(buf []byte) (*Response, error) {
 	} else if d.err == nil {
 		r.RetryAfterSeconds = int(d.uvarint("retry-after", maxID))
 		r.Message = d.str16("message")
+	}
+	if r.Traced {
+		r.RequestID = d.str8("request id")
+		nstages := int(d.uvarint("stage count", MaxStages))
+		for i := 0; i < nstages && d.err == nil; i++ {
+			st := d.byte("stage")
+			ns := int64(d.uvarint("stage ns", 1<<62))
+			r.Stages = append(r.Stages, StagePair{Stage: st, Ns: ns})
+		}
 	}
 	if err := d.finish(); err != nil {
 		return nil, err

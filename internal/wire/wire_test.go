@@ -20,6 +20,10 @@ func sampleRequests() []*Request {
 		{Circuit: "c", WireID: maxID, Pins: []geom.Point{geom.Pt(maxCoord, maxCoord)},
 			DeadlineMillis: 250, Client: "loadgen-3"},
 		{Circuit: "", WireID: 1, Pins: nil, DeadlineMillis: 1 << 40},
+		{Circuit: "bnrE", WireID: 7, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)},
+			Traced: true, TraceID: "client-abc123"},
+		{Circuit: "svc", WireID: 3, Pins: []geom.Point{geom.Pt(1, 1)}, Commit: true,
+			Traced: true},
 	}
 }
 
@@ -40,6 +44,12 @@ func sampleResponses() []*Response {
 		{Status: StatusUnknownCircuit, Message: "no circuit \"x\""},
 		{Status: StatusBadRequest, Message: "pin outside grid"},
 		{Status: StatusInfeasible, Message: "deadline below admission floor"},
+		{Status: StatusOK, Shard: 1, WireID: 3, Cost: 99, PathCells: 12, CellsExamined: 80,
+			BatchSize: 1, WaitMicros: 45, Traced: true, RequestID: "r0000002a",
+			Stages: []StagePair{{Stage: 0, Ns: 12_400}, {Stage: 3, Ns: 901_000}, {Stage: 5, Ns: 310}}},
+		{Status: StatusOK, Cached: true, Traced: true, RequestID: "client-abc123"},
+		{Status: StatusShed, RetryAfterSeconds: 2, Message: "at capacity",
+			Traced: true, RequestID: "r00000001", Stages: []StagePair{{Stage: 0, Ns: 8_000}}},
 	}
 }
 
@@ -191,6 +201,8 @@ func TestEncodeRejections(t *testing.T) {
 		{Pins: make([]geom.Point, MaxPins+1)},
 		{Pins: []geom.Point{geom.Pt(maxCoord+1, 0)}},
 		{Pins: []geom.Point{geom.Pt(0, -1)}},
+		{Traced: true, TraceID: strings.Repeat("x", MaxName+1)},
+		{TraceID: "set-but-untraced"},
 	}
 	for _, r := range reqCases {
 		if _, err := AppendRequest(nil, r); err == nil {
@@ -202,11 +214,51 @@ func TestEncodeRejections(t *testing.T) {
 		{Status: StatusOK, Cost: -1},
 		{Status: StatusShed, RetryAfterSeconds: -1},
 		{Status: StatusShed, Message: strings.Repeat("x", MaxMessage+1)},
+		{Status: StatusOK, RequestID: "leak-on-untraced"},
+		{Status: StatusOK, Stages: []StagePair{{Stage: 0, Ns: 1}}},
+		{Status: StatusOK, Traced: true, RequestID: strings.Repeat("x", MaxName+1)},
+		{Status: StatusOK, Traced: true, Stages: make([]StagePair, MaxStages+1)},
+		{Status: StatusOK, Traced: true, Stages: []StagePair{{Stage: 0, Ns: -1}}},
 	}
 	for _, r := range respCases {
 		if _, err := AppendResponse(nil, r); err == nil {
 			t.Errorf("AppendResponse accepted out-of-domain %+v", r)
 		}
+	}
+}
+
+// TestUntracedFrameGolden pins the exact bytes of an untraced request —
+// the layout peers from before the traced frame pair speak — so adding
+// kinds 3/4 can never perturb kind-1 encoding, and pins that a traced
+// request is the same layout under kind 3 plus the trailing trace id.
+func TestUntracedFrameGolden(t *testing.T) {
+	plain := &Request{Circuit: "bnrE", WireID: 7, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}}
+	buf, err := AppendRequest(nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		1, 1, 0, // version, kind, flags
+		7, 0, // wire id, deadline
+		4, 'b', 'n', 'r', 'E', // circuit
+		0,                       // client
+		2,                       // pin count
+		2, 0, 1, 0, 40, 0, 4, 0, // pins, u16 LE
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("untraced request bytes drifted:\ngot:  %x\nwant: %x", buf, want)
+	}
+
+	traced := *plain
+	traced.Traced = true
+	traced.TraceID = "t1"
+	tbuf, err := AppendRequest(nil, &traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twant := append(append([]byte{1, 3}, want[2:]...), 2, 't', '1')
+	if !bytes.Equal(tbuf, twant) {
+		t.Fatalf("traced request bytes drifted:\ngot:  %x\nwant: %x", tbuf, twant)
 	}
 }
 

@@ -2,12 +2,14 @@ package locusroute
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"locusroute/internal/locusd"
 	"locusroute/internal/par"
 	"locusroute/internal/policy"
+	"locusroute/internal/reqtrace"
 	"locusroute/internal/route"
 )
 
@@ -66,6 +68,10 @@ type ServiceOption func(*serviceConfig)
 // serviceConfig accumulates the options over locusd's config.
 type serviceConfig struct {
 	cfg locusd.Config
+	// trace accumulates WithRequestTracing/WithSlowLog; the tracer is
+	// built once in NewService when either option enabled it.
+	trace   reqtrace.Options
+	traceOn bool
 }
 
 // WithServiceBackend selects the backend that routes each circuit once
@@ -150,12 +156,46 @@ func WithEDFScheduling() ServiceOption {
 	return func(c *serviceConfig) { c.cfg.Policy.EDF = true }
 }
 
+// WithRequestTracing enables request-lifecycle tracing: every request
+// gets a process-unique id (or adopts the caller's, via the
+// X-Locus-Request-Id header or the binary protocol's traced frames),
+// its response carries the per-stage latency breakdown, per-stage
+// histograms appear in /metrics, and /debug/trace serves live
+// Chrome/Perfetto captures. sampleEveryN retains every Nth finished
+// request in the capture ring (1 = all, 0 = only live-capture windows).
+func WithRequestTracing(sampleEveryN int) ServiceOption {
+	return func(c *serviceConfig) {
+		c.traceOn = true
+		c.trace.Sample = sampleEveryN
+	}
+}
+
+// WithSlowLog enables the structured slow-request log: any request whose
+// wall latency meets threshold is logged with its full stage breakdown.
+// A nil logger uses slog.Default. Implies request tracing.
+func WithSlowLog(threshold time.Duration, logger *slog.Logger) ServiceOption {
+	return func(c *serviceConfig) {
+		c.traceOn = true
+		c.trace.SlowLog = threshold
+		c.trace.Logger = logger
+	}
+}
+
+// WithPProf mounts net/http/pprof on the service's Handler under
+// /debug/pprof/ (off by default).
+func WithPProf() ServiceOption {
+	return func(c *serviceConfig) { c.cfg.EnablePProf = true }
+}
+
 // NewService routes every circuit once through the configured baseline
 // backend and stands up the serving service with its policy chain.
 func NewService(circuits []*Circuit, opts ...ServiceOption) (*Service, error) {
 	var c serviceConfig
 	for _, o := range opts {
 		o(&c)
+	}
+	if c.traceOn {
+		c.cfg.Tracer = reqtrace.New(c.trace)
 	}
 	srv, err := locusd.New(c.cfg, circuits...)
 	if err != nil {
