@@ -14,6 +14,7 @@
 //	       [-edf]
 //	       [-trace] [-trace-sample 1] [-trace-capacity 4096]
 //	       [-slow-log-threshold 0] [-log-format text|json] [-pprof]
+//	       [-store] [-store-dir dir] [-store-mem MiB]
 //
 // The policy flags assemble the request-path chain (internal/policy):
 // deadline admission, per-client token-bucket rate limiting, a circuit
@@ -33,17 +34,30 @@
 // through one log/slog logger on stderr; -log-format selects the text
 // (default) or JSON handler.
 //
-// On startup each circuit is routed once through the selected backend;
-// the resulting cost array seeds the serving replicas. Endpoints:
+// The store flags enable the dynamic circuit lifecycle (internal/store):
+// -store serves runtime uploads, incremental mutations and evictions
+// from an in-memory circuit store; -store-dir adds snapshot+WAL
+// persistence, so a restart replays the log and reconstructs
+// byte-identical cost arrays; -store-mem bounds resident circuit bytes
+// (uploads beyond the budget fail with 507). Startup circuits stay
+// immutable; only the sequential backend adopts them into the store.
 //
-//	POST /route       {"circuit","pins":[[x,y],...],"commit","deadline_ms"}
-//	GET  /circuits    served circuits and their baseline quality
-//	GET  /healthz     200 ok / 503 draining
-//	GET  /metrics     Prometheus text exposition
-//	GET  /debug/vars  counters and histograms as JSON
-//	GET  /debug/trace Chrome-trace capture of the next ?sec=N seconds
-//	                  (requires -trace or -slow-log-threshold)
-//	GET  /debug/pprof net/http/pprof profiles (requires -pprof)
+// On startup each circuit is routed once through the selected backend;
+// the resulting cost array seeds the serving replicas. Endpoints
+// (canonical under /v1/; the unversioned aliases answer identically
+// with a Deprecation header):
+//
+//	POST   /v1/route            {"circuit","pins":[[x,y],...],"commit","deadline_ms"}
+//	GET    /v1/circuits         served circuits and their baseline quality
+//	POST   /v1/circuits/{name}  upload a circuit (requires -store)
+//	DELETE /v1/circuits/{name}  evict a circuit (requires -store)
+//	POST   /v1/mutate           {"circuit","ops":[{"op","wire","pins"},...]}
+//	GET    /v1/healthz          200 ok / 503 draining
+//	GET    /v1/metrics          Prometheus text exposition
+//	GET    /debug/vars          counters and histograms as JSON
+//	GET    /debug/trace         Chrome-trace capture of the next ?sec=N seconds
+//	                            (requires -trace or -slow-log-threshold)
+//	GET    /debug/pprof         net/http/pprof profiles (requires -pprof)
 //
 // -listen-bin additionally serves the length-prefixed binary route
 // protocol (internal/wire) on a raw TCP listener, funneling into the
@@ -72,6 +86,7 @@ import (
 	"locusroute/internal/cli"
 	"locusroute/internal/locusd"
 	"locusroute/internal/reqtrace"
+	"locusroute/internal/store"
 	"locusroute/pkg/locusroute"
 )
 
@@ -101,6 +116,9 @@ func main() {
 		slowLog     = flag.Duration("slow-log-threshold", 0, "log requests at or over this wall latency with their stage breakdown (0 = off; implies -trace)")
 		logFormat   = flag.String("log-format", "text", "log handler: text or json")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		storeFlag   = flag.Bool("store", false, "enable the dynamic circuit lifecycle (upload/mutate/evict) on an in-memory store")
+		storeDir    = flag.String("store-dir", "", "circuit store persistence directory (snapshot+WAL; implies -store)")
+		storeMem    = flag.Int64("store-mem", 0, "circuit store memory budget in MiB (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -149,6 +167,20 @@ func main() {
 			SlowLog:  *slowLog,
 			Logger:   logger,
 		})
+	}
+	var st *store.Store
+	if *storeFlag || *storeDir != "" {
+		st, err = store.Open(store.Config{Dir: *storeDir, MemBudget: *storeMem << 20})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+		if rs := st.Recovery(); rs.SnapshotCircuits > 0 || rs.ReplayedRecords > 0 || rs.Truncated {
+			logger.Info("store recovered",
+				"snapshot_circuits", rs.SnapshotCircuits,
+				"replayed_records", rs.ReplayedRecords,
+				"truncated_tail", rs.Truncated)
+		}
 	}
 	logger.Info(fmt.Sprintf("routing %d circuit(s) through the %s backend...", len(circuits), *backendKind))
 	srv, err := locusd.New(cfg, circuits...)
@@ -208,6 +240,13 @@ func main() {
 		}
 	}
 	srv.Close()
+	// The server never closes the store it was handed; the owner does,
+	// after the serving loops stop, so the final WAL records are synced.
+	if st != nil {
+		if err := st.Close(); err != nil {
+			logger.Warn("store close", "err", err)
+		}
+	}
 	logger.Info("drained cleanly")
 }
 

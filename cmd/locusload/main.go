@@ -11,8 +11,9 @@
 //	          [-circuit bnrE-like] [-pins "2,1;40,4"] [-wire 9000]
 //	          [-deadline-ms 0] [-commit] [-client locusload]
 //	          [-sweep "100,200,400,800"] [-stages]
+//	          [-mutate-frac 0] [-mutate-wire 0]
 //
-// -proto selects the transport: json posts to locusd's HTTP /route,
+// -proto selects the transport: json posts to locusd's HTTP /v1/route,
 // bin speaks the length-prefixed binary protocol (internal/wire) against
 // a -listen-bin listener. Comparing the two on the same server isolates
 // encoding cost, the service-layer echo of the paper's finding that
@@ -29,6 +30,15 @@
 // latency over successful requests, keyed by stage name. The row shows
 // where wall time went — queueing, batching, routing or commit — as
 // measured by the server, complementing the client-side latency_us.
+//
+// -mutate-frac mixes mutation traffic into the schedule: that fraction
+// of arrivals (spread evenly, deterministic per index) issue a one-op
+// reroute of -mutate-wire against the target circuit instead of a route
+// request — POST /v1/mutate over json, a mutate frame over bin. The
+// target must be served mutable (a runtime upload, or a startup circuit
+// adopted by a -store sequential daemon). Mutation latencies are kept
+// out of latency_us and reported as their own percentile block,
+// "mutate_us", so write-path cost is visible next to read-path cost.
 //
 // Latency is measured from each request's *scheduled* arrival, so time
 // spent waiting for a free connection counts against the server. A sweep
@@ -73,10 +83,15 @@ func main() {
 		client     = flag.String("client", "locusload", "client identity for rate limiting")
 		sweepF     = flag.String("sweep", "", "comma-separated qps steps (overrides -qps)")
 		stages     = flag.Bool("stages", false, "request traced responses and report mean per-stage server latency (stages_us)")
+		mutateFrac = flag.Float64("mutate-frac", 0, "fraction of arrivals issued as mutations (reroute of -mutate-wire); reported separately as mutate_us")
+		mutateWire = flag.Int("mutate-wire", 0, "wire id the mutation traffic reroutes")
 	)
 	flag.Parse()
 	if *proto != "json" && *proto != "bin" {
 		log.Fatal("-proto must be json or bin")
+	}
+	if *mutateFrac < 0 || *mutateFrac > 1 {
+		log.Fatal("-mutate-frac must be in [0,1]")
 	}
 	pins, err := parsePins(*pinsF)
 	if err != nil {
@@ -98,7 +113,7 @@ func main() {
 		addr: *addr, proto: *proto, conns: *conns,
 		circuit: *circuitF, pins: pins, wireBase: *wireBase,
 		deadlineMS: *deadlineMS, commit: *commit, client: *client,
-		stages: *stages,
+		stages: *stages, mutateFrac: *mutateFrac, mutateWire: *mutateWire,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	sustained := 0.0
@@ -140,6 +155,19 @@ type runConfig struct {
 	commit      bool
 	client      string
 	stages      bool
+	mutateFrac  float64
+	mutateWire  int
+}
+
+// isMutate deterministically marks mutateFrac of the arrival indices as
+// mutation requests, spread evenly through the schedule (the index
+// crosses an integer multiple of 1/frac), so a run's mix is exact and
+// reproducible rather than sampled.
+func (c runConfig) isMutate(i int) bool {
+	if c.mutateFrac <= 0 {
+		return false
+	}
+	return int(float64(i+1)*c.mutateFrac) > int(float64(i)*c.mutateFrac)
 }
 
 // row is one step's JSON result.
@@ -157,6 +185,11 @@ type row struct {
 	// responses, in microseconds, present only under -stages against a
 	// tracing-enabled server.
 	StagesUS map[string]float64 `json:"stages_us,omitempty"`
+	// MutateUS is the latency percentile block over successful mutation
+	// requests, present only under -mutate-frac. Mutation latencies are
+	// excluded from Latency so the read path stays comparable across
+	// runs with different mixes.
+	MutateUS *latency `json:"mutate_us,omitempty"`
 }
 
 type latency struct {
@@ -170,9 +203,10 @@ type latency struct {
 // result is one request's outcome: the HTTP-equivalent status code and
 // the latency from scheduled arrival to response.
 type result struct {
-	code int
-	lat  time.Duration
-	st   stageNs
+	code   int
+	lat    time.Duration
+	st     stageNs
+	mutate bool
 }
 
 // stageNs is one traced response's server-side stage breakdown; ok is
@@ -219,11 +253,12 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 				if wait := time.Until(at); wait > 0 {
 					time.Sleep(wait)
 				}
-				code, st, err := sh.shoot(c, i)
+				mutate := c.isMutate(i)
+				code, st, err := sh.shoot(c, i, mutate)
 				if err != nil {
 					// Transport failure: count as an error outcome and
 					// reconnect for the next arrival.
-					results <- result{code: -1, lat: time.Since(at)}
+					results <- result{code: -1, lat: time.Since(at), mutate: mutate}
 					sh.close()
 					if sh, err = c.newShooter(); err != nil {
 						errs <- err
@@ -231,7 +266,7 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 					}
 					continue
 				}
-				results <- result{code: code, lat: time.Since(at), st: st}
+				results <- result{code: code, lat: time.Since(at), st: st, mutate: mutate}
 			}
 			errs <- nil
 		}()
@@ -239,12 +274,15 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 	var out row
 	out.Proto = c.proto
 	out.TargetQPS = qps
-	var lats []time.Duration
+	var lats, mlats []time.Duration
 	var stageSum [reqtrace.NumStages]int64
 	stageN := 0
 	tally := func(r result) {
 		out.Sent++
 		switch {
+		case r.code == 200 && r.mutate:
+			out.OK++
+			mlats = append(mlats, r.lat)
 		case r.code == 200:
 			out.OK++
 			lats = append(lats, r.lat)
@@ -283,6 +321,10 @@ func (c runConfig) run(qps float64, d time.Duration) (row, error) {
 		out.AchievedQPS = round1(float64(out.OK) / elapsed.Seconds())
 	}
 	out.Latency = percentiles(lats)
+	if len(mlats) > 0 {
+		m := percentiles(mlats)
+		out.MutateUS = &m
+	}
 	if stageN > 0 {
 		out.StagesUS = make(map[string]float64)
 		for k, sum := range stageSum {
@@ -320,6 +362,7 @@ func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
 type shooter struct {
 	http *http.Client
 	url  string
+	murl string
 	bin  *wire.Conn
 }
 
@@ -335,7 +378,8 @@ func (c runConfig) newShooter() (*shooter, error) {
 	// worker, matching the bin side's pool shape.
 	return &shooter{
 		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}},
-		url:  "http://" + c.addr + "/route",
+		url:  "http://" + c.addr + "/v1/route",
+		murl: "http://" + c.addr + "/v1/mutate",
 	}, nil
 }
 
@@ -352,8 +396,13 @@ func (s *shooter) close() {
 }
 
 // shoot fires request i and returns the HTTP-equivalent status code and
-// any server-side stage breakdown (-stages only).
-func (s *shooter) shoot(c runConfig, i int) (int, stageNs, error) {
+// any server-side stage breakdown (-stages only). Mutation arrivals go
+// through shootMutate instead of the route path.
+func (s *shooter) shoot(c runConfig, i int, mutate bool) (int, stageNs, error) {
+	if mutate {
+		code, err := s.shootMutate(c)
+		return code, stageNs{}, err
+	}
 	if s.bin != nil {
 		resp, err := s.bin.Do(&wire.Request{
 			Circuit: c.circuit,
@@ -418,6 +467,55 @@ func (s *shooter) shoot(c runConfig, i int) (int, stageNs, error) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, st, nil
+}
+
+// shootMutate fires one single-op mutation: reroute -mutate-wire with
+// its existing pins against current congestion. Rerouting the same wire
+// is always a valid batch, so the mutation mix needs no coordination
+// with the route traffic.
+func (s *shooter) shootMutate(c runConfig) (int, error) {
+	if s.bin != nil {
+		resp, err := s.bin.DoMutate(&wire.Mutate{
+			Circuit: c.circuit,
+			Client:  c.client,
+			Ops:     []wire.MutateOp{{Op: wire.OpReroute, WireID: c.mutateWire}},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return resp.Status.HTTPStatus(), nil
+	}
+	body := mutateJSONBody{Circuit: c.circuit}
+	body.Ops = append(body.Ops, mutateJSONOp{Op: "reroute", Wire: c.mutateWire})
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, s.murl, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", c.client)
+	resp, err := s.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// mutateJSONBody mirrors locusd's /v1/mutate request document.
+type mutateJSONBody struct {
+	Circuit string         `json:"circuit"`
+	Ops     []mutateJSONOp `json:"ops"`
+}
+
+type mutateJSONOp struct {
+	Op   string   `json:"op"`
+	Wire int      `json:"wire"`
+	Pins [][2]int `json:"pins,omitempty"`
 }
 
 // jsonStages is the slice of locusd's /route response document that

@@ -222,56 +222,109 @@ func apply(opts []Option) config {
 	return c
 }
 
-// reject returns an error when an option inapplicable to kind was set.
+// optionRule is one row of the kind×option validation table: a
+// construction option (or option family), the predicate that detects
+// it was supplied, and the backend kinds that accept it. reject walks
+// the table, so which option works on which backend is declared in
+// exactly one place — adding an option or a backend means editing a
+// row, never a constructor.
+type optionRule struct {
+	// option names the rejected option in the error message.
+	option string
+	// set reports whether the caller supplied the option.
+	set func(*config) bool
+	// kinds lists the backends that accept the option.
+	kinds []Kind
+	// note, when non-empty, replaces the generic guidance with a more
+	// specific pointer.
+	note string
+}
+
+func (r *optionRule) accepts(kind Kind) bool {
+	for _, k := range r.kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// kindList renders the accepting kinds for an error message:
+// "the mp-des backend", "the mp-des and mp-live backends".
+func kindList(kinds []Kind) string {
+	if len(kinds) == 1 {
+		return fmt.Sprintf("the %s backend", kinds[0])
+	}
+	s := "the "
+	for i, k := range kinds {
+		switch {
+		case i == len(kinds)-1:
+			s += fmt.Sprintf("and %s backends", k)
+		case i > 0:
+			s += fmt.Sprintf("%s, ", k)
+		default:
+			s += fmt.Sprintf("%s ", k)
+		}
+	}
+	return s
+}
+
+// optionRules is the single source of truth for which construction
+// option applies to which backend kind. Value-range validation (a
+// supplied value being out of range for a backend that accepts the
+// option) stays in reject below.
+var optionRules = []optionRule{
+	{option: "WithStrategy", set: func(c *config) bool { return c.strategy != nil },
+		kinds: []Kind{MPDES, MPLive}},
+	{option: "WithBlocking", set: func(c *config) bool { return c.blockingSet },
+		kinds: []Kind{MPDES, MPLive}},
+	{option: "WithPackets", set: func(c *config) bool { return c.packetsSet },
+		kinds: []Kind{MPDES, MPLive}},
+	{option: "WithTopology", set: func(c *config) bool { return len(c.topology) > 0 },
+		kinds: []Kind{MPDES}},
+	{option: "WithDynamicWires", set: func(c *config) bool { return c.dynamic },
+		kinds: []Kind{MPDES}},
+	{option: "WithStrictOwnership", set: func(c *config) bool { return c.strict },
+		kinds: []Kind{MPDES}},
+	{option: "WithTracer", set: func(c *config) bool { return c.tracer != nil },
+		kinds: []Kind{MPDES}},
+	// Any explicit wire distribution: the sequential backend routes
+	// every wire itself and the partitioned backend distributes by
+	// footprint, so neither takes an assignment method.
+	{option: "wire distribution (WithDynamicOrder/WithRoundRobin/WithThreshold/WithPureLocality)",
+		set:   func(c *config) bool { return c.method != assignDefault },
+		kinds: []Kind{SMLive, SMTraced, MPDES, MPLive}},
+	// The dynamic distributed loop specifically is shared memory only.
+	{option: "WithDynamicOrder", set: func(c *config) bool { return c.method == assignDynamic },
+		kinds: []Kind{SMLive, SMTraced},
+		note:  "it is the shared memory distributed loop; message passing uses WithDynamicWires"},
+	{option: "WithProcs", set: func(c *config) bool { return c.procsSet && c.procs != 1 },
+		kinds: []Kind{SMLive, SMTraced, MPDES, MPLive, Partitioned},
+		note:  "the sequential backend routes on one processor"},
+	{option: "WithPartitions", set: func(c *config) bool { return c.partitionsSet },
+		kinds: []Kind{Partitioned}},
+	{option: "WithNegotiatedCongestion", set: func(c *config) bool { return c.negotiated != nil },
+		kinds: []Kind{Sequential, Partitioned}},
+}
+
+// reject returns an error when an option inapplicable to kind was set
+// (driven by optionRules) or when a supplied value is out of range.
 func (c *config) reject(kind Kind) error {
-	mpKind := kind == MPDES || kind == MPLive
-	if c.strategy != nil && !mpKind {
-		return fmt.Errorf("locusroute: WithStrategy applies to message passing backends, not %s", kind)
-	}
-	if c.blockingSet && !mpKind {
-		return fmt.Errorf("locusroute: WithBlocking applies to message passing backends, not %s", kind)
-	}
-	if c.packetsSet && !mpKind {
-		return fmt.Errorf("locusroute: WithPackets applies to message passing backends, not %s", kind)
-	}
-	if len(c.topology) > 0 && kind != MPDES {
-		return fmt.Errorf("locusroute: WithTopology applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.dynamic && kind != MPDES {
-		return fmt.Errorf("locusroute: WithDynamicWires applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.strict && kind != MPDES {
-		return fmt.Errorf("locusroute: WithStrictOwnership applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.tracer != nil && kind != MPDES {
-		return fmt.Errorf("locusroute: WithTracer applies to the %s backend, not %s", MPDES, kind)
-	}
-	if c.method == assignDynamic && mpKind {
-		return fmt.Errorf("locusroute: WithDynamicOrder is the shared memory distributed loop; message passing uses WithDynamicWires")
-	}
-	if c.partitionsSet {
-		if kind != Partitioned {
-			return fmt.Errorf("locusroute: WithPartitions applies to the %s backend, not %s", Partitioned, kind)
+	for i := range optionRules {
+		r := &optionRules[i]
+		if !r.set(c) || r.accepts(kind) {
+			continue
 		}
-		if c.partitions < 1 {
-			return fmt.Errorf("locusroute: partition count %d must be positive", c.partitions)
+		if r.note != "" {
+			return fmt.Errorf("locusroute: %s applies to %s, not %s: %s",
+				r.option, kindList(r.kinds), kind, r.note)
 		}
+		return fmt.Errorf("locusroute: %s applies to %s, not %s", r.option, kindList(r.kinds), kind)
 	}
-	if c.negotiated != nil && kind != Sequential && kind != Partitioned {
-		return fmt.Errorf("locusroute: WithNegotiatedCongestion applies to the %s and %s backends, not %s",
-			Sequential, Partitioned, kind)
+	if c.partitionsSet && c.partitions < 1 {
+		return fmt.Errorf("locusroute: partition count %d must be positive", c.partitions)
 	}
-	if kind == Partitioned && c.method != assignDefault {
-		return fmt.Errorf("locusroute: the partitioned backend distributes wires by footprint; %s does not apply", c.method)
-	}
-	if kind == Sequential {
-		if c.procsSet && c.procs != 1 {
-			return fmt.Errorf("locusroute: the sequential backend routes on one processor, got WithProcs(%d)", c.procs)
-		}
-		if c.method != assignDefault {
-			return fmt.Errorf("locusroute: the sequential backend has no wire distribution to configure")
-		}
-	} else if c.procs < 1 {
+	if kind != Sequential && c.procs < 1 {
 		return fmt.Errorf("locusroute: processor count %d must be positive", c.procs)
 	}
 	return nil

@@ -30,6 +30,15 @@ func (s *Server) batchLoop(sc *servedCircuit, sh *shard) {
 		var first *pending
 		select {
 		case first = <-sh.queue:
+		case u := <-sh.updates:
+			// Idle shard: fold the mutation delta into the replica now.
+			// Only this loop touches sh.arr, so no lock is needed.
+			sh.apply(u)
+			continue
+		case <-sc.stop:
+			// Evicted: EvictCircuit waited out the circuit's in-flight
+			// requests before closing stop, so the queue is empty.
+			return
 		case <-s.stop:
 			// Drain: evaluate whatever is still queued, then exit.
 			for {
@@ -48,6 +57,8 @@ func (s *Server) batchLoop(sc *servedCircuit, sh *shard) {
 			select {
 			case p := <-sh.queue:
 				batch = append(batch, p)
+			case u := <-sh.updates:
+				sh.apply(u)
 			case <-timer.C:
 				break collect
 			case <-s.stop:
@@ -55,7 +66,33 @@ func (s *Server) batchLoop(sc *servedCircuit, sh *shard) {
 			}
 		}
 		timer.Stop()
+		sh.drainUpdates()
 		s.cfg.Pool.Run(func() { s.process(sh, sc, batch) })
+	}
+}
+
+// apply folds one mutation delta into the shard's replica. Must only be
+// called from the shard's own loop goroutine.
+func (sh *shard) apply(u shardUpdate) {
+	view := route.ArrayView{A: sh.arr}
+	for _, p := range u.rip {
+		route.RipUp(view, p)
+	}
+	for _, p := range u.commit {
+		route.Commit(view, p)
+	}
+}
+
+// drainUpdates applies every queued mutation delta without blocking, so
+// a batch evaluates against the freshest replica the loop has seen.
+func (sh *shard) drainUpdates() {
+	for {
+		select {
+		case u := <-sh.updates:
+			sh.apply(u)
+		default:
+			return
+		}
 	}
 }
 
@@ -71,6 +108,13 @@ func (s *Server) edfLoop(sc *servedCircuit, sh *shard) {
 		if q.Len() == 0 {
 			select {
 			case <-q.C():
+			case u := <-sh.updates:
+				sh.apply(u)
+				continue
+			case <-sc.stop:
+				// Evicted after the circuit's in-flight requests drained;
+				// nothing is queued.
+				return
 			case <-s.stop:
 				s.drainEDF(sc, sh)
 				return
@@ -89,12 +133,15 @@ func (s *Server) edfLoop(sc *servedCircuit, sh *shard) {
 			select {
 			case <-timer.C:
 				break window
+			case u := <-sh.updates:
+				sh.apply(u)
 			case <-s.stop:
 				break window
 			case <-q.C():
 			}
 		}
 		timer.Stop()
+		sh.drainUpdates()
 		batch := q.PopBatch(s.cfg.MaxBatch)
 		if q.Len() > 0 {
 			// Partial drain: re-arm the wake channel so a sibling shard
@@ -149,8 +196,13 @@ func (s *Server) preempt(deadline time.Time) bool {
 	for lap := 0; lap < 2; lap++ {
 		var victimQ *policy.EDFQueue
 		var slackest time.Time
+		s.mu.RLock()
+		queues := make([]*policy.EDFQueue, 0, len(s.names))
 		for _, name := range s.names {
-			q := s.circuits[name].queue
+			queues = append(queues, s.circuits[name].queue)
+		}
+		s.mu.RUnlock()
+		for _, q := range queues {
 			if d, ok := q.SlackestDeadline(); ok {
 				if victimQ == nil || policy.DeadlineLess(slackest, d) {
 					victimQ, slackest = q, d
@@ -199,8 +251,8 @@ func (s *Server) preempt(deadline time.Time) bool {
 // order — either way BatchIndex records the commit order.
 func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 	view := route.ArrayView{A: sh.arr}
-	scratch := s.scratch.Get(sc.circ.Grid)
-	defer s.scratch.Put(sc.circ.Grid, scratch)
+	scratch := s.scratch.Get(sc.grid)
+	defer s.scratch.Put(sc.grid, scratch)
 	tr := s.cfg.Tracer
 	batchStart := tr.Now() // 0 when tracing is disabled
 	for i, p := range batch {
@@ -267,7 +319,12 @@ func (s *Server) process(sh *shard, sc *servedCircuit, batch []*pending) {
 // totalShards*MaxBatch of it. The estimate is rounded up to whole
 // seconds (the header's unit), minimum 1.
 func (s *Server) RetryAfterSeconds() int {
-	perWindow := s.totalShards * s.cfg.MaxBatch
+	perWindow := int(s.totalShards.Load()) * s.cfg.MaxBatch
+	if perWindow < 1 {
+		// An empty (store-only) server with nothing registered yet still
+		// owes 429s a sane Retry-After.
+		perWindow = s.cfg.MaxBatch
+	}
 	windows := (s.gate.InFlight() + perWindow - 1) / perWindow
 	if windows < 1 {
 		windows = 1

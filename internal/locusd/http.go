@@ -20,6 +20,7 @@ import (
 	"locusroute/internal/obs"
 	"locusroute/internal/policy"
 	"locusroute/internal/reqtrace"
+	"locusroute/internal/store"
 )
 
 // RequestIDHeader carries the request id on both directions of the HTTP
@@ -51,21 +52,40 @@ type errorBody struct {
 	RequestID string `json:"request_id,omitempty"`
 }
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API. The canonical surface lives
+// under the /v1 prefix:
 //
-//	POST /route        route one wire           -> RouteResponse
-//	GET  /circuits     served circuits           -> circuitsDoc
-//	GET  /healthz      liveness + drain state    -> healthDoc (503 draining)
-//	GET  /metrics      Prometheus text exposition
+//	POST   /v1/route           route one wire         -> RouteResponse
+//	GET    /v1/circuits        served circuits        -> circuitsDoc
+//	POST   /v1/circuits/{name} upload a circuit       -> circuitDoc (201)
+//	DELETE /v1/circuits/{name} evict a circuit
+//	POST   /v1/mutate          mutate a circuit       -> MutateResponse
+//	GET    /v1/healthz         liveness + drain state -> healthDoc (503 draining)
+//	GET    /v1/metrics         Prometheus text exposition
+//
+// The original unversioned paths (/route, /circuits, /healthz,
+// /metrics) remain as aliases answering byte-identical bodies, marked
+// with a Deprecation header and a Link to their successor; the
+// lifecycle endpoints are /v1-only — they postdate the versioned
+// surface, so no unversioned spelling ever existed. Debug endpoints
+// stay unversioned (they are operator surface, not API):
+//
 //	GET  /debug/vars   counters + histograms as stable-order JSON
 //	GET  /debug/trace  live request-trace capture (Chrome trace JSON)
 //	GET  /debug/pprof/ net/http/pprof (only with Config.EnablePProf)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/route", s.handleRoute)
-	mux.HandleFunc("/circuits", s.handleCircuits)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	versioned := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc("/v1"+path, h)
+		mux.HandleFunc(path, deprecated("/v1"+path, h))
+	}
+	versioned("/route", s.handleRoute)
+	versioned("/circuits", s.handleCircuits)
+	versioned("/healthz", s.handleHealthz)
+	versioned("/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/circuits/{name}", s.handleCircuitUpload)
+	mux.HandleFunc("DELETE /v1/circuits/{name}", s.handleCircuitEvict)
+	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	if s.cfg.EnablePProf {
@@ -76,6 +96,17 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// deprecated wraps a legacy unversioned handler: same handler, same
+// bytes, plus the deprecation headers (RFC 8594 style) pointing at the
+// /v1 spelling.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+		h(w, r)
+	}
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -170,8 +201,14 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrDeadline), errors.Is(err, policy.ErrDeadlineInfeasible):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, ErrUnknownCircuit):
+	case errors.Is(err, ErrUnknownCircuit), errors.Is(err, store.ErrUnknown):
 		return http.StatusNotFound
+	case errors.Is(err, ErrCircuitExists), errors.Is(err, ErrImmutable):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrStoreFull):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, store.ErrBadOp):
+		return http.StatusBadRequest
 	case errors.As(err, &oge):
 		return http.StatusBadRequest
 	}
@@ -232,7 +269,10 @@ type buildInfoDoc struct {
 	Revision  string `json:"revision"`
 }
 
-// circuitDoc is one /circuits entry.
+// circuitDoc is one /circuits entry. The store fields (mutation_epoch,
+// store_bytes, array_sha256) are present only for mutable circuits;
+// array_sha256 is the canonical array's fingerprint, the value a
+// restarted server must reproduce exactly.
 type circuitDoc struct {
 	Name          string `json:"name"`
 	Channels      int    `json:"channels"`
@@ -243,29 +283,152 @@ type circuitDoc struct {
 	CircuitHeight int64  `json:"baseline_circuit_height"`
 	Occupancy     int64  `json:"baseline_occupancy"`
 	CostEpoch     uint64 `json:"cost_epoch"`
+	Mutable       bool   `json:"mutable"`
+	MutationEpoch uint64 `json:"mutation_epoch,omitempty"`
+	StoreBytes    int64  `json:"store_bytes,omitempty"`
+	ArraySHA256   string `json:"array_sha256,omitempty"`
 }
 
 type circuitsDoc struct {
 	Circuits []circuitDoc `json:"circuits"`
 }
 
+// circuitDocFor renders one served circuit, folding in the store's view
+// for mutable ones.
+func (s *Server) circuitDocFor(sc *servedCircuit) circuitDoc {
+	doc := circuitDoc{
+		Name:          sc.name,
+		Channels:      sc.grid.Channels,
+		Grids:         sc.grid.Grids,
+		Wires:         int(sc.wireCount.Load()),
+		Shards:        len(sc.shards),
+		Backend:       string(sc.baseline.Backend),
+		CircuitHeight: sc.baseline.CircuitHeight,
+		Occupancy:     sc.baseline.Occupancy,
+		CostEpoch:     sc.epoch.Load(),
+		Mutable:       sc.mutable,
+	}
+	if sc.mutable {
+		if info, ok := s.store.Get(sc.name); ok {
+			doc.MutationEpoch = info.Epoch
+			doc.StoreBytes = info.Bytes
+			doc.ArraySHA256 = info.ArrayHash
+		}
+	}
+	return doc
+}
+
 func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
-	doc := circuitsDoc{Circuits: []circuitDoc{}}
+	s.mu.RLock()
+	scs := make([]*servedCircuit, 0, len(s.names))
 	for _, name := range s.names {
-		sc := s.circuits[name]
-		doc.Circuits = append(doc.Circuits, circuitDoc{
-			Name:          name,
-			Channels:      sc.circ.Grid.Channels,
-			Grids:         sc.circ.Grid.Grids,
-			Wires:         len(sc.circ.Wires),
-			Shards:        len(sc.shards),
-			Backend:       string(sc.baseline.Backend),
-			CircuitHeight: sc.baseline.CircuitHeight,
-			Occupancy:     sc.baseline.Occupancy,
-			CostEpoch:     sc.epoch.Load(),
-		})
+		scs = append(scs, s.circuits[name])
+	}
+	s.mu.RUnlock()
+	doc := circuitsDoc{Circuits: []circuitDoc{}}
+	for _, sc := range scs {
+		doc.Circuits = append(doc.Circuits, s.circuitDocFor(sc))
 	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// uploadBody is the POST /v1/circuits/{name} request document.
+type uploadBody struct {
+	Channels int          `json:"channels"`
+	Grids    int          `json:"grids"`
+	Wires    []uploadWire `json:"wires"`
+}
+
+type uploadWire struct {
+	ID   int      `json:"id"`
+	Pins [][2]int `json:"pins"`
+}
+
+func (s *Server) handleCircuitUpload(w http.ResponseWriter, r *http.Request) {
+	var body uploadBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	c := &circuit.Circuit{
+		Name: r.PathValue("name"),
+		Grid: geom.Grid{Channels: body.Channels, Grids: body.Grids},
+	}
+	for _, uw := range body.Wires {
+		wr := circuit.Wire{ID: uw.ID}
+		for _, p := range uw.Pins {
+			wr.Pins = append(wr.Pins, geom.Pt(p[0], p[1]))
+		}
+		c.Wires = append(c.Wires, wr)
+	}
+	if _, err := s.UploadCircuit(c); err != nil {
+		s.writeError(w, err, "")
+		return
+	}
+	sc := s.lookupServed(c.Name)
+	if sc == nil {
+		// Evicted between upload and render; the upload itself succeeded.
+		writeJSON(w, http.StatusCreated, circuitDoc{Name: c.Name})
+		return
+	}
+	defer sc.inflight.Done()
+	writeJSON(w, http.StatusCreated, s.circuitDocFor(sc))
+}
+
+func (s *Server) handleCircuitEvict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.EvictCircuit(name); err != nil {
+		s.writeError(w, err, "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": name})
+}
+
+// mutateBody is the POST /v1/mutate request document.
+type mutateBody struct {
+	Circuit string         `json:"circuit"`
+	Ops     []mutateOpBody `json:"ops"`
+}
+
+type mutateOpBody struct {
+	// Op is "add", "remove" or "reroute".
+	Op   string   `json:"op"`
+	Wire int      `json:"wire"`
+	Pins [][2]int `json:"pins,omitempty"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var body mutateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	req := MutateRequest{Circuit: body.Circuit, Client: clientIdentity(r)}
+	for _, ob := range body.Ops {
+		op := store.Op{WireID: ob.Wire}
+		switch ob.Op {
+		case "add":
+			op.Kind = store.OpAdd
+		case "remove":
+			op.Kind = store.OpRemove
+		case "reroute":
+			op.Kind = store.OpReroute
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("unknown op %q (want add, remove or reroute)", ob.Op)})
+			return
+		}
+		for _, p := range ob.Pins {
+			op.Pins = append(op.Pins, geom.Pt(p[0], p[1]))
+		}
+		req.Ops = append(req.Ops, op)
+	}
+	resp, err := s.Mutate(req)
+	if err != nil {
+		s.writeError(w, err, "")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type healthDoc struct {
@@ -313,6 +476,9 @@ type varsDoc struct {
 	Rejected  int64             `json:"rejected"`
 	Denied    int64             `json:"denied"`
 	CacheHits int64             `json:"cache_hits"`
+	Uploads   int64             `json:"uploads"`
+	Evictions int64             `json:"evictions"`
+	Mutations int64             `json:"mutations"`
 	Policy    []elementVarsDoc  `json:"policy,omitempty"`
 	BatchSize *obs.HistogramDoc `json:"batch_size,omitempty"`
 	WaitUs    *obs.HistogramDoc `json:"wait_us,omitempty"`
@@ -341,6 +507,9 @@ func (s *Server) vars() varsDoc {
 		Rejected:  s.met.rejected,
 		Denied:    s.met.denied,
 		CacheHits: s.met.cacheHits,
+		Uploads:   s.met.uploads,
+		Evictions: s.met.evictions,
+		Mutations: s.met.mutations,
 		BatchSize: s.met.batchSize.Doc(),
 		WaitUs:    s.met.waitUs.Doc(),
 		RouteCost: s.met.routeCost.Doc(),
@@ -385,6 +554,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pt.Counter("locusd_requests_rejected_total", "requests rejected by validation", v.Rejected)
 	pt.Counter("locusd_requests_denied_total", "requests denied by the policy chain", v.Denied)
 	pt.Counter("locusd_cache_hits_total", "requests answered from the result cache", v.CacheHits)
+	pt.Counter("locusd_circuit_uploads_total", "circuits uploaded at runtime", v.Uploads)
+	pt.Counter("locusd_circuit_evictions_total", "circuits evicted at runtime", v.Evictions)
+	pt.Counter("locusd_mutations_total", "mutation ops applied to served circuits", v.Mutations)
 	pt.Gauge("locusd_in_flight", "admitted requests currently in flight", int64(v.InFlight))
 	pt.Gauge("locusd_capacity", "admission gate capacity", int64(v.Capacity))
 	pt.Gauge("locusd_build_info", "build metadata as labels, value always 1", 1,

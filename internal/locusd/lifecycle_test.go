@@ -1,0 +1,545 @@
+package locusd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locusroute/internal/backend"
+	"locusroute/internal/circuit"
+	"locusroute/internal/geom"
+	"locusroute/internal/policy"
+	"locusroute/internal/store"
+	"locusroute/internal/wire"
+)
+
+// dynCircuit generates a small circuit for lifecycle tests.
+func dynCircuit(t testing.TB, name string, seed int64) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.Generate(circuit.GenParams{
+		Name: name, Channels: 5, Grids: 60, Wires: 16, MeanSpan: 8, LongFrac: 0.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// uploadDoc renders a circuit as the POST /v1/circuits/{name} body.
+func uploadDoc(t testing.TB, c *circuit.Circuit) string {
+	t.Helper()
+	body := uploadBody{Channels: c.Grid.Channels, Grids: c.Grid.Grids}
+	for _, w := range c.Wires {
+		uw := uploadWire{ID: w.ID}
+		for _, p := range w.Pins {
+			uw.Pins = append(uw.Pins, [2]int{p.X, p.Y})
+		}
+		body.Wires = append(body.Wires, uw)
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// doReq fires one request and returns status, headers and the raw body.
+func doReq(t testing.TB, ts *httptest.Server, method, path, body string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// TestV1LegacyEquivalence pins the versioning contract: every legacy
+// path answers byte-identical bodies to its /v1 spelling (modulo uptime,
+// the only wall-clock field), carries the Deprecation + Link headers,
+// and the /v1 spelling carries neither.
+func TestV1LegacyEquivalence(t *testing.T) {
+	s := newServer(t, Config{Shards: 1, BatchWindow: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	volatile := regexp.MustCompile(`"uptime_ms": \d+|locusd_uptime_seconds \d+`)
+	for _, path := range []string{"/route", "/circuits", "/healthz", "/metrics"} {
+		// GET on /route is the deterministic 405 body; the rest are their
+		// regular documents.
+		legacyCode, legacyHdr, legacyBody := doReq(t, ts, http.MethodGet, path, "")
+		v1Code, v1Hdr, v1Body := doReq(t, ts, http.MethodGet, "/v1"+path, "")
+		if legacyCode != v1Code {
+			t.Errorf("%s: legacy status %d, /v1 status %d", path, legacyCode, v1Code)
+		}
+		lb := volatile.ReplaceAllString(string(legacyBody), "T")
+		vb := volatile.ReplaceAllString(string(v1Body), "T")
+		if lb != vb {
+			t.Errorf("%s: bodies diverge across prefixes:\nlegacy: %s\nv1:     %s", path, lb, vb)
+		}
+		if got := legacyHdr.Get("Deprecation"); got != "true" {
+			t.Errorf("%s: legacy Deprecation header %q, want \"true\"", path, got)
+		}
+		if want := fmt.Sprintf("</v1%s>; rel=%q", path, "successor-version"); legacyHdr.Get("Link") != want {
+			t.Errorf("%s: legacy Link header %q, want %q", path, legacyHdr.Get("Link"), want)
+		}
+		if v1Hdr.Get("Deprecation") != "" || v1Hdr.Get("Link") != "" {
+			t.Errorf("%s: /v1 response carries deprecation headers", path)
+		}
+	}
+
+	// The data plane is the same core: a route through either prefix
+	// yields the same evaluation (wait_us is timing, everything else is
+	// the contract).
+	body := `{"circuit":"svc","wire":9,"pins":[[2,1],[40,4]]}`
+	_, _, b1 := doReq(t, ts, http.MethodPost, "/route", body)
+	_, _, b2 := doReq(t, ts, http.MethodPost, "/v1/route", body)
+	var d1, d2 map[string]any
+	if err := json.Unmarshal(b1, &d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &d2); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"circuit", "wire", "cost", "path_cells", "committed"} {
+		if d1[k] != d2[k] {
+			t.Errorf("route %s diverges across prefixes: %v vs %v", k, d1[k], d2[k])
+		}
+	}
+}
+
+// TestHTTPLifecycle walks the whole dynamic lifecycle over JSON: upload,
+// duplicate conflict, route, mutate (with its incremental results),
+// store state on /v1/circuits, evict, and re-upload of the freed name.
+func TestHTTPLifecycle(t *testing.T) {
+	s := newServer(t, Config{Shards: 2, BatchWindow: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := dynCircuit(t, "dyn", 3)
+	code, _, raw := doReq(t, ts, http.MethodPost, "/v1/circuits/dyn", uploadDoc(t, c))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d (%s)", code, raw)
+	}
+	var created circuitDoc
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !created.Mutable || created.Wires != len(c.Wires) || created.ArraySHA256 == "" {
+		t.Fatalf("upload doc %+v: want mutable, %d wires, an array hash", created, len(c.Wires))
+	}
+
+	// The lifecycle endpoints are /v1-only: no legacy spelling exists.
+	if code, _, _ := doReq(t, ts, http.MethodPost, "/circuits/dyn", uploadDoc(t, c)); code != http.StatusNotFound {
+		t.Errorf("legacy POST /circuits/dyn: status %d, want 404", code)
+	}
+	// Duplicate name: conflict.
+	if code, _, raw := doReq(t, ts, http.MethodPost, "/v1/circuits/dyn", uploadDoc(t, c)); code != http.StatusConflict {
+		t.Errorf("duplicate upload: status %d, want 409 (%s)", code, raw)
+	}
+
+	// The uploaded circuit serves immediately.
+	if code, doc := postRoute(t, ts, `{"circuit":"dyn","wire":1,"pins":[[1,1],[20,2]]}`); code != http.StatusOK {
+		t.Fatalf("route against upload: status %d (%v)", code, doc)
+	}
+
+	// One batch: add a wire, reroute an existing one.
+	mutate := fmt.Sprintf(`{"circuit":"dyn","ops":[{"op":"add","wire":900,"pins":[[2,1],[30,3]]},{"op":"reroute","wire":%d}]}`, c.Wires[0].ID)
+	code, _, raw = doReq(t, ts, http.MethodPost, "/v1/mutate", mutate)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: status %d (%s)", code, raw)
+	}
+	var mres MutateResponse
+	if err := json.Unmarshal(raw, &mres); err != nil {
+		t.Fatal(err)
+	}
+	if mres.Epoch != 2 || mres.Wires != len(c.Wires)+1 || len(mres.Results) != 2 {
+		t.Fatalf("mutate response %+v: want epoch 2, %d wires, 2 results", mres, len(c.Wires)+1)
+	}
+	if r := mres.Results[0]; r.Op != "add" || r.WireID != 900 || r.PathCells <= 0 {
+		t.Errorf("add result %+v: want a routed path for wire 900", r)
+	}
+	if r := mres.Results[1]; r.Op != "reroute" || r.PathCells <= 0 {
+		t.Errorf("reroute result %+v: want a routed path", r)
+	}
+
+	// /v1/circuits reflects the mutation: epoch, wire count, new hash.
+	_, _, raw = doReq(t, ts, http.MethodGet, "/v1/circuits", "")
+	var cdoc circuitsDoc
+	if err := json.Unmarshal(raw, &cdoc); err != nil {
+		t.Fatal(err)
+	}
+	var dyn *circuitDoc
+	for i := range cdoc.Circuits {
+		if cdoc.Circuits[i].Name == "dyn" {
+			dyn = &cdoc.Circuits[i]
+		}
+	}
+	if dyn == nil {
+		t.Fatalf("/v1/circuits lost the upload: %s", raw)
+	}
+	if dyn.MutationEpoch != 2 || dyn.Wires != len(c.Wires)+1 {
+		t.Errorf("post-mutation doc %+v: want mutation_epoch 2, %d wires", dyn, len(c.Wires)+1)
+	}
+	if dyn.ArraySHA256 == created.ArraySHA256 {
+		t.Error("mutation left the canonical array hash unchanged")
+	}
+
+	// Bad batches: unknown op spelled out, unknown circuit, invalid op.
+	if code, _, _ := doReq(t, ts, http.MethodPost, "/v1/mutate", `{"circuit":"dyn","ops":[{"op":"warp","wire":1}]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", code)
+	}
+	if code, _, _ := doReq(t, ts, http.MethodPost, "/v1/mutate", `{"circuit":"nope","ops":[{"op":"reroute","wire":1}]}`); code != http.StatusNotFound {
+		t.Errorf("unknown circuit: status %d, want 404", code)
+	}
+	if code, _, _ := doReq(t, ts, http.MethodPost, "/v1/mutate", `{"circuit":"dyn","ops":[{"op":"remove","wire":424242}]}`); code != http.StatusBadRequest {
+		t.Errorf("remove of unknown wire: status %d, want 400", code)
+	}
+
+	// Evict: gone from serving, name free for re-upload.
+	if code, _, raw := doReq(t, ts, http.MethodDelete, "/v1/circuits/dyn", ""); code != http.StatusOK {
+		t.Fatalf("evict: status %d (%s)", code, raw)
+	}
+	if code, _ := postRoute(t, ts, `{"circuit":"dyn","wire":1,"pins":[[1,1],[20,2]]}`); code != http.StatusNotFound {
+		t.Errorf("route after evict: status %d, want 404", code)
+	}
+	if code, _, _ := doReq(t, ts, http.MethodDelete, "/v1/circuits/dyn", ""); code != http.StatusNotFound {
+		t.Errorf("double evict: status %d, want 404", code)
+	}
+	if code, _, raw := doReq(t, ts, http.MethodPost, "/v1/circuits/dyn", uploadDoc(t, c)); code != http.StatusCreated {
+		t.Errorf("re-upload of evicted name: status %d (%s)", code, raw)
+	}
+
+	v := s.vars()
+	if v.Uploads != 2 || v.Evictions != 1 || v.Mutations != 2 {
+		t.Errorf("lifecycle counters uploads=%d evictions=%d mutations=%d, want 2/1/2",
+			v.Uploads, v.Evictions, v.Mutations)
+	}
+}
+
+// TestImmutableStartupCircuit pins the mutability boundary: a startup
+// circuit routed through a non-sequential backend has no store-held
+// paths, so mutation and eviction are conflicts — while runtime uploads
+// on the same server remain fully mutable.
+func TestImmutableStartupCircuit(t *testing.T) {
+	s, err := New(Config{Backend: backend.Partitioned, Shards: 1, BatchWindow: time.Millisecond}, testCircuit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _, raw := doReq(t, ts, http.MethodPost, "/v1/mutate", `{"circuit":"svc","ops":[{"op":"reroute","wire":0}]}`); code != http.StatusConflict {
+		t.Errorf("mutate immutable: status %d, want 409 (%s)", code, raw)
+	}
+	if code, _, _ := doReq(t, ts, http.MethodDelete, "/v1/circuits/svc", ""); code != http.StatusConflict {
+		t.Errorf("evict immutable: status %d, want 409", code)
+	}
+	if code, _, raw := doReq(t, ts, http.MethodPost, "/v1/circuits/up", uploadDoc(t, dynCircuit(t, "up", 5))); code != http.StatusCreated {
+		t.Fatalf("upload on immutable-baseline server: status %d (%s)", code, raw)
+	}
+	_, _, raw := doReq(t, ts, http.MethodGet, "/v1/circuits", "")
+	var cdoc circuitsDoc
+	if err := json.Unmarshal(raw, &cdoc); err != nil {
+		t.Fatal(err)
+	}
+	mutable := map[string]bool{}
+	for _, d := range cdoc.Circuits {
+		mutable[d.Name] = d.Mutable
+	}
+	if mutable["svc"] || !mutable["up"] {
+		t.Errorf("mutability flags %v: want svc immutable, up mutable", mutable)
+	}
+}
+
+// wireUpload renders a circuit as its binary upload frame struct.
+func wireUpload(c *circuit.Circuit) *wire.Upload {
+	u := &wire.Upload{Name: c.Name, Channels: c.Grid.Channels, Grids: c.Grid.Grids}
+	for _, w := range c.Wires {
+		u.Wires = append(u.Wires, wire.UploadWire{ID: w.ID, Pins: append([]geom.Point(nil), w.Pins...)})
+	}
+	return u
+}
+
+// TestTCPLifecycle drives upload, mutate and evict over the binary
+// protocol, interleaved with route frames on the same connection, and
+// checks the result is visible over HTTP — one lifecycle, two wire
+// formats.
+func TestTCPLifecycle(t *testing.T) {
+	s := newServer(t, Config{Shards: 1, BatchWindow: time.Millisecond})
+	addr, _ := startTCP(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	c := dynCircuit(t, "tdyn", 7)
+	aresp, err := conn.DoUpload(wireUpload(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aresp.Status != wire.StatusOK || aresp.Wires != len(c.Wires) {
+		t.Fatalf("upload response %+v: want OK with %d wires", aresp, len(c.Wires))
+	}
+	if aresp, err = conn.DoUpload(wireUpload(c)); err != nil || aresp.Status != wire.StatusConflict {
+		t.Fatalf("duplicate upload: %+v, %v — want StatusConflict", aresp, err)
+	}
+
+	// Route frames interleave with lifecycle frames on one stream.
+	rresp, err := conn.Do(&wire.Request{Circuit: "tdyn", WireID: 1,
+		Pins: []geom.Point{geom.Pt(1, 1), geom.Pt(20, 2)}})
+	if err != nil || rresp.Status != wire.StatusOK {
+		t.Fatalf("route after upload: %+v, %v", rresp, err)
+	}
+
+	aresp, err = conn.DoMutate(&wire.Mutate{Circuit: "tdyn", Ops: []wire.MutateOp{
+		{Op: wire.OpAdd, WireID: 901, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(25, 3)}},
+		{Op: wire.OpReroute, WireID: c.Wires[0].ID},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aresp.Status != wire.StatusOK || aresp.Epoch != 2 || aresp.Wires != len(c.Wires)+1 || len(aresp.Results) != 2 {
+		t.Fatalf("mutate response %+v: want OK, epoch 2, %d wires, 2 results", aresp, len(c.Wires)+1)
+	}
+	if r := aresp.Results[0]; r.Op != wire.OpAdd || r.WireID != 901 || r.PathCells <= 0 {
+		t.Errorf("add outcome %+v: want a routed path for wire 901", r)
+	}
+	if aresp, err = conn.DoMutate(&wire.Mutate{Circuit: "ghost", Ops: []wire.MutateOp{
+		{Op: wire.OpReroute, WireID: 0},
+	}}); err != nil || aresp.Status != wire.StatusUnknownCircuit {
+		t.Fatalf("mutate of unknown circuit: %+v, %v — want StatusUnknownCircuit", aresp, err)
+	}
+
+	// The binary upload is the same circuit the JSON surface reports.
+	_, _, raw := doReq(t, ts, http.MethodGet, "/v1/circuits", "")
+	var cdoc circuitsDoc
+	if err := json.Unmarshal(raw, &cdoc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range cdoc.Circuits {
+		if d.Name == "tdyn" {
+			found = true
+			if d.MutationEpoch != 2 || d.Wires != len(c.Wires)+1 || !d.Mutable {
+				t.Errorf("HTTP view of TCP lifecycle %+v: want mutation_epoch 2, %d wires, mutable", d, len(c.Wires)+1)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("/v1/circuits does not list the TCP upload: %s", raw)
+	}
+
+	if aresp, err = conn.DoEvict(&wire.Evict{Circuit: "tdyn"}); err != nil || aresp.Status != wire.StatusOK {
+		t.Fatalf("evict: %+v, %v", aresp, err)
+	}
+	if aresp, err = conn.DoEvict(&wire.Evict{Circuit: "tdyn"}); err != nil || aresp.Status != wire.StatusUnknownCircuit {
+		t.Fatalf("double evict: %+v, %v — want StatusUnknownCircuit", aresp, err)
+	}
+	if rresp, err = conn.Do(&wire.Request{Circuit: "tdyn", WireID: 1,
+		Pins: []geom.Point{geom.Pt(1, 1), geom.Pt(20, 2)}}); err != nil || rresp.Status != wire.StatusUnknownCircuit {
+		t.Fatalf("route after evict: %+v, %v — want StatusUnknownCircuit", rresp, err)
+	}
+}
+
+// TestMutationInvalidatesCache pins the cache-invalidation edge of the
+// tentpole: a mutation bumps the cost epoch, so a result cached under
+// the pre-mutation congestion state can never be served again.
+func TestMutationInvalidatesCache(t *testing.T) {
+	s := newServer(t, Config{
+		Shards:      1,
+		BatchWindow: time.Millisecond,
+		Policy:      policy.Config{CacheEntries: 64},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"circuit":"svc","wire":5,"pins":[[2,1],[40,4]]}`
+	if code, doc := postRoute(t, ts, body); code != http.StatusOK || doc["cached"] == true {
+		t.Fatalf("first request: status %d cached %v", code, doc["cached"])
+	}
+	if _, doc := postRoute(t, ts, body); doc["cached"] != true {
+		t.Fatal("repeat request not served from the cache")
+	}
+
+	w0 := testCircuit(t).Wires[0].ID
+	if _, err := s.Mutate(MutateRequest{Circuit: "svc", Ops: []store.Op{{Kind: store.OpReroute, WireID: w0}}}); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if _, doc := postRoute(t, ts, body); doc["cached"] == true {
+		t.Error("request after a mutation served from the stale epoch")
+	}
+}
+
+// TestEvictWhileCachedNoGhost pins the evict/cache interaction: results
+// cached for an evicted circuit must never answer for a later upload
+// reusing the name (the cache key carries a per-registration
+// generation).
+func TestEvictWhileCachedNoGhost(t *testing.T) {
+	s := newServer(t, Config{
+		Shards:      1,
+		BatchWindow: time.Millisecond,
+		Policy:      policy.Config{CacheEntries: 64},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := dynCircuit(t, "ghost", 13)
+	if code, _, raw := doReq(t, ts, http.MethodPost, "/v1/circuits/ghost", uploadDoc(t, c)); code != http.StatusCreated {
+		t.Fatalf("upload: status %d (%s)", code, raw)
+	}
+	body := `{"circuit":"ghost","wire":4,"pins":[[1,1],[20,2]]}`
+	postRoute(t, ts, body)
+	if _, doc := postRoute(t, ts, body); doc["cached"] != true {
+		t.Fatal("repeat request not cached before eviction")
+	}
+
+	if code, _, _ := doReq(t, ts, http.MethodDelete, "/v1/circuits/ghost", ""); code != http.StatusOK {
+		t.Fatal("evict failed")
+	}
+	if code, _, raw := doReq(t, ts, http.MethodPost, "/v1/circuits/ghost", uploadDoc(t, c)); code != http.StatusCreated {
+		t.Fatalf("re-upload: status %d (%s)", code, raw)
+	}
+	// Same name, same pins, fresh registration: the cache must miss.
+	if code, doc := postRoute(t, ts, body); code != http.StatusOK || doc["cached"] == true {
+		t.Fatalf("route after re-upload: status %d cached %v — ghost cache hit", code, doc["cached"])
+	}
+	// And the new registration's own cache works.
+	if _, doc := postRoute(t, ts, body); doc["cached"] != true {
+		t.Error("repeat request after re-upload not cached")
+	}
+}
+
+// TestConcurrentLifecycleRace hammers upload/evict/route on one name
+// from concurrent goroutines; meaningful under -race. Any error must be
+// one of the lifecycle's defined outcomes — never a panic, deadlock or
+// torn state.
+func TestConcurrentLifecycleRace(t *testing.T) {
+	s := newServer(t, Config{Shards: 2, BatchWindow: time.Millisecond})
+
+	const iters = 20
+	circs := make([]*circuit.Circuit, iters)
+	for i := range circs {
+		circs[i] = dynCircuit(t, "race", int64(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g {
+				case 0:
+					if _, err := s.UploadCircuit(circs[i]); err != nil &&
+						!errors.Is(err, ErrCircuitExists) && !errors.Is(err, ErrUnknownCircuit) {
+						t.Errorf("upload %d: %v", i, err)
+					}
+				case 1:
+					if err := s.EvictCircuit("race"); err != nil && !errors.Is(err, ErrUnknownCircuit) {
+						t.Errorf("evict %d: %v", i, err)
+					}
+				case 2:
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					_, err := s.Route(ctx, RouteRequest{Circuit: "race",
+						Wire: circuit.Wire{ID: i, Pins: []geom.Point{geom.Pt(1, 1), geom.Pt(20, 2)}}})
+					cancel()
+					if err != nil && !errors.Is(err, ErrUnknownCircuit) && !errors.Is(err, ErrDeadline) {
+						t.Errorf("route %d: %v", i, err)
+					}
+				case 3:
+					if _, err := s.Mutate(MutateRequest{Circuit: "race",
+						Ops: []store.Op{{Kind: store.OpReroute, WireID: 0}}}); err != nil &&
+						!errors.Is(err, ErrUnknownCircuit) && !errors.Is(err, store.ErrBadOp) {
+						t.Errorf("mutate %d: %v", i, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The untouched startup circuit still serves.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := s.Route(ctx, RouteRequest{Circuit: "svc",
+		Wire: circuit.Wire{ID: 1, Pins: []geom.Point{geom.Pt(2, 1), geom.Pt(40, 4)}}}); err != nil {
+		t.Fatalf("route after lifecycle storm: %v", err)
+	}
+}
+
+// TestDrainLosesNothingWithMutation pins the drain contract with a
+// mutation mid-batch: every queued request is answered, the mutation is
+// applied, and the epoch accounts for both.
+func TestDrainLosesNothingWithMutation(t *testing.T) {
+	s := newServer(t, Config{Shards: 1, BatchWindow: 100 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 8
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _ := postRoute(t, ts, fmt.Sprintf(
+				`{"circuit":"svc","wire":%d,"pins":[[2,1],[40,4]],"commit":true}`, i))
+			codes <- code
+		}(i)
+	}
+	for i := 0; s.InFlight() < n && i < 400; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	w0 := testCircuit(t).Wires[0].ID
+	if _, err := s.Mutate(MutateRequest{Circuit: "svc",
+		Ops: []store.Op{{Kind: store.OpReroute, WireID: w0}}}); err != nil {
+		t.Fatalf("mutation mid-batch: %v", err)
+	}
+	s.BeginDrain()
+	wg.Wait()
+	s.Close()
+
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("request finished %d during drain, want 200", code)
+		}
+	}
+	v := s.vars()
+	if v.Served != n || v.Committed != n || v.Mutations != 1 {
+		t.Errorf("served=%d committed=%d mutations=%d, want %d/%d/1", v.Served, v.Committed, v.Mutations, n, n)
+	}
+	// Epoch: n commits + 1 mutation result.
+	if got := s.Epoch("svc"); got != n+1 {
+		t.Errorf("epoch after drain = %d, want %d", got, n+1)
+	}
+	// The mutation reached the store before the drain finished.
+	if info, ok := s.Store().Get("svc"); !ok || info.Epoch != 1 {
+		t.Errorf("store epoch = %+v ok=%v, want epoch 1", info, ok)
+	}
+}

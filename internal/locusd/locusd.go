@@ -40,11 +40,13 @@ import (
 	"locusroute/internal/backend"
 	"locusroute/internal/circuit"
 	"locusroute/internal/costarray"
+	"locusroute/internal/geom"
 	"locusroute/internal/obs"
 	"locusroute/internal/par"
 	"locusroute/internal/policy"
 	"locusroute/internal/reqtrace"
 	"locusroute/internal/route"
+	"locusroute/internal/store"
 )
 
 // Config sizes the service. The zero value of every field has a sensible
@@ -93,6 +95,14 @@ type Config struct {
 	// /debug/pprof/ (off by default: the profile endpoints can block and
 	// expose symbol tables, so exposing them is an explicit decision).
 	EnablePProf bool
+	// Store owns the dynamic circuit lifecycle: runtime uploads,
+	// mutations, evictions, and (when it has a persistence directory)
+	// snapshot+WAL recovery. Circuits the store already holds at startup
+	// are served automatically. Nil gets a private in-memory store, so
+	// the lifecycle API always works; pass one explicitly for
+	// persistence or a memory budget. The store's router parameters must
+	// match Router — New enforces nothing, the arrays just diverge.
+	Store *store.Store
 }
 
 // withDefaults fills the zero fields.
@@ -137,6 +147,15 @@ var ErrShed = errors.New("locusd: at capacity, retry later")
 // ErrUnknownCircuit reports a request naming a circuit the server does
 // not serve.
 var ErrUnknownCircuit = errors.New("locusd: unknown circuit")
+
+// ErrCircuitExists rejects an upload naming a circuit already served
+// (store.ErrExists, re-surfaced at the service layer).
+var ErrCircuitExists = store.ErrExists
+
+// ErrImmutable rejects a mutation or eviction of a circuit served
+// outside the store — a startup circuit whose baseline came from a
+// non-sequential backend has no canonical per-wire paths to rip up.
+var ErrImmutable = errors.New("locusd: circuit is immutable (not store-backed)")
 
 // RouteRequest is one wire evaluation against a served circuit.
 type RouteRequest struct {
@@ -236,11 +255,24 @@ type shard struct {
 	id    int
 	arr   *costarray.CostArray
 	queue chan *pending // FIFO dispatch; unused under EDF
+	// updates carries mutation deltas (ripped/committed canonical paths)
+	// from Server.Mutate to this shard's loop, which applies them to its
+	// replica between batches — the only goroutine that touches arr.
+	updates chan shardUpdate
 }
 
-// servedCircuit is one preloaded circuit and its replicas.
+// shardUpdate is one mutation batch's effect on the canonical array:
+// rip these paths, commit those. The slices are shared read-only across
+// every shard of the circuit.
+type shardUpdate struct {
+	rip    []route.Path
+	commit []route.Path
+}
+
+// servedCircuit is one served circuit and its replicas.
 type servedCircuit struct {
-	circ     *circuit.Circuit
+	name     string
+	grid     geom.Grid
 	baseline backend.Result
 	shards   []*shard
 	next     atomic.Uint64 // round-robin dispatch cursor (FIFO mode)
@@ -248,10 +280,26 @@ type servedCircuit struct {
 	// only under the EDF scheduler, where shards pull batches from it
 	// instead of owning FIFO queues.
 	queue *policy.EDFQueue
-	// epoch counts committed paths across all of the circuit's shards:
-	// the result cache's invalidation clock. Any commit advances it, so
-	// cache hits are only served against unchanged congestion state.
+	// epoch counts committed paths across all of the circuit's shards
+	// plus applied store mutations: the result cache's invalidation
+	// clock. Any commit or mutation advances it, so cache hits are only
+	// served against unchanged congestion state.
 	epoch atomic.Uint64
+	// wireCount tracks the circuit's wire count (mutations move it).
+	wireCount atomic.Int64
+	// mutable marks a store-backed circuit: uploads at runtime, startup
+	// circuits routed through the sequential baseline, and recovered
+	// circuits. Only mutable circuits accept Mutate and EvictCircuit.
+	mutable bool
+	// cacheName is the policy-chain identity: the circuit name suffixed
+	// with a server-unique generation, so cached results from an evicted
+	// circuit can never answer for a later upload of the same name.
+	cacheName string
+	// stop ends the circuit's shard loops on eviction; inflight tracks
+	// requests targeting this circuit, which EvictCircuit waits out
+	// before stopping the loops.
+	stop     chan struct{}
+	inflight sync.WaitGroup
 }
 
 // metrics aggregates service counters and latency/batch histograms.
@@ -267,6 +315,9 @@ type metrics struct {
 	denied    int64 // policy-chain rejections (deadline/rate/breaker)
 	cacheHits int64
 	committed int64
+	uploads   int64 // circuits uploaded at runtime
+	evictions int64 // circuits evicted at runtime
+	mutations int64 // mutation ops applied (not batches)
 	batchSize obs.Histogram
 	waitUs    obs.Histogram
 	routeCost obs.Histogram
@@ -279,12 +330,22 @@ type metrics struct {
 // Server is the routing service. Create with New, serve its Handler,
 // then BeginDrain + Close on shutdown.
 type Server struct {
-	cfg         Config
-	chain       *policy.Chain
-	gate        par.Gate
-	circuits    map[string]*servedCircuit
-	names       []string // stable iteration order for /circuits and /debug/vars
-	totalShards int
+	cfg   Config
+	chain *policy.Chain
+	gate  par.Gate
+	store *store.Store
+
+	// mu guards the serving registry (circuits, names): runtime uploads
+	// and evictions write it, every request path reads it.
+	mu       sync.RWMutex
+	circuits map[string]*servedCircuit
+	names    []string // stable iteration order for /circuits and /debug/vars
+
+	totalShards atomic.Int64
+	// gen feeds servedCircuit.cacheName: each (re)registration of a name
+	// gets a fresh generation, fencing the result cache across evict +
+	// re-upload of the same name.
+	gen atomic.Uint64
 
 	// scratch pools routing scratch space per grid shape; batches borrow
 	// a Scratch for their whole run and return it, keeping the serving
@@ -300,65 +361,183 @@ type Server struct {
 	started  time.Time
 }
 
-// New routes every circuit once through the configured backend and
-// stands up the serving shards.
+// New stands up the serving layer. Startup circuits are routed once for
+// their baseline congestion state: under the default Sequential backend
+// they are uploaded into the store (making them mutable and, with a
+// persistent store, durable); under any other backend they are routed
+// through that backend and served immutably, since only the store's
+// sequential baseline retains the per-wire paths incremental mutation
+// needs. Circuits the store already holds — recovered from disk, or
+// preloaded by the caller — are served automatically; a startup circuit
+// whose name the store already holds defers to the store's copy.
 func New(cfg Config, circuits ...*circuit.Circuit) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if len(circuits) == 0 {
-		return nil, errors.New("locusd: no circuits to serve")
-	}
-	opts := []backend.Option{backend.WithRouter(cfg.Router)}
-	if cfg.Backend != backend.Sequential {
-		opts = append(opts, backend.WithProcs(cfg.Procs))
-	}
-	if cfg.Partitions > 0 && cfg.Backend == backend.Partitioned {
-		opts = append(opts, backend.WithPartitions(cfg.Partitions))
-	}
-	be, err := backend.New(cfg.Backend, opts...)
-	if err != nil {
-		return nil, err
+	st := cfg.Store
+	if st == nil {
+		if len(circuits) == 0 {
+			return nil, errors.New("locusd: no circuits to serve")
+		}
+		var err error
+		st, err = store.Open(store.Config{Router: cfg.Router})
+		if err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:      cfg,
 		chain:    policy.New(cfg.Policy),
 		gate:     par.NewGate(cfg.MaxInFlight),
+		store:    st,
 		circuits: make(map[string]*servedCircuit, len(circuits)),
 		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
-	edf := s.chain.Sched() != nil
+	seen := make(map[string]bool, len(circuits))
 	for _, c := range circuits {
-		if _, dup := s.circuits[c.Name]; dup {
+		if seen[c.Name] {
 			return nil, fmt.Errorf("locusd: duplicate circuit name %q", c.Name)
 		}
-		base, err := be.Route(context.Background(), backend.Request{Circuit: c})
-		if err != nil {
-			return nil, fmt.Errorf("locusd: baseline routing of %q: %w", c.Name, err)
-		}
-		sc := &servedCircuit{circ: c, baseline: base}
-		if edf {
-			sc.queue = policy.NewEDFQueue()
-		}
-		for i := 0; i < cfg.Shards; i++ {
-			sh := &shard{
-				id:    i,
-				arr:   base.Final.Clone(),
-				queue: make(chan *pending, cfg.MaxInFlight),
-			}
-			sc.shards = append(sc.shards, sh)
-			s.loops.Add(1)
-			if edf {
-				go s.edfLoop(sc, sh)
-			} else {
-				go s.batchLoop(sc, sh)
-			}
-		}
-		s.circuits[c.Name] = sc
-		s.names = append(s.names, c.Name)
-		s.totalShards += cfg.Shards
+		seen[c.Name] = true
 	}
-	sort.Strings(s.names)
+	if cfg.Backend == backend.Sequential {
+		for _, c := range circuits {
+			if _, err := st.Upload(c); err != nil && !errors.Is(err, store.ErrExists) {
+				return nil, fmt.Errorf("locusd: baseline routing of %q: %w", c.Name, err)
+			}
+			// ErrExists: the store recovered this name from disk; its
+			// durable copy wins over the startup argument.
+		}
+	} else {
+		opts := []backend.Option{backend.WithRouter(cfg.Router), backend.WithProcs(cfg.Procs)}
+		if cfg.Partitions > 0 && cfg.Backend == backend.Partitioned {
+			opts = append(opts, backend.WithPartitions(cfg.Partitions))
+		}
+		be, err := backend.New(cfg.Backend, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range circuits {
+			if _, held := st.Get(c.Name); held {
+				continue // the store's recovered copy wins
+			}
+			base, err := be.Route(context.Background(), backend.Request{Circuit: c})
+			if err != nil {
+				return nil, fmt.Errorf("locusd: baseline routing of %q: %w", c.Name, err)
+			}
+			sc := s.newServedCircuit(c.Name, c.Grid, len(c.Wires), base, false)
+			for i := 0; i < cfg.Shards; i++ {
+				sc.shards = append(sc.shards, s.newShard(i, base.Final.Clone()))
+			}
+			s.register(sc)
+		}
+	}
+	for _, name := range st.Names() {
+		if _, dup := s.circuits[name]; dup {
+			continue
+		}
+		sc, err := s.serveStored(name)
+		if err != nil {
+			return nil, err
+		}
+		s.register(sc)
+	}
 	return s, nil
+}
+
+// newServedCircuit assembles a circuit's serving state (no shards yet).
+func (s *Server) newServedCircuit(name string, g geom.Grid, wires int, base backend.Result, mutable bool) *servedCircuit {
+	sc := &servedCircuit{
+		name:      name,
+		grid:      g,
+		baseline:  base,
+		mutable:   mutable,
+		cacheName: fmt.Sprintf("%s#%d", name, s.gen.Add(1)),
+		stop:      make(chan struct{}),
+	}
+	sc.wireCount.Store(int64(wires))
+	if s.chain.Sched() != nil {
+		sc.queue = policy.NewEDFQueue()
+	}
+	return sc
+}
+
+// newShard builds one replica around its private array clone.
+func (s *Server) newShard(id int, arr *costarray.CostArray) *shard {
+	return &shard{
+		id:      id,
+		arr:     arr,
+		queue:   make(chan *pending, s.cfg.MaxInFlight),
+		updates: make(chan shardUpdate, 64),
+	}
+}
+
+// serveStored builds serving state for a store-held circuit: shard
+// replicas clone the canonical array, and the baseline is the store's
+// upload-time sequential routing.
+func (s *Server) serveStored(name string) (*servedCircuit, error) {
+	info, ok := s.store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (store no longer holds it)", ErrUnknownCircuit, name)
+	}
+	base := backend.Result{
+		Backend:       backend.Sequential,
+		Circuit:       name,
+		Procs:         1,
+		CircuitHeight: info.Baseline.CircuitHeight,
+		Occupancy:     info.Baseline.Occupancy,
+		WiresRouted:   info.Baseline.WiresRouted,
+		CellsExamined: info.Baseline.CellsExamined,
+	}
+	sc := s.newServedCircuit(name, info.Grid, info.Wires, base, true)
+	for i := 0; i < s.cfg.Shards; i++ {
+		arr, ok := s.store.CloneArray(name)
+		if !ok {
+			return nil, fmt.Errorf("%w %q (evicted during registration)", ErrUnknownCircuit, name)
+		}
+		sc.shards = append(sc.shards, s.newShard(i, arr))
+	}
+	return sc, nil
+}
+
+// register installs a circuit and starts its shard loops.
+func (s *Server) register(sc *servedCircuit) {
+	s.mu.Lock()
+	s.circuits[sc.name] = sc
+	s.names = append(s.names, sc.name)
+	sort.Strings(s.names)
+	s.mu.Unlock()
+	s.totalShards.Add(int64(len(sc.shards)))
+	edf := s.chain.Sched() != nil
+	for _, sh := range sc.shards {
+		s.loops.Add(1)
+		if edf {
+			go s.edfLoop(sc, sh)
+		} else {
+			go s.batchLoop(sc, sh)
+		}
+	}
+}
+
+// lookupServed fetches a circuit's serving state and registers the
+// caller with its in-flight group, which EvictCircuit waits out. The
+// caller must call sc.inflight.Done() when finished with the circuit.
+func (s *Server) lookupServed(name string) *servedCircuit {
+	s.mu.RLock()
+	sc := s.circuits[name]
+	if sc != nil {
+		sc.inflight.Add(1)
+	}
+	s.mu.RUnlock()
+	return sc
+}
+
+// servedNames copies the registry's name list.
+func (s *Server) servedNames() []string {
+	s.mu.RLock()
+	names := make([]string, len(s.names))
+	copy(names, s.names)
+	s.mu.RUnlock()
+	return names
 }
 
 // Route admits, dispatches and awaits one request. It is the
@@ -377,12 +556,15 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 	if s.draining.Load() {
 		return s.fail(&span, reqtrace.OutcomeDenied, ErrDraining)
 	}
-	sc, ok := s.circuits[req.Circuit]
-	if !ok {
+	sc := s.lookupServed(req.Circuit)
+	if sc == nil {
 		return s.fail(&span, reqtrace.OutcomeRejected,
-			fmt.Errorf("%w %q (serving %v)", ErrUnknownCircuit, req.Circuit, s.names))
+			fmt.Errorf("%w %q (serving %v)", ErrUnknownCircuit, req.Circuit, s.servedNames()))
 	}
-	if err := backend.ValidateWires(sc.circ.Grid, []circuit.Wire{req.Wire}); err != nil {
+	// The circuit's in-flight registration (made under the registry lock)
+	// holds off EvictCircuit until this request's shard loop answers it.
+	defer sc.inflight.Done()
+	if err := backend.ValidateWires(sc.grid, []circuit.Wire{req.Wire}); err != nil {
 		s.count(&s.met.rejected)
 		return s.fail(&span, reqtrace.OutcomeRejected, err)
 	}
@@ -405,8 +587,11 @@ func (s *Server) Route(ctx context.Context, req RouteRequest) (RouteResponse, er
 	var epoch uint64
 	if s.chain != nil {
 		preq = policy.Request{
-			Client:   req.Client,
-			Circuit:  req.Circuit,
+			Client: req.Client,
+			// The cache and breaker key on the generation-suffixed name:
+			// results cached for an evicted circuit can never answer for
+			// a later upload reusing the name.
+			Circuit:  sc.cacheName,
 			Key:      policy.KeyPins(req.Wire.Pins),
 			Deadline: deadline,
 			Commit:   req.Commit,
@@ -614,8 +799,10 @@ func (s *Server) Chain() *policy.Chain { return s.chain }
 // count), the result cache's invalidation clock. Unknown circuits
 // report 0.
 func (s *Server) Epoch(circuitName string) uint64 {
-	sc, ok := s.circuits[circuitName]
-	if !ok {
+	s.mu.RLock()
+	sc := s.circuits[circuitName]
+	s.mu.RUnlock()
+	if sc == nil {
 		return 0
 	}
 	return sc.epoch.Load()

@@ -13,6 +13,7 @@ import (
 	"locusroute/internal/circuit"
 	"locusroute/internal/geom"
 	"locusroute/internal/policy"
+	"locusroute/internal/store"
 	"locusroute/internal/wire"
 )
 
@@ -150,8 +151,17 @@ func (t *TCPServer) serveConn(nc net.Conn) {
 			return
 		}
 		rbuf = payload
-		resp := t.exchange(payload, client)
-		wbuf, err = wire.AppendResponseFrame(wbuf[:0], &resp)
+		// Lifecycle frames answer with the admin response kind; everything
+		// else (route requests, and garbage the decoders will reject) stays
+		// on the route response path.
+		switch wire.PayloadKind(payload) {
+		case wire.KindUpload, wire.KindMutate, wire.KindEvict:
+			aresp := t.admin(payload, client)
+			wbuf, err = wire.AppendAdminResponseFrame(wbuf[:0], &aresp)
+		default:
+			resp := t.exchange(payload, client)
+			wbuf, err = wire.AppendResponseFrame(wbuf[:0], &resp)
+		}
 		if err != nil {
 			// Response fields out of protocol domain (cannot happen for
 			// Route outputs); nothing sane to send.
@@ -237,6 +247,78 @@ func (t *TCPServer) exchange(payload []byte, client string) wire.Response {
 	return wresp
 }
 
+// admin decodes and serves one lifecycle frame. A payload that fails to
+// decode is answered with StatusBadRequest and the stream continues,
+// exactly like a malformed route request.
+func (t *TCPServer) admin(payload []byte, client string) wire.AdminResponse {
+	switch wire.PayloadKind(payload) {
+	case wire.KindUpload:
+		u, err := wire.DecodeUpload(payload)
+		if err != nil {
+			return wire.AdminResponse{Status: wire.StatusBadRequest, Message: err.Error()}
+		}
+		info, err := t.s.UploadCircuit(store.CircuitFromUpload(u))
+		if err != nil {
+			return t.s.wireAdminError(err)
+		}
+		return wire.AdminResponse{Status: wire.StatusOK, Epoch: info.Epoch, Wires: info.Wires}
+	case wire.KindMutate:
+		m, err := wire.DecodeMutate(payload)
+		if err != nil {
+			return wire.AdminResponse{Status: wire.StatusBadRequest, Message: err.Error()}
+		}
+		if m.Client != "" {
+			client = m.Client
+		}
+		res, err := t.s.Mutate(MutateRequest{Circuit: m.Circuit, Ops: store.FromWireOps(m.Ops), Client: client})
+		if err != nil {
+			return t.s.wireAdminError(err)
+		}
+		aresp := wire.AdminResponse{Status: wire.StatusOK, Epoch: res.Epoch, Wires: res.Wires}
+		for i := range res.Results {
+			r := &res.Results[i]
+			var op uint8
+			switch r.Op {
+			case "add":
+				op = wire.OpAdd
+			case "remove":
+				op = wire.OpRemove
+			default:
+				op = wire.OpReroute
+			}
+			aresp.Results = append(aresp.Results, wire.OpOutcome{
+				Op:            op,
+				WireID:        r.WireID,
+				Cost:          r.Cost,
+				PathCells:     r.PathCells,
+				CellsExamined: r.CellsExamined,
+			})
+		}
+		return aresp
+	default: // wire.KindEvict — the only other kind dispatched here
+		e, err := wire.DecodeEvict(payload)
+		if err != nil {
+			return wire.AdminResponse{Status: wire.StatusBadRequest, Message: err.Error()}
+		}
+		if err := t.s.EvictCircuit(e.Circuit); err != nil {
+			return t.s.wireAdminError(err)
+		}
+		return wire.AdminResponse{Status: wire.StatusOK}
+	}
+}
+
+// wireAdminError maps a lifecycle error to its admin response, reusing
+// wireError's status vocabulary so the binary and HTTP surfaces agree
+// (wire.Status.HTTPStatus() == statusFor(err), same as the route path).
+func (s *Server) wireAdminError(err error) wire.AdminResponse {
+	we := s.wireError(err)
+	return wire.AdminResponse{
+		Status:            we.Status,
+		RetryAfterSeconds: we.RetryAfterSeconds,
+		Message:           we.Message,
+	}
+}
+
 // wireStages converts a response's stage breakdown to protocol pairs.
 func wireStages(stages []StageSample) []wire.StagePair {
 	if len(stages) == 0 {
@@ -278,8 +360,12 @@ func (s *Server) wireError(err error) wire.Response {
 		resp.Status = wire.StatusDeadline
 	case errors.Is(err, policy.ErrDeadlineInfeasible):
 		resp.Status = wire.StatusInfeasible
-	case errors.Is(err, ErrUnknownCircuit):
+	case errors.Is(err, ErrUnknownCircuit), errors.Is(err, store.ErrUnknown):
 		resp.Status = wire.StatusUnknownCircuit
+	case errors.Is(err, ErrCircuitExists), errors.Is(err, ErrImmutable):
+		resp.Status = wire.StatusConflict
+	case errors.Is(err, store.ErrStoreFull):
+		resp.Status = wire.StatusStoreFull
 	case errors.As(err, &oge):
 		resp.Status = wire.StatusBadRequest
 	default:

@@ -51,5 +51,38 @@ func (c *Conn) Do(req *Request) (*Response, error) {
 	return DecodeResponse(payload)
 }
 
+// DoUpload sends one circuit upload and reads its admin response.
+func (c *Conn) DoUpload(u *Upload) (*AdminResponse, error) {
+	return c.admin(func(dst []byte) ([]byte, error) { return AppendUploadFrame(dst, u) })
+}
+
+// DoMutate sends one mutation batch and reads its admin response.
+func (c *Conn) DoMutate(m *Mutate) (*AdminResponse, error) {
+	return c.admin(func(dst []byte) ([]byte, error) { return AppendMutateFrame(dst, m) })
+}
+
+// DoEvict sends one eviction and reads its admin response.
+func (c *Conn) DoEvict(e *Evict) (*AdminResponse, error) {
+	return c.admin(func(dst []byte) ([]byte, error) { return AppendEvictFrame(dst, e) })
+}
+
+// admin runs one lifecycle exchange: frame, write, read, decode.
+func (c *Conn) admin(frame func([]byte) ([]byte, error)) (*AdminResponse, error) {
+	buf, err := frame(c.wbuf[:0])
+	if err != nil {
+		return nil, err
+	}
+	c.wbuf = buf
+	if _, err := c.nc.Write(buf); err != nil {
+		return nil, fmt.Errorf("wire: write request: %w", err)
+	}
+	payload, err := ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return nil, fmt.Errorf("wire: read response: %w", err)
+	}
+	c.rbuf = payload
+	return DecodeAdminResponse(payload)
+}
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }

@@ -62,3 +62,112 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeUpload pins the upload frame's decode-encode round trip.
+func FuzzDecodeUpload(f *testing.F) {
+	for _, u := range sampleUploads() {
+		buf, err := AppendUpload(nil, u)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, frameUpload})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeUpload(data)
+		if err != nil {
+			return
+		}
+		out, err := AppendUpload(nil, u)
+		if err != nil {
+			t.Fatalf("decoded upload failed to re-encode: %v (%+v)", err, u)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzDecodeMutate pins the mutate frame's decode-encode round trip.
+func FuzzDecodeMutate(f *testing.F) {
+	for _, m := range sampleMutates() {
+		buf, err := AppendMutate(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, frameMutate})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMutate(data)
+		if err != nil {
+			return
+		}
+		out, err := AppendMutate(nil, m)
+		if err != nil {
+			t.Fatalf("decoded mutate failed to re-encode: %v (%+v)", err, m)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzDecodeEvict pins the evict frame's decode-encode round trip.
+func FuzzDecodeEvict(f *testing.F) {
+	for _, e := range sampleEvicts() {
+		buf, err := AppendEvict(nil, e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, frameEvict})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEvict(data)
+		if err != nil {
+			return
+		}
+		out, err := AppendEvict(nil, e)
+		if err != nil {
+			t.Fatalf("decoded evict failed to re-encode: %v (%+v)", err, e)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzDecodeAdminResponse pins the admin response's decode-encode round
+// trip.
+func FuzzDecodeAdminResponse(f *testing.F) {
+	for _, r := range sampleAdminResponses() {
+		buf, err := AppendAdminResponse(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, frameAdminResponse, byte(StatusOK)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeAdminResponse(data)
+		if err != nil {
+			return
+		}
+		out, err := AppendAdminResponse(nil, r)
+		if err != nil {
+			t.Fatalf("decoded admin response failed to re-encode: %v (%+v)", err, r)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

@@ -71,7 +71,35 @@ const (
 	frameResponse       = 2
 	frameRequestTraced  = 3
 	frameResponseTraced = 4
+	frameUpload         = 5
+	frameMutate         = 6
+	frameEvict          = 7
+	frameAdminResponse  = 8
 )
+
+// Exported frame-kind values for dispatchers (see PayloadKind). The
+// lifecycle frames (upload/mutate/evict and their shared admin response)
+// are documented in lifecycle.go.
+const (
+	KindRequest        = frameRequest
+	KindResponse       = frameResponse
+	KindRequestTraced  = frameRequestTraced
+	KindResponseTraced = frameResponseTraced
+	KindUpload         = frameUpload
+	KindMutate         = frameMutate
+	KindEvict          = frameEvict
+	KindAdminResponse  = frameAdminResponse
+)
+
+// PayloadKind peeks at a framed payload's kind byte so a server can
+// dispatch before committing to a decoder. It returns 0 (never a valid
+// kind) for payloads too short to carry one or with a foreign version.
+func PayloadKind(payload []byte) byte {
+	if len(payload) < 2 || payload[0] != Version {
+		return 0
+	}
+	return payload[1]
+}
 
 // Size bounds. Oversized fields are encode and decode errors, never
 // silent truncations.
@@ -135,8 +163,14 @@ const (
 	StatusDeadline
 	// StatusInfeasible rejects a deadline below the admission floor.
 	StatusInfeasible
+	// StatusConflict rejects an upload naming a circuit already served,
+	// or a mutation/eviction of a circuit that is not store-backed.
+	StatusConflict
+	// StatusStoreFull rejects an upload the circuit store's memory
+	// budget cannot admit.
+	StatusStoreFull
 
-	statusMax = StatusInfeasible
+	statusMax = StatusStoreFull
 )
 
 // String names the status.
@@ -160,6 +194,10 @@ func (s Status) String() string {
 		return "deadline"
 	case StatusInfeasible:
 		return "infeasible"
+	case StatusConflict:
+		return "conflict"
+	case StatusStoreFull:
+		return "store-full"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -178,6 +216,10 @@ func (s Status) HTTPStatus() int {
 		return 503
 	case StatusDeadline, StatusInfeasible:
 		return 504
+	case StatusConflict:
+		return 409
+	case StatusStoreFull:
+		return 507
 	}
 	return 400
 }

@@ -275,6 +275,8 @@ func TestStatusHTTPEquivalence(t *testing.T) {
 		StatusBreakerOpen:    503,
 		StatusDeadline:       504,
 		StatusInfeasible:     504,
+		StatusConflict:       409,
+		StatusStoreFull:      507,
 	}
 	for s, code := range want {
 		if got := s.HTTPStatus(); got != code {

@@ -1,0 +1,100 @@
+package locusroute
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// reexportAllowlist pins the internal/backend exported names that
+// pkg/locusroute deliberately does NOT re-export. Every entry must
+// exist in internal/backend and must stay absent here — an entry that
+// stops holding either way fails the test, so the list cannot rot.
+var reexportAllowlist = map[string]string{
+	// ScratchPool is the serving daemon's evaluation-scratch allocator;
+	// embedders reach it through WithEvaluationPool, never directly.
+	"ScratchPool": "locusd plumbing, not part of the public contract",
+}
+
+// exportedTopLevel parses the non-test files of dir and returns every
+// exported package-level identifier: functions (not methods), types,
+// consts and vars.
+func exportedTopLevel(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	names := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						names[d.Name.Name] = true
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								names[s.Name.Name] = true
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() {
+									names[n.Name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// TestReexportSurfaceParity pins that pkg/locusroute re-exports the
+// internal/backend exported surface one-to-one: every exported name of
+// the internal package appears here under the same name, except the
+// pinned allowlist. A name added internally without a re-export (or an
+// allowlist entry that goes stale) fails, so the shim cannot silently
+// drift from the implementation it fronts.
+func TestReexportSurfaceParity(t *testing.T) {
+	internal := exportedTopLevel(t, "../../internal/backend")
+	public := exportedTopLevel(t, ".")
+	if len(internal) == 0 || len(public) == 0 {
+		t.Fatal("parsed an empty exported surface; wrong directory?")
+	}
+
+	var missing []string
+	for name := range internal {
+		if public[name] || reexportAllowlist[name] != "" {
+			continue
+		}
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("internal/backend exports %v without a pkg/locusroute re-export; "+
+			"re-export them or pin them in reexportAllowlist with a reason", missing)
+	}
+
+	for name, why := range reexportAllowlist {
+		if !internal[name] {
+			t.Errorf("allowlist entry %q (%s) no longer exists in internal/backend; drop it", name, why)
+		}
+		if public[name] {
+			t.Errorf("allowlist entry %q (%s) is now re-exported; drop it from the allowlist", name, why)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"locusroute/internal/policy"
 	"locusroute/internal/reqtrace"
 	"locusroute/internal/route"
+	"locusroute/internal/store"
 )
 
 // Service is the embeddable form of the locusd routing daemon: the
@@ -33,6 +34,10 @@ import (
 // as cmd/locusd (/route, /circuits, /healthz, /metrics, /debug/vars).
 type Service struct {
 	srv *locusd.Server
+	// owned is the circuit store NewService opened on the embedder's
+	// behalf (WithCircuitStore / WithStoreMemoryBudget); Close closes it
+	// after the server drains, which snapshots persistent state.
+	owned *store.Store
 }
 
 // ServiceRequest and ServiceResponse alias the service request/response
@@ -60,6 +65,53 @@ var (
 	// ErrServiceInfeasible reports a request whose deadline slack was
 	// below the admission floor.
 	ErrServiceInfeasible = policy.ErrDeadlineInfeasible
+	// ErrServiceUnknownCircuit reports a request, mutation or eviction
+	// naming a circuit the service does not serve.
+	ErrServiceUnknownCircuit = locusd.ErrUnknownCircuit
+	// ErrServiceCircuitExists reports an upload reusing a served name.
+	ErrServiceCircuitExists = locusd.ErrCircuitExists
+	// ErrServiceImmutable reports a mutation or eviction of a circuit
+	// that is not store-backed (non-sequential startup baselines).
+	ErrServiceImmutable = locusd.ErrImmutable
+	// ErrServiceStoreFull reports an upload over the store memory budget.
+	ErrServiceStoreFull = store.ErrStoreFull
+	// ErrServiceBadMutation reports a rejected mutation batch; the
+	// circuit is unchanged.
+	ErrServiceBadMutation = store.ErrBadOp
+)
+
+// Dynamic circuit lifecycle types, aliased so embedders never import
+// internal packages.
+type (
+	// StoreInfo describes one store-held circuit (grid, wire count,
+	// mutation epoch, resident bytes, baseline, canonical array hash).
+	StoreInfo = store.Info
+	// StoreOp is one mutation operation (OpAdd / OpRemove / OpReroute).
+	StoreOp = store.Op
+	// StoreOpKind is a mutation operation's kind.
+	StoreOpKind = store.OpKind
+	// RecoveryStats reports what a persistent store reconstructed at
+	// startup: snapshot circuits, replayed WAL records, torn-tail
+	// truncation.
+	RecoveryStats = store.RecoveryStats
+	// MutateRequest is one atomic mutation batch against a served
+	// circuit.
+	MutateRequest = locusd.MutateRequest
+	// MutateResponse reports an applied mutation batch.
+	MutateResponse = locusd.MutateResponse
+	// MutateOpResult reports one applied mutation op.
+	MutateOpResult = locusd.MutateOpResult
+)
+
+// Mutation op kinds.
+const (
+	// OpAdd routes and commits a new wire (pins required).
+	OpAdd = store.OpAdd
+	// OpRemove rips up and deletes a wire.
+	OpRemove = store.OpRemove
+	// OpReroute rips up a wire and re-routes it against current
+	// congestion (empty pins keep the wire's pins).
+	OpReroute = store.OpReroute
 )
 
 // ServiceOption configures a Service at construction time.
@@ -72,6 +124,12 @@ type serviceConfig struct {
 	// built once in NewService when either option enabled it.
 	trace   reqtrace.Options
 	traceOn bool
+	// storeDir/storeMem accumulate WithCircuitStore and
+	// WithStoreMemoryBudget; the store is opened once in NewService when
+	// either option asked for one.
+	storeDir string
+	storeMem int64
+	storeOn  bool
 }
 
 // WithServiceBackend selects the backend that routes each circuit once
@@ -187,6 +245,23 @@ func WithPProf() ServiceOption {
 	return func(c *serviceConfig) { c.cfg.EnablePProf = true }
 }
 
+// WithCircuitStore enables snapshot+WAL persistence for the dynamic
+// circuit lifecycle, rooted at dir: committed uploads, mutations and
+// evictions are durable, and a restarted service reconstructs the exact
+// canonical cost arrays (StoreRecovery reports what was rebuilt). The
+// lifecycle API works without this option too — circuits just live in
+// memory only.
+func WithCircuitStore(dir string) ServiceOption {
+	return func(c *serviceConfig) { c.storeDir = dir; c.storeOn = true }
+}
+
+// WithStoreMemoryBudget bounds the resident bytes of store-held
+// circuits; uploads beyond it fail with ErrServiceStoreFull until
+// evictions free room (0 = unbounded).
+func WithStoreMemoryBudget(bytes int64) ServiceOption {
+	return func(c *serviceConfig) { c.storeMem = bytes; c.storeOn = true }
+}
+
 // NewService routes every circuit once through the configured baseline
 // backend and stands up the serving service with its policy chain.
 func NewService(circuits []*Circuit, opts ...ServiceOption) (*Service, error) {
@@ -197,11 +272,30 @@ func NewService(circuits []*Circuit, opts ...ServiceOption) (*Service, error) {
 	if c.traceOn {
 		c.cfg.Tracer = reqtrace.New(c.trace)
 	}
+	var owned *store.Store
+	if c.storeOn {
+		// The store's router parameters must match the serving layer's,
+		// or replicas would diverge from the canonical arrays; locusd
+		// applies the same default when cfg.Router is zero.
+		params := c.cfg.Router
+		if params.Iterations == 0 {
+			params = route.DefaultParams()
+		}
+		st, err := store.Open(store.Config{Dir: c.storeDir, Router: params, MemBudget: c.storeMem})
+		if err != nil {
+			return nil, err
+		}
+		owned = st
+		c.cfg.Store = st
+	}
 	srv, err := locusd.New(c.cfg, circuits...)
 	if err != nil {
+		if owned != nil {
+			_ = owned.Close()
+		}
 		return nil, err
 	}
-	return &Service{srv: srv}, nil
+	return &Service{srv: srv, owned: owned}, nil
 }
 
 // Route admits, dispatches and awaits one request through the policy
@@ -225,6 +319,35 @@ func (s *Service) Epoch(circuitName string) uint64 { return s.srv.Epoch(circuitN
 // BeginDrain stops admitting new requests; in-flight work completes.
 func (s *Service) BeginDrain() { s.srv.BeginDrain() }
 
+// UploadCircuit routes and serves a new circuit at runtime. The upload
+// is durable when the service has a persistent circuit store.
+func (s *Service) UploadCircuit(c *Circuit) (StoreInfo, error) { return s.srv.UploadCircuit(c) }
+
+// EvictCircuit stops serving a circuit and removes it from the store;
+// in-flight requests against it complete first, and the name is free
+// for re-upload once EvictCircuit returns.
+func (s *Service) EvictCircuit(name string) error { return s.srv.EvictCircuit(name) }
+
+// Mutate applies one atomic mutation batch to a served circuit,
+// incrementally — each op rips up and re-routes only its own wire —
+// and invalidates cached results for the circuit.
+func (s *Service) Mutate(req MutateRequest) (*MutateResponse, error) { return s.srv.Mutate(req) }
+
+// StoreRecovery reports what the service's circuit store reconstructed
+// at startup (zero value without persistence).
+func (s *Service) StoreRecovery() RecoveryStats { return s.srv.Store().Recovery() }
+
+// StoreInfo reports a store-held circuit's current state — mutation
+// epoch, resident bytes, and the canonical cost array's hash, which is
+// what restart-identity checks compare.
+func (s *Service) StoreInfo(name string) (StoreInfo, bool) { return s.srv.Store().Get(name) }
+
 // Close drains and stops the service, returning once every shard loop
-// has exited.
-func (s *Service) Close() { s.srv.Close() }
+// has exited; a store opened by WithCircuitStore is then closed, which
+// snapshots its state.
+func (s *Service) Close() {
+	s.srv.Close()
+	if s.owned != nil {
+		_ = s.owned.Close()
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"locusroute/internal/geom"
 )
 
 // serviceCircuit generates the small circuit shared by the Service
@@ -172,5 +174,78 @@ func TestServiceDeadlineAdmission(t *testing.T) {
 	_, err = svc.Route(ctx, ServiceRequest{Circuit: c.Name, Wire: c.Wires[0]})
 	if !errors.Is(err, ErrServiceInfeasible) {
 		t.Errorf("1s deadline under a 10s floor: err = %v, want ErrServiceInfeasible", err)
+	}
+}
+
+// TestServiceLifecycleRestartIdentity drives the dynamic circuit
+// lifecycle through the public facade alone: upload a circuit, mutate
+// it, close (which snapshots the owned store), reopen a Service on the
+// same directory, and require the replayed state to be identical — the
+// same canonical-array hash and mutation epoch — and still routable.
+func TestServiceLifecycleRestartIdentity(t *testing.T) {
+	dir := t.TempDir()
+	dyn := func() *Circuit {
+		return &Circuit{
+			Name: "dyn",
+			Grid: geom.Grid{Channels: 5, Grids: 40},
+			Wires: []Wire{
+				{ID: 0, Pins: []Pin{{X: 2, Y: 1}, {X: 30, Y: 4}}},
+				{ID: 1, Pins: []Pin{{X: 5, Y: 2}, {X: 20, Y: 3}}},
+			},
+		}
+	}
+	open := func() *Service {
+		t.Helper()
+		svc, err := NewService(nil,
+			WithShards(1),
+			WithBatchWindow(time.Millisecond),
+			WithCircuitStore(dir),
+		)
+		if err != nil {
+			t.Fatalf("NewService: %v", err)
+		}
+		return svc
+	}
+
+	svc := open()
+	if _, err := svc.UploadCircuit(dyn()); err != nil {
+		t.Fatalf("UploadCircuit: %v", err)
+	}
+	resp, err := svc.Mutate(MutateRequest{Circuit: "dyn", Ops: []StoreOp{
+		{Kind: OpAdd, WireID: 2, Pins: []Pin{{X: 8, Y: 1}, {X: 35, Y: 2}}},
+		{Kind: OpReroute, WireID: 0},
+	}})
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if resp.Epoch != 2 || len(resp.Results) != 2 {
+		t.Fatalf("Mutate = epoch %d, %d results; want 2, 2", resp.Epoch, len(resp.Results))
+	}
+	before, ok := svc.StoreInfo("dyn")
+	if !ok {
+		t.Fatal("StoreInfo(dyn) missing before restart")
+	}
+	svc.Close()
+
+	svc2 := open()
+	defer svc2.Close()
+	if rs := svc2.StoreRecovery(); rs.SnapshotCircuits == 0 && rs.ReplayedRecords == 0 {
+		t.Errorf("StoreRecovery = %+v, want recovered state after restart", rs)
+	}
+	after, ok := svc2.StoreInfo("dyn")
+	if !ok {
+		t.Fatal("StoreInfo(dyn) missing after restart")
+	}
+	if after.ArrayHash != before.ArrayHash {
+		t.Errorf("replayed array hash %s != pre-restart %s", after.ArrayHash, before.ArrayHash)
+	}
+	if after.Epoch != before.Epoch {
+		t.Errorf("replayed epoch %d != pre-restart %d", after.Epoch, before.Epoch)
+	}
+	if _, err := svc2.Route(context.Background(), ServiceRequest{
+		Circuit: "dyn",
+		Wire:    Wire{ID: 9000, Pins: []Pin{{X: 3, Y: 1}, {X: 25, Y: 3}}},
+	}); err != nil {
+		t.Fatalf("Route against recovered circuit: %v", err)
 	}
 }
